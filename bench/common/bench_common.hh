@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared harness for the per-figure/per-table benchmark binaries.
+ *
+ * Every binary regenerates one table or figure of the paper. Output is
+ * plain text: a header citing what the paper reports, then our measured
+ * rows/series in the same structure. Instruction budgets default to
+ * short-but-stable runs and can be scaled with MORC_BENCH_INSTR and
+ * MORC_BENCH_WARMUP (instructions per core).
+ */
+
+#ifndef MORC_BENCH_COMMON_HH
+#define MORC_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "stats/summary.hh"
+#include "trace/workload.hh"
+
+namespace morc {
+namespace bench {
+
+/** Per-core measured instructions (env MORC_BENCH_INSTR). */
+inline std::uint64_t
+instrBudget(std::uint64_t fallback = 800'000)
+{
+    if (const char *s = std::getenv("MORC_BENCH_INSTR"))
+        return std::strtoull(s, nullptr, 10);
+    return fallback;
+}
+
+/** Per-core warm-up instructions (env MORC_BENCH_WARMUP). */
+inline std::uint64_t
+warmupBudget(std::uint64_t fallback = 1'600'000)
+{
+    if (const char *s = std::getenv("MORC_BENCH_WARMUP"))
+        return std::strtoull(s, nullptr, 10);
+    return fallback;
+}
+
+/** Run one single-program configuration. */
+inline sim::RunResult
+runSingle(sim::Scheme scheme, const trace::BenchmarkSpec &spec,
+          double bandwidth_per_core = 100e6,
+          std::uint64_t llc_bytes = 128 * 1024,
+          const core::MorcConfig *morc = nullptr)
+{
+    sim::SystemConfig cfg;
+    cfg.scheme = scheme;
+    cfg.bandwidthPerCore = bandwidth_per_core;
+    cfg.llcBytesPerCore = llc_bytes;
+    cfg.ratioSampleInterval = std::max<std::uint64_t>(
+        instrBudget() / 8, 50'000);
+    if (morc) {
+        cfg.morc = *morc;
+        cfg.useMorcOverride = true;
+    }
+    sim::System sys(cfg, {spec});
+    return sys.run(instrBudget(), warmupBudget());
+}
+
+/** Print the standard two-line banner. */
+inline void
+banner(const char *what, const char *paper_expectation)
+{
+    std::printf("==================================================="
+                "=====================\n");
+    std::printf("%s\n", what);
+    std::printf("Paper reports: %s\n", paper_expectation);
+    std::printf("==================================================="
+                "=====================\n");
+}
+
+/** Append AMean and GMean rows for a per-benchmark series. */
+inline void
+printMeans(const char *label, const std::vector<double> &v)
+{
+    std::printf("%-12s AMean %6.2f  GMean %6.2f\n", label,
+                stats::amean(v), stats::gmean(v));
+}
+
+} // namespace bench
+} // namespace morc
+
+#endif // MORC_BENCH_COMMON_HH

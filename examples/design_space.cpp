@@ -1,0 +1,86 @@
+/**
+ * @file
+ * MORC design-space exploration on one workload: log size, active-log
+ * count, LMT provisioning/associativity, tag bases, and merged tags —
+ * the knobs Sections 3.2 and 5.4 discuss.
+ * Usage: design_space [workload] (default: gcc).
+ */
+
+#include <cstdio>
+
+#include "core/morc.hh"
+#include "sim/system.hh"
+
+namespace {
+
+morc::sim::RunResult
+runWith(const morc::trace::BenchmarkSpec &spec,
+        const morc::core::MorcConfig &morc, bool merged = false)
+{
+    using namespace morc;
+    sim::SystemConfig cfg;
+    cfg.scheme = merged ? sim::Scheme::MorcMerged : sim::Scheme::Morc;
+    cfg.useMorcOverride = true;
+    cfg.morc = morc;
+    cfg.ratioSampleInterval = 200'000;
+    sim::System sys(cfg, {spec});
+    return sys.run(600'000, 1'200'000);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace morc;
+    const auto spec =
+        trace::resolveWorkload(argc > 1 ? argv[1] : "gcc");
+    std::printf("MORC design space on %s\n\n", spec.name.c_str());
+
+    {
+        std::printf("log size (8 active logs):\n");
+        for (unsigned bytes : {128u, 256u, 512u, 1024u, 2048u}) {
+            core::MorcConfig m;
+            m.logBytes = bytes;
+            const auto r = runWith(spec, m);
+            std::printf("  %5uB: ratio %.2f  GB/Binstr %.2f\n", bytes,
+                        r.compressionRatio, r.gbPerBillionInstr());
+        }
+    }
+    {
+        std::printf("active logs (512B logs):\n");
+        for (unsigned logs : {1u, 2u, 4u, 8u, 16u}) {
+            core::MorcConfig m;
+            m.activeLogs = logs;
+            const auto r = runWith(spec, m);
+            std::printf("  %5u: ratio %.2f\n", logs, r.compressionRatio);
+        }
+    }
+    {
+        std::printf("LMT provisioning x associativity:\n");
+        for (unsigned factor : {2u, 4u, 8u, 16u}) {
+            for (unsigned ways : {1u, 2u}) {
+                core::MorcConfig m;
+                m.lmtFactor = factor;
+                m.lmtWays = ways;
+                const auto r = runWith(spec, m);
+                std::printf("  %2ux %u-way: ratio %.2f\n", factor, ways,
+                            r.compressionRatio);
+            }
+        }
+    }
+    {
+        std::printf("tag compression bases / merged tags:\n");
+        for (unsigned bases : {1u, 2u}) {
+            core::MorcConfig m;
+            m.tagBases = bases;
+            const auto r = runWith(spec, m);
+            std::printf("  %u base(s): ratio %.2f\n", bases,
+                        r.compressionRatio);
+        }
+        core::MorcConfig m;
+        const auto r = runWith(spec, m, /*merged=*/true);
+        std::printf("  merged tags: ratio %.2f\n", r.compressionRatio);
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * A 16-core shared-LLC run of one Table 6 mix, showing per-core IPC and
+ * how replicated workloads (Sx) compress across address spaces.
+ * Usage: multi_program [mix] (default: S2 = 16x gcc).
+ */
+
+#include <cstdio>
+
+#include "sim/system.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace morc;
+    const std::string mix_name = argc > 1 ? argv[1] : "S2";
+    const trace::MultiProgramSpec *mix = nullptr;
+    for (const auto &m : trace::table6Workloads()) {
+        if (m.name == mix_name)
+            mix = &m;
+    }
+    if (!mix) {
+        std::fprintf(stderr, "unknown mix '%s' (use M0-M3 or S0-S7)\n",
+                     mix_name.c_str());
+        return 1;
+    }
+
+    std::vector<trace::BenchmarkSpec> programs;
+    for (const auto &p : mix->programs)
+        programs.push_back(trace::resolveWorkload(p));
+
+    for (sim::Scheme s : {sim::Scheme::Uncompressed, sim::Scheme::Morc}) {
+        sim::SystemConfig cfg;
+        cfg.scheme = s;
+        cfg.numCores = 16;
+        cfg.ratioSampleInterval = 500'000;
+        sim::System sys(cfg, programs);
+        const auto r = sys.run(150'000, 300'000);
+        std::printf("%s on %s: ratio %.2fx, GB/Binstr %.2f, gmean IPC "
+                    "%.3f, completion %llu cycles\n",
+                    sim::schemeName(s), mix->name.c_str(),
+                    r.compressionRatio, r.gbPerBillionInstr(),
+                    r.gmeanIpc(),
+                    static_cast<unsigned long long>(r.completionCycles));
+        if (s == sim::Scheme::Morc) {
+            std::printf("  per-core IPC:");
+            for (const auto &c : r.cores)
+                std::printf(" %.2f", c.ipc());
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

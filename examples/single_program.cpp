@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Compare every cache scheme on one benchmark under the paper's default
+ * system (Table 5). Usage: single_program [workload] (default: gcc;
+ * any Figure 6 workload name, e.g. "soplex" or "bzip2_3").
+ */
+
+#include <cstdio>
+
+#include "sim/system.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace morc;
+    const std::string name = argc > 1 ? argv[1] : "gcc";
+    const auto spec = trace::resolveWorkload(name);
+
+    std::printf("workload %s: memFrac %.2f wsBytes %lluMB hot %lluKB\n\n",
+                spec.name.c_str(), spec.access.memFrac,
+                static_cast<unsigned long long>(spec.access.wsBytes >> 20),
+                static_cast<unsigned long long>(spec.access.hotBytes >>
+                                                10));
+    std::printf("%-14s %8s %10s %8s %8s %12s\n", "scheme", "ratio",
+                "GB/Binstr", "IPC", "thruput", "energy (mJ)");
+
+    double base_ipc = 0, base_thr = 0;
+    for (sim::Scheme s :
+         {sim::Scheme::Uncompressed, sim::Scheme::Adaptive,
+          sim::Scheme::Decoupled, sim::Scheme::Sc2, sim::Scheme::Morc,
+          sim::Scheme::MorcMerged}) {
+        sim::SystemConfig cfg;
+        cfg.scheme = s;
+        cfg.ratioSampleInterval = 200'000;
+        sim::System sys(cfg, {spec});
+        const auto r = sys.run(1'000'000, 2'000'000);
+        if (s == sim::Scheme::Uncompressed) {
+            base_ipc = r.cores[0].ipc();
+            base_thr = r.cores[0].throughput();
+        }
+        std::printf("%-14s %7.2fx %10.2f %7.3f %8.3f %12.2f",
+                    sim::schemeName(s), r.compressionRatio,
+                    r.gbPerBillionInstr(), r.cores[0].ipc(),
+                    r.cores[0].throughput(),
+                    1e3 * r.energyBreakdown.total());
+        if (s != sim::Scheme::Uncompressed) {
+            std::printf("   (IPC %+0.0f%%, thr %+0.0f%%)",
+                        100.0 * (r.cores[0].ipc() / base_ipc - 1.0),
+                        100.0 * (r.cores[0].throughput() / base_thr -
+                                 1.0));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,11 @@
+#!/bin/bash
+# Regenerate every paper table/figure. Budgets scale with MORC_BENCH_INSTR.
+export MORC_BENCH_INSTR=${MORC_BENCH_INSTR:-250000}
+export MORC_BENCH_WARMUP=${MORC_BENCH_WARMUP:-500000}
+cd "$(dirname "$0")"
+for b in build/bench/bench_*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "### $b"
+    "$b"
+    echo
+done

@@ -1,0 +1,203 @@
+#include "cache/adaptive.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hh"
+
+namespace morc {
+namespace cache {
+
+AdaptiveCache::AdaptiveCache() : AdaptiveCache(Config{}) {}
+
+AdaptiveCache::AdaptiveCache(const Config &cfg) : cfg_(cfg)
+{
+    numSets_ = cfg.capacityBytes / kLineSize / cfg.ways;
+    assert(numSets_ >= 1 && isPow2(numSets_));
+    sets_.resize(numSets_);
+}
+
+std::uint64_t
+AdaptiveCache::setOf(Addr addr) const
+{
+    return splitmix64(lineNumber(addr)) & (numSets_ - 1);
+}
+
+unsigned
+AdaptiveCache::segmentsFor(std::uint32_t bits) const
+{
+    return static_cast<unsigned>(
+        divCeil(divCeil(bits, 8), cfg_.segmentBytes));
+}
+
+unsigned
+AdaptiveCache::segBudget() const
+{
+    return cfg_.ways * kLineSize / cfg_.segmentBytes;
+}
+
+unsigned
+AdaptiveCache::stackDepth(const Set &set, const LineEntry &line) const
+{
+    unsigned depth = 0;
+    for (const auto &other : set.lines) {
+        if (other.lastUse > line.lastUse)
+            depth++;
+    }
+    return depth;
+}
+
+ReadResult
+AdaptiveCache::read(Addr addr)
+{
+    stats_.reads++;
+    ReadResult r;
+    Set &set = sets_[setOf(addr)];
+    const Addr tag = lineNumber(addr);
+    for (auto &line : set.lines) {
+        if (line.tag != tag)
+            continue;
+        if (!line.hasData) {
+            // Shadow-tag hit (Alameldeen & Wood's extra tags): the line
+            // would have been resident had the set been compressed.
+            // This is a miss, but it votes for compression with the
+            // avoided memory latency.
+            predictor_ += cfg_.predictorMemLatency;
+            line.lastUse = ++useClock_;
+            return r;
+        }
+        stats_.readHits++;
+        r.hit = true;
+        r.data = line.data;
+        if (line.compressed) {
+            r.extraLatency = cfg_.decompressionLatency;
+            r.bytesDecompressed = kLineSize;
+            r.linesDecompressed = 1;
+            stats_.linesDecompressed++;
+            stats_.bytesDecompressed += kLineSize;
+            // A hit that would also have hit uncompressed paid the
+            // decompression latency for nothing: vote against.
+            if (stackDepth(set, line) < cfg_.ways)
+                predictor_ -= cfg_.decompressionLatency;
+        }
+        line.lastUse = ++useClock_;
+        return r;
+    }
+    return r;
+}
+
+void
+AdaptiveCache::evictUntilFits(Set &set, unsigned needed_segments,
+                              FillResult &result)
+{
+    const unsigned budget = segBudget();
+    const unsigned max_tags = cfg_.ways * cfg_.tagFactor;
+    auto used = [&] {
+        unsigned sum = 0;
+        for (const auto &l : set.lines)
+            sum += l.segments;
+        return sum;
+    };
+
+    // Data pressure: demote LRU data-holding lines to shadow tags
+    // (write back dirty data first).
+    while (used() + needed_segments > budget) {
+        LineEntry *victim = nullptr;
+        for (auto &l : set.lines) {
+            if (!l.hasData)
+                continue;
+            if (!victim || l.lastUse < victim->lastUse)
+                victim = &l;
+        }
+        assert(victim && "segment budget exceeded with no data lines");
+        if (victim->dirty) {
+            result.writebacks.push_back(
+                {victim->tag << kLineShift, victim->data});
+            stats_.victimWritebacks++;
+            if (victim->compressed) {
+                result.linesDecompressed++;
+                result.bytesDecompressed += kLineSize;
+                stats_.linesDecompressed++;
+                stats_.bytesDecompressed += kLineSize;
+            }
+        }
+        victim->hasData = false;
+        victim->dirty = false;
+        victim->compressed = false;
+        victim->segments = 0;
+        victim->data = CacheLine{};
+        valid_--;
+    }
+
+    // Tag pressure: drop LRU entries outright.
+    while (set.lines.size() + 1 > max_tags) {
+        auto victim = set.lines.begin();
+        for (auto it = set.lines.begin(); it != set.lines.end(); ++it) {
+            if (it->lastUse < victim->lastUse)
+                victim = it;
+        }
+        if (victim->hasData) {
+            if (victim->dirty) {
+                result.writebacks.push_back(
+                    {victim->tag << kLineShift, victim->data});
+                stats_.victimWritebacks++;
+            }
+            valid_--;
+        }
+        set.lines.erase(victim);
+    }
+}
+
+FillResult
+AdaptiveCache::insert(Addr addr, const CacheLine &data, bool dirty)
+{
+    stats_.inserts++;
+    FillResult result;
+    Set &set = sets_[setOf(addr)];
+    const Addr tag = lineNumber(addr);
+
+    const bool compress = predictor_ >= 0;
+    const std::uint32_t bits = comp::CpackEncoder::lineBits(data);
+    unsigned segments = compress ? segmentsFor(bits)
+                                 : kLineSize / cfg_.segmentBytes;
+    bool stored_compressed = compress;
+    if (segments >= kLineSize / cfg_.segmentBytes) {
+        segments = kLineSize / cfg_.segmentBytes;
+        stored_compressed = false; // expansion: store raw
+    }
+    if (stored_compressed) {
+        stats_.linesCompressed++;
+        result.linesCompressed++;
+    }
+
+    // Replace any existing entry (resident or shadow). A size change
+    // within contiguous segments forces re-allocation, which models the
+    // compaction the scheme needs.
+    for (auto it = set.lines.begin(); it != set.lines.end(); ++it) {
+        if (it->tag == tag) {
+            if (it->hasData) {
+                dirty |= it->dirty;
+                valid_--;
+            }
+            set.lines.erase(it);
+            break;
+        }
+    }
+
+    evictUntilFits(set, segments, result);
+
+    LineEntry entry;
+    entry.tag = tag;
+    entry.hasData = true;
+    entry.dirty = dirty;
+    entry.compressed = stored_compressed;
+    entry.segments = segments;
+    entry.lastUse = ++useClock_;
+    entry.data = data;
+    set.lines.push_back(entry);
+    valid_++;
+    return result;
+}
+
+} // namespace cache
+} // namespace morc

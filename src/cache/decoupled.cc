@@ -1,0 +1,213 @@
+#include "cache/decoupled.hh"
+
+#include <cassert>
+
+#include "util/rng.hh"
+
+namespace morc {
+namespace cache {
+
+DecoupledCache::DecoupledCache() : DecoupledCache(Config{}) {}
+
+DecoupledCache::DecoupledCache(const Config &cfg) : cfg_(cfg)
+{
+    numSets_ = cfg.capacityBytes / kLineSize / cfg.ways;
+    assert(numSets_ >= 1 && isPow2(numSets_));
+    sets_.resize(numSets_);
+    for (auto &set : sets_)
+        set.blocks.resize(cfg_.ways);
+    for (auto &set : sets_)
+        for (auto &b : set.blocks)
+            b.lines.resize(cfg_.linesPerSuperBlock);
+}
+
+std::uint64_t
+DecoupledCache::setOf(Addr super_tag) const
+{
+    return splitmix64(super_tag) & (numSets_ - 1);
+}
+
+unsigned
+DecoupledCache::usedSegments(const Set &set) const
+{
+    unsigned sum = 0;
+    for (const auto &b : set.blocks) {
+        if (!b.valid)
+            continue;
+        for (const auto &l : b.lines) {
+            if (l.valid)
+                sum += l.segments;
+        }
+    }
+    return sum;
+}
+
+void
+DecoupledCache::evictBlock(Set &set, SuperBlock &block, FillResult &result)
+{
+    (void)set;
+    for (unsigned i = 0; i < block.lines.size(); i++) {
+        SubLine &l = block.lines[i];
+        if (!l.valid)
+            continue;
+        if (l.dirty) {
+            const Addr line_number =
+                block.tag * cfg_.linesPerSuperBlock + i;
+            result.writebacks.push_back(
+                {line_number << kLineShift, l.data});
+            stats_.victimWritebacks++;
+            if (l.compressed) {
+                result.linesDecompressed++;
+                result.bytesDecompressed += kLineSize;
+                stats_.linesDecompressed++;
+                stats_.bytesDecompressed += kLineSize;
+            }
+        }
+        l.valid = false;
+        valid_--;
+    }
+    block.valid = false;
+}
+
+ReadResult
+DecoupledCache::read(Addr addr)
+{
+    stats_.reads++;
+    ReadResult r;
+    const Addr line_number = lineNumber(addr);
+    const Addr super_tag = line_number / cfg_.linesPerSuperBlock;
+    const unsigned sub = line_number % cfg_.linesPerSuperBlock;
+    Set &set = sets_[setOf(super_tag)];
+    for (auto &b : set.blocks) {
+        if (!b.valid || b.tag != super_tag)
+            continue;
+        SubLine &l = b.lines[sub];
+        if (!l.valid)
+            return r;
+        stats_.readHits++;
+        r.hit = true;
+        r.data = l.data;
+        if (l.compressed) {
+            r.extraLatency = cfg_.decompressionLatency;
+            r.bytesDecompressed = kLineSize;
+            r.linesDecompressed = 1;
+            stats_.linesDecompressed++;
+            stats_.bytesDecompressed += kLineSize;
+        }
+        b.lastUse = ++useClock_;
+        return r;
+    }
+    return r;
+}
+
+FillResult
+DecoupledCache::insert(Addr addr, const CacheLine &data, bool dirty)
+{
+    stats_.inserts++;
+    FillResult result;
+    const Addr line_number = lineNumber(addr);
+    const Addr super_tag = line_number / cfg_.linesPerSuperBlock;
+    const unsigned sub = line_number % cfg_.linesPerSuperBlock;
+    Set &set = sets_[setOf(super_tag)];
+
+    const std::uint32_t bits = comp::CpackEncoder::lineBits(data);
+    unsigned segments = static_cast<unsigned>(
+        divCeil(divCeil(bits, 8), cfg_.segmentBytes));
+    const unsigned max_segments = kLineSize / cfg_.segmentBytes;
+    bool compressed = true;
+    if (segments >= max_segments) {
+        segments = max_segments;
+        compressed = false;
+    } else {
+        stats_.linesCompressed++;
+        result.linesCompressed++;
+    }
+
+    // Find or allocate the super-block.
+    SuperBlock *block = nullptr;
+    for (auto &b : set.blocks) {
+        if (b.valid && b.tag == super_tag) {
+            block = &b;
+            break;
+        }
+    }
+    if (!block) {
+        for (auto &b : set.blocks) {
+            if (!b.valid) {
+                block = &b;
+                break;
+            }
+        }
+    }
+    if (!block) {
+        // Evict the LRU super-block.
+        block = &set.blocks[0];
+        for (auto &b : set.blocks) {
+            if (b.lastUse < block->lastUse)
+                block = &b;
+        }
+        evictBlock(set, *block, result);
+    }
+    if (!block->valid) {
+        block->valid = true;
+        block->tag = super_tag;
+        for (auto &l : block->lines)
+            l.valid = false;
+    }
+
+    // Replace any existing copy of this sub-line.
+    SubLine &line = block->lines[sub];
+    if (line.valid) {
+        dirty |= line.dirty;
+        line.valid = false;
+        valid_--;
+    }
+
+    // Free segment space by evicting LRU super-blocks (never the one we
+    // are inserting into).
+    while (usedSegments(set) + segments >
+           cfg_.ways * kLineSize / cfg_.segmentBytes) {
+        SuperBlock *victim = nullptr;
+        for (auto &b : set.blocks) {
+            if (!b.valid || &b == block)
+                continue;
+            if (!victim || b.lastUse < victim->lastUse)
+                victim = &b;
+        }
+        if (!victim) {
+            // Only our block remains: evict its other sub-lines.
+            bool any = false;
+            for (unsigned i = 0; i < block->lines.size(); i++) {
+                if (i == sub || !block->lines[i].valid)
+                    continue;
+                SubLine &l = block->lines[i];
+                if (l.dirty) {
+                    const Addr ln =
+                        block->tag * cfg_.linesPerSuperBlock + i;
+                    result.writebacks.push_back({ln << kLineShift, l.data});
+                    stats_.victimWritebacks++;
+                }
+                l.valid = false;
+                valid_--;
+                any = true;
+                break;
+            }
+            if (!any)
+                break; // a single line always fits
+            continue;
+        }
+        evictBlock(set, *victim, result);
+    }
+
+    line.valid = true;
+    line.dirty = dirty;
+    line.compressed = compressed;
+    line.segments = segments;
+    line.data = data;
+    block->lastUse = ++useClock_;
+    valid_++;
+    return result;
+}
+
+} // namespace cache
+} // namespace morc

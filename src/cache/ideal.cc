@@ -1,0 +1,103 @@
+#include "cache/ideal.hh"
+
+#include <cassert>
+
+#include "util/rng.hh"
+
+namespace morc {
+namespace cache {
+
+IdealCache::IdealCache(OracleScope scope, std::uint64_t capacity_bytes,
+                       unsigned set_bytes)
+    : scope_(scope),
+      capacity_(capacity_bytes),
+      setBits_(static_cast<std::uint64_t>(set_bytes) * 8),
+      numSets_(capacity_bytes / set_bytes)
+{
+    assert(isPow2(numSets_));
+    sets_.resize(numSets_);
+}
+
+std::uint64_t
+IdealCache::setOf(Addr addr) const
+{
+    return splitmix64(lineNumber(addr)) & (numSets_ - 1);
+}
+
+std::uint32_t
+IdealCache::costOf(const CacheLine &data) const
+{
+    return scope_ == OracleScope::IntraLine ? comp::oracleIntraBits(data)
+                                            : dict_.interBits(data);
+}
+
+ReadResult
+IdealCache::read(Addr addr)
+{
+    stats_.reads++;
+    ReadResult r;
+    Set &set = sets_[setOf(addr)];
+    const Addr tag = lineNumber(addr);
+    for (auto &line : set.lines) {
+        if (line.tag == tag) {
+            stats_.readHits++;
+            r.hit = true;
+            r.data = line.data;
+            line.lastUse = ++useClock_;
+            return r;
+        }
+    }
+    return r;
+}
+
+FillResult
+IdealCache::insert(Addr addr, const CacheLine &data, bool dirty)
+{
+    stats_.inserts++;
+    FillResult result;
+    Set &set = sets_[setOf(addr)];
+    const Addr tag = lineNumber(addr);
+
+    for (auto it = set.lines.begin(); it != set.lines.end(); ++it) {
+        if (it->tag == tag) {
+            dirty |= it->dirty;
+            set.usedBits -= it->bits;
+            if (scope_ == OracleScope::InterLine)
+                dict_.removeLine(it->data);
+            set.lines.erase(it);
+            valid_--;
+            break;
+        }
+    }
+
+    const std::uint32_t bits = costOf(data);
+    while (set.usedBits + bits > setBits_ && !set.lines.empty()) {
+        auto victim = set.lines.begin();
+        for (auto it = set.lines.begin(); it != set.lines.end(); ++it) {
+            if (it->lastUse < victim->lastUse)
+                victim = it;
+        }
+        if (victim->dirty) {
+            result.writebacks.push_back(
+                {victim->tag << kLineShift, victim->data});
+            stats_.victimWritebacks++;
+        }
+        set.usedBits -= victim->bits;
+        if (scope_ == OracleScope::InterLine)
+            dict_.removeLine(victim->data);
+        set.lines.erase(victim);
+        valid_--;
+    }
+
+    set.lines.push_back({tag, dirty, bits, ++useClock_, data});
+    set.usedBits += bits;
+    if (scope_ == OracleScope::InterLine)
+        dict_.addLine(data);
+    valid_++;
+    stats_.linesCompressed++;
+    result.linesCompressed++;
+    return result;
+}
+
+} // namespace cache
+} // namespace morc

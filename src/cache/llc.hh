@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Common interface for every last-level cache model (the uncompressed
+ * baseline, Adaptive, Decoupled, SC2, the Figure 2 oracles, and MORC).
+ *
+ * The simulator drives an Llc with reads (probe, no allocation) and
+ * inserts (fills from memory and write-backs from L1). Models return
+ * per-access timing/energy annotations and surface dirty victims so the
+ * memory layer can account bandwidth and apply functional writes.
+ */
+
+#ifndef MORC_CACHE_LLC_HH
+#define MORC_CACHE_LLC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace morc {
+namespace cache {
+
+/** Outcome of a read probe. */
+struct ReadResult
+{
+    bool hit = false;
+
+    /** Line contents on a hit. */
+    CacheLine data{};
+
+    /** Extra access cycles beyond the base LLC latency (decompression;
+     *  position-dependent for MORC, flat +4 for prior schemes). */
+    std::uint32_t extraLatency = 0;
+
+    /** Decompressor output bytes produced to serve this access. */
+    std::uint64_t bytesDecompressed = 0;
+
+    /** Number of cache lines the decompressor had to reconstruct. */
+    std::uint32_t linesDecompressed = 0;
+};
+
+/** A dirty line evicted toward memory. */
+struct Writeback
+{
+    Addr addr;
+    CacheLine data;
+};
+
+/** Outcome of an insert (fill or write-back allocation). */
+struct FillResult
+{
+    /** Dirty victims that must be written to memory. */
+    std::vector<Writeback> writebacks;
+
+    /** Lines pushed through a compressor by this insert. */
+    std::uint32_t linesCompressed = 0;
+
+    /** Lines decompressed as a side effect (e.g. a log flush). */
+    std::uint32_t linesDecompressed = 0;
+    std::uint64_t bytesDecompressed = 0;
+};
+
+/** Aggregate counters every model maintains. */
+struct LlcStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t readHits = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t victimWritebacks = 0;
+    std::uint64_t linesCompressed = 0;
+    std::uint64_t linesDecompressed = 0;
+    std::uint64_t bytesDecompressed = 0;
+
+    void
+    clear()
+    {
+        *this = LlcStats{};
+    }
+};
+
+/** Abstract last-level cache. */
+class Llc
+{
+  public:
+    virtual ~Llc() = default;
+
+    /** Probe for @p addr; never allocates. */
+    virtual ReadResult read(Addr addr) = 0;
+
+    /**
+     * Insert a line: a fill from memory (@p dirty false) or a write-back
+     * from a private cache (@p dirty true).
+     */
+    virtual FillResult insert(Addr addr, const CacheLine &data,
+                              bool dirty) = 0;
+
+    /** Valid resident lines (compressed schemes can exceed baseline). */
+    virtual std::uint64_t validLines() const = 0;
+
+    /** Uncompressed data capacity in bytes. */
+    virtual std::uint64_t capacityBytes() const = 0;
+
+    /** Effective-capacity ratio: valid lines x 64B over capacity. */
+    double
+    compressionRatio() const
+    {
+        return static_cast<double>(validLines() * kLineSize) /
+               static_cast<double>(capacityBytes());
+    }
+
+    virtual std::string name() const = 0;
+
+    LlcStats &stats() { return stats_; }
+    const LlcStats &stats() const { return stats_; }
+
+  protected:
+    LlcStats stats_;
+};
+
+} // namespace cache
+} // namespace morc
+
+#endif // MORC_CACHE_LLC_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Analytical storage-overhead model reproducing Table 4 of the paper.
+ *
+ * Assumptions per Section 3.3: a 128 KB cache, 48-bit physical address
+ * space, 16-way sets for the prior work, 512 B logs for MORC, and LMT
+ * entries provisioned for 8x compression. Overheads are normalized to
+ * data capacity.
+ */
+
+#ifndef MORC_CACHE_OVERHEADS_HH
+#define MORC_CACHE_OVERHEADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace morc {
+namespace cache {
+
+/** One scheme's overheads, all normalized to cache data capacity. */
+struct OverheadReport
+{
+    std::string scheme;
+    double extraTagsFrac;   // tag storage beyond the uncompressed 1x
+    double metadataFrac;    // segment pointers / LMT / predictor state
+    double totalFrac;       // extraTags + metadata
+    double compEngineMm2;   // compression engine area
+    unsigned dictBytes;     // dictionary storage
+};
+
+/** Parameters of the Table 4 comparison. */
+struct OverheadParams
+{
+    std::uint64_t cacheBytes = 128 * 1024;
+    unsigned tagBits = 40;      // the paper assumes 40b tags
+    unsigned ways = 16;         // prior-work sets
+    unsigned logBytes = 512;    // MORC logs
+    unsigned lmtFactor = 8;     // LMT provisioning (8x)
+    unsigned morcTagFactor = 2; // MORC separate tag store scale
+};
+
+/** Compute the five Table 4 columns. */
+std::vector<OverheadReport> table4Overheads(const OverheadParams &p = {});
+
+} // namespace cache
+} // namespace morc
+
+#endif // MORC_CACHE_OVERHEADS_HH

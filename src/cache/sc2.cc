@@ -1,0 +1,159 @@
+#include "cache/sc2.hh"
+
+#include <cassert>
+
+#include "util/rng.hh"
+
+namespace morc {
+namespace cache {
+
+Sc2Cache::Sc2Cache() : Sc2Cache(Config{}) {}
+
+Sc2Cache::Sc2Cache(const Config &cfg)
+    : cfg_(cfg), sampler_(cfg.dictionarySymbols)
+{
+    numSets_ = cfg.capacityBytes / kLineSize / cfg.ways;
+    assert(numSets_ >= 1 && isPow2(numSets_));
+    sets_.resize(numSets_);
+}
+
+std::uint64_t
+Sc2Cache::setOf(Addr addr) const
+{
+    return splitmix64(lineNumber(addr)) & (numSets_ - 1);
+}
+
+std::uint32_t
+Sc2Cache::lineBits(const CacheLine &data) const
+{
+    std::uint32_t bits = 0;
+    for (unsigned i = 0; i < kWordsPerLine; i++)
+        bits += table_.bitsFor(data.word32(i));
+    return bits;
+}
+
+void
+Sc2Cache::maybeRetrain()
+{
+    fillsSinceTrain_++;
+    if (!trained_) {
+        if (fillsSinceTrain_ >= cfg_.warmupFills) {
+            table_ = sampler_.train();
+            trained_ = true;
+            fillsSinceTrain_ = 0;
+        }
+        return;
+    }
+    if (fillsSinceTrain_ >= cfg_.retrainInterval) {
+        sampler_.decay();
+        table_ = sampler_.train();
+        retrainings_++;
+        fillsSinceTrain_ = 0;
+    }
+}
+
+ReadResult
+Sc2Cache::read(Addr addr)
+{
+    stats_.reads++;
+    ReadResult r;
+    Set &set = sets_[setOf(addr)];
+    const Addr tag = lineNumber(addr);
+    for (auto &line : set.lines) {
+        if (line.tag != tag)
+            continue;
+        stats_.readHits++;
+        r.hit = true;
+        r.data = line.data;
+        if (line.compressed) {
+            r.extraLatency = cfg_.decompressionLatency;
+            r.bytesDecompressed = kLineSize;
+            r.linesDecompressed = 1;
+            stats_.linesDecompressed++;
+            stats_.bytesDecompressed += kLineSize;
+        }
+        line.lastUse = ++useClock_;
+        return r;
+    }
+    return r;
+}
+
+FillResult
+Sc2Cache::insert(Addr addr, const CacheLine &data, bool dirty)
+{
+    stats_.inserts++;
+    FillResult result;
+    Set &set = sets_[setOf(addr)];
+    const Addr tag = lineNumber(addr);
+
+    sampler_.observe(data);
+    maybeRetrain();
+
+    const unsigned max_segments = kLineSize / cfg_.segmentBytes;
+    unsigned segments = max_segments;
+    bool compressed = false;
+    if (trained_) {
+        segments = static_cast<unsigned>(
+            divCeil(divCeil(lineBits(data), 8), cfg_.segmentBytes));
+        if (segments < max_segments) {
+            compressed = true;
+            stats_.linesCompressed++;
+            result.linesCompressed++;
+        } else {
+            segments = max_segments;
+        }
+    }
+
+    // Drop any stale copy, then make room.
+    for (auto it = set.lines.begin(); it != set.lines.end(); ++it) {
+        if (it->tag == tag) {
+            dirty |= it->dirty;
+            set.lines.erase(it);
+            valid_--;
+            break;
+        }
+    }
+
+    const unsigned budget = cfg_.ways * kLineSize / cfg_.segmentBytes;
+    const unsigned max_tags = cfg_.ways * cfg_.tagFactor;
+    auto used = [&] {
+        unsigned sum = 0;
+        for (const auto &l : set.lines)
+            sum += l.segments;
+        return sum;
+    };
+    while (used() + segments > budget || set.lines.size() + 1 > max_tags) {
+        auto victim = set.lines.begin();
+        for (auto it = set.lines.begin(); it != set.lines.end(); ++it) {
+            if (it->lastUse < victim->lastUse)
+                victim = it;
+        }
+        if (victim->dirty) {
+            result.writebacks.push_back(
+                {victim->tag << kLineShift, victim->data});
+            stats_.victimWritebacks++;
+            if (victim->compressed) {
+                result.linesDecompressed++;
+                result.bytesDecompressed += kLineSize;
+                stats_.linesDecompressed++;
+                stats_.bytesDecompressed += kLineSize;
+            }
+        }
+        set.lines.erase(victim);
+        valid_--;
+    }
+
+    LineEntry entry;
+    entry.tag = tag;
+    entry.dirty = dirty;
+    entry.compressed = compressed;
+    entry.segments = segments;
+    entry.lastUse = ++useClock_;
+    entry.data = data;
+    set.lines.push_back(entry);
+    valid_++;
+    return result;
+}
+
+} // namespace cache
+} // namespace morc

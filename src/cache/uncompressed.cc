@@ -1,0 +1,95 @@
+#include "cache/uncompressed.hh"
+
+#include <cassert>
+
+namespace morc {
+namespace cache {
+
+UncompressedCache::UncompressedCache(std::uint64_t capacity_bytes,
+                                     unsigned ways)
+    : capacity_(capacity_bytes), ways_(ways)
+{
+    numSets_ = capacity_bytes / kLineSize / ways;
+    assert(numSets_ >= 1 && isPow2(numSets_));
+    store_.resize(numSets_ * ways_);
+}
+
+std::uint64_t
+UncompressedCache::setOf(Addr addr) const
+{
+    // Hash the line number so multi-program address spaces (thread id in
+    // the upper bits) spread over the shared cache.
+    return splitmix64(lineNumber(addr)) & (numSets_ - 1);
+}
+
+UncompressedCache::Way *
+UncompressedCache::find(Addr addr)
+{
+    const std::uint64_t set = setOf(addr);
+    const Addr tag = lineNumber(addr);
+    for (unsigned w = 0; w < ways_; w++) {
+        Way &way = store_[set * ways_ + w];
+        if (way.valid && way.tag == tag)
+            return &way;
+    }
+    return nullptr;
+}
+
+ReadResult
+UncompressedCache::read(Addr addr)
+{
+    stats_.reads++;
+    ReadResult r;
+    Way *way = find(addr);
+    if (way) {
+        stats_.readHits++;
+        way->lastUse = ++useClock_;
+        r.hit = true;
+        r.data = way->data;
+    }
+    return r;
+}
+
+FillResult
+UncompressedCache::insert(Addr addr, const CacheLine &data, bool dirty)
+{
+    stats_.inserts++;
+    FillResult result;
+
+    if (Way *way = find(addr)) {
+        way->data = data;
+        way->dirty |= dirty;
+        way->lastUse = ++useClock_;
+        return result;
+    }
+
+    const std::uint64_t set = setOf(addr);
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < ways_; w++) {
+        Way &way = store_[set * ways_ + w];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (!victim || way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+    if (victim->valid) {
+        valid_--;
+        if (victim->dirty) {
+            result.writebacks.push_back(
+                {victim->tag << kLineShift, victim->data});
+            stats_.victimWritebacks++;
+        }
+    }
+    victim->tag = lineNumber(addr);
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->data = data;
+    victim->lastUse = ++useClock_;
+    valid_++;
+    return result;
+}
+
+} // namespace cache
+} // namespace morc

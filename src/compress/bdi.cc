@@ -1,0 +1,130 @@
+#include "compress/bdi.hh"
+
+namespace morc {
+namespace comp {
+
+namespace {
+
+/** Signed-delta fit test for base size @p bs and delta size @p ds. */
+template <typename Base>
+bool
+deltasFit(const CacheLine &line, unsigned delta_bytes)
+{
+    constexpr unsigned base_bytes = sizeof(Base);
+    const unsigned n = kLineSize / base_bytes;
+    Base base;
+    std::memcpy(&base, line.bytes.data(), base_bytes);
+    const std::int64_t lo = -(1ll << (8 * delta_bytes - 1));
+    const std::int64_t hi = (1ll << (8 * delta_bytes - 1)) - 1;
+    for (unsigned i = 0; i < n; i++) {
+        Base v;
+        std::memcpy(&v, line.bytes.data() + i * base_bytes, base_bytes);
+        const auto delta = static_cast<std::int64_t>(v) -
+                           static_cast<std::int64_t>(base);
+        if (delta < lo || delta > hi)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::uint32_t
+Bdi::encodingBits(BdiEncoding e)
+{
+    const auto payload = [&]() -> std::uint32_t {
+        switch (e) {
+          case BdiEncoding::Zero: return 0;
+          case BdiEncoding::Repeat64: return 64;
+          case BdiEncoding::B8D1: return 64 + 8 * 8;   // base + 8 deltas
+          case BdiEncoding::B8D2: return 64 + 8 * 16;
+          case BdiEncoding::B8D4: return 64 + 8 * 32;
+          case BdiEncoding::B4D1: return 32 + 16 * 8;
+          case BdiEncoding::B4D2: return 32 + 16 * 16;
+          case BdiEncoding::B2D1: return 16 + 32 * 8;
+          case BdiEncoding::Uncompressed: return kLineSize * 8;
+        }
+        return kLineSize * 8;
+    }();
+    return kHeaderBits + payload;
+}
+
+bool
+Bdi::fits(const CacheLine &line, BdiEncoding e)
+{
+    switch (e) {
+      case BdiEncoding::Zero:
+        return line.isZero();
+      case BdiEncoding::Repeat64: {
+        const std::uint64_t v = line.word64(0);
+        for (unsigned i = 1; i < kLineSize / 8; i++) {
+            if (line.word64(i) != v)
+                return false;
+        }
+        return true;
+      }
+      case BdiEncoding::B8D1:
+        return deltasFit<std::uint64_t>(line, 1);
+      case BdiEncoding::B8D2:
+        return deltasFit<std::uint64_t>(line, 2);
+      case BdiEncoding::B8D4:
+        return deltasFit<std::uint64_t>(line, 4);
+      case BdiEncoding::B4D1:
+        return deltasFit<std::uint32_t>(line, 1);
+      case BdiEncoding::B4D2:
+        return deltasFit<std::uint32_t>(line, 2);
+      case BdiEncoding::B2D1:
+        return deltasFit<std::uint16_t>(line, 1);
+      case BdiEncoding::Uncompressed:
+        return true;
+    }
+    return true;
+}
+
+BdiEncoding
+Bdi::bestEncoding(const CacheLine &line)
+{
+    // Candidates in ascending size order; first fit wins.
+    static const BdiEncoding kOrder[] = {
+        BdiEncoding::Zero,   BdiEncoding::Repeat64, BdiEncoding::B8D1,
+        BdiEncoding::B2D1,   BdiEncoding::B4D1,     BdiEncoding::B8D2,
+        BdiEncoding::B4D2,   BdiEncoding::B8D4,
+        BdiEncoding::Uncompressed,
+    };
+    BdiEncoding best = BdiEncoding::Uncompressed;
+    std::uint32_t best_bits = encodingBits(best);
+    for (BdiEncoding e : kOrder) {
+        const std::uint32_t bits = encodingBits(e);
+        if (bits < best_bits && fits(line, e)) {
+            best = e;
+            best_bits = bits;
+        }
+    }
+    return best;
+}
+
+std::uint32_t
+Bdi::lineBits(const CacheLine &line)
+{
+    return encodingBits(bestEncoding(line));
+}
+
+const char *
+Bdi::name(BdiEncoding e)
+{
+    switch (e) {
+      case BdiEncoding::Zero: return "zero";
+      case BdiEncoding::Repeat64: return "rep64";
+      case BdiEncoding::B8D1: return "b8d1";
+      case BdiEncoding::B8D2: return "b8d2";
+      case BdiEncoding::B8D4: return "b8d4";
+      case BdiEncoding::B4D1: return "b4d1";
+      case BdiEncoding::B4D2: return "b4d2";
+      case BdiEncoding::B2D1: return "b2d1";
+      case BdiEncoding::Uncompressed: return "raw";
+    }
+    return "?";
+}
+
+} // namespace comp
+} // namespace morc

@@ -1,0 +1,151 @@
+#include "compress/cpack.hh"
+
+#include <cassert>
+
+namespace morc {
+namespace comp {
+
+namespace {
+
+void
+putCodeBits(BitWriter *out, unsigned value, unsigned len)
+{
+    if (!out)
+        return;
+    for (int i = static_cast<int>(len) - 1; i >= 0; i--)
+        out->put((value >> i) & 1, 1);
+}
+
+} // namespace
+
+CpackEncoder::CpackEncoder(unsigned dict_bytes)
+    : capacity_(dict_bytes / 4), ptrBits_(ceilLog2(capacity_))
+{
+    assert(capacity_ >= 2);
+    dict_.reserve(capacity_);
+}
+
+std::uint32_t
+CpackEncoder::encode(const CacheLine &line, std::vector<std::uint32_t> &dict,
+                     BitWriter *out) const
+{
+    std::uint32_t bits = 0;
+    for (unsigned i = 0; i < kWordsPerLine; i++) {
+        const std::uint32_t w = line.word32(i);
+        if (w == 0) {
+            putCodeBits(out, 0b00, 2); // zzzz
+            bits += 2;
+            continue;
+        }
+        // Search the dictionary for full and partial matches; prefer the
+        // cheapest encoding.
+        int full = -1, m3 = -1, m2 = -1;
+        for (std::size_t d = 0; d < dict.size(); d++) {
+            const std::uint32_t e = dict[d];
+            if (e == w) {
+                full = static_cast<int>(d);
+                break;
+            }
+            if (m3 < 0 && (e >> 8) == (w >> 8))
+                m3 = static_cast<int>(d);
+            else if (m2 < 0 && (e >> 16) == (w >> 16))
+                m2 = static_cast<int>(d);
+        }
+        if (full >= 0) {
+            putCodeBits(out, 0b10, 2); // mmmm
+            if (out)
+                out->put(static_cast<unsigned>(full), ptrBits_);
+            bits += 2 + ptrBits_;
+            continue;
+        }
+        if ((w & 0xffffff00u) == 0) {
+            putCodeBits(out, 0b1101, 4); // zzzx
+            if (out)
+                out->put(w & 0xff, 8);
+            bits += 4 + 8;
+        } else if (m3 >= 0) {
+            putCodeBits(out, 0b1110, 4); // mmmx
+            if (out) {
+                out->put(static_cast<unsigned>(m3), ptrBits_);
+                out->put(w & 0xff, 8);
+            }
+            bits += 4 + ptrBits_ + 8;
+        } else if (m2 >= 0) {
+            putCodeBits(out, 0b1100, 4); // mmxx
+            if (out) {
+                out->put(static_cast<unsigned>(m2), ptrBits_);
+                out->put(w & 0xffff, 16);
+            }
+            bits += 4 + ptrBits_ + 16;
+        } else {
+            putCodeBits(out, 0b01, 2); // xxxx
+            if (out)
+                out->put(w, 32);
+            bits += 2 + 32;
+        }
+        // Unmatched and partially matched words enter the dictionary
+        // until it freezes.
+        if (dict.size() < capacity_)
+            dict.push_back(w);
+    }
+    return bits;
+}
+
+std::uint32_t
+CpackEncoder::append(const CacheLine &line, BitWriter *out)
+{
+    return encode(line, dict_, out);
+}
+
+std::uint32_t
+CpackEncoder::measure(const CacheLine &line) const
+{
+    std::vector<std::uint32_t> copy = dict_;
+    return encode(line, copy, nullptr);
+}
+
+CpackDecoder::CpackDecoder(unsigned dict_bytes)
+    : capacity_(dict_bytes / 4), ptrBits_(ceilLog2(capacity_))
+{}
+
+CacheLine
+CpackDecoder::decodeLine(BitReader &in)
+{
+    CacheLine line;
+    for (unsigned i = 0; i < kWordsPerLine; i++) {
+        std::uint32_t w;
+        bool push = false;
+        if (in.get(1) == 0) {
+            if (in.get(1) == 0) { // zzzz
+                w = 0;
+            } else { // xxxx
+                w = static_cast<std::uint32_t>(in.get(32));
+                push = true;
+            }
+        } else if (in.get(1) == 0) { // mmmm
+            w = dict_[in.get(ptrBits_)];
+        } else if (in.get(1) == 0) { // 110x
+            if (in.get(1) == 0) { // mmxx
+                const std::uint32_t base = dict_[in.get(ptrBits_)];
+                w = (base & 0xffff0000u) |
+                    static_cast<std::uint32_t>(in.get(16));
+                push = true;
+            } else { // zzzx
+                w = static_cast<std::uint32_t>(in.get(8));
+                push = true;
+            }
+        } else { // mmmx (1110)
+            in.get(1); // consume the trailing 0 of the 4-bit code
+            const std::uint32_t base = dict_[in.get(ptrBits_)];
+            w = (base & 0xffffff00u) | static_cast<std::uint32_t>(in.get(8));
+            push = true;
+        }
+        if (push && dict_.size() < capacity_)
+            dict_.push_back(w);
+        line.setWord32(i, w);
+    }
+    return line;
+}
+
+} // namespace morc::comp
+} // namespace morc

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * C-Pack cache compression (Chen et al., TVLSI 2010), used as the line
+ * compressor of the Adaptive and Decoupled baselines (per Section 4 of
+ * the MORC paper, both prior schemes are evaluated with C-Pack).
+ *
+ * C-Pack scans 32-bit words against a small FIFO dictionary and emits
+ * one of six patterns:
+ *
+ *   zzzz 00          (word is zero)
+ *   xxxx 01   + 32b  (uncompressed; word pushed into dictionary)
+ *   mmmm 10   + ptr  (full match)
+ *   mmxx 1100 + ptr + 16b (upper half matches)
+ *   zzzx 1101 + 8b   (three zero bytes, one literal byte)
+ *   mmmx 1110 + ptr + 8b  (upper three bytes match)
+ *
+ * Partially matching and unmatched words are pushed into the dictionary
+ * until it fills (the dictionary is then frozen). The class supports both
+ * per-line use (dictionary reset per line, as set-based compressed caches
+ * require) and streaming use.
+ */
+
+#ifndef MORC_COMPRESS_CPACK_HH
+#define MORC_COMPRESS_CPACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitstream.hh"
+#include "util/types.hh"
+
+namespace morc {
+namespace comp {
+
+/** Streaming/per-line C-Pack codec. */
+class CpackEncoder
+{
+  public:
+    /** @param dict_bytes Dictionary capacity (64 B in the original). */
+    explicit CpackEncoder(unsigned dict_bytes = 64);
+
+    /** Compress one line, updating the dictionary. @return bits used. */
+    std::uint32_t append(const CacheLine &line, BitWriter *out = nullptr);
+
+    /** Measure without mutating (trial compression). */
+    std::uint32_t measure(const CacheLine &line) const;
+
+    /**
+     * Per-line convenience: compressed bits of @p line with a fresh
+     * dictionary, as a set-based cache would store it.
+     */
+    static std::uint32_t
+    lineBits(const CacheLine &line, unsigned dict_bytes = 64)
+    {
+        CpackEncoder enc(dict_bytes);
+        return enc.append(line);
+    }
+
+    void reset() { dict_.clear(); }
+
+    unsigned ptrBits() const { return ptrBits_; }
+    unsigned capacity() const { return capacity_; }
+
+  private:
+    std::uint32_t encode(const CacheLine &line,
+                         std::vector<std::uint32_t> &dict,
+                         BitWriter *out) const;
+
+    unsigned capacity_;
+    unsigned ptrBits_;
+    std::vector<std::uint32_t> dict_;
+};
+
+/** Decoder counterpart; exists to prove the stream is reconstructible. */
+class CpackDecoder
+{
+  public:
+    explicit CpackDecoder(unsigned dict_bytes = 64);
+
+    CacheLine decodeLine(BitReader &in);
+
+    void reset() { dict_.clear(); }
+
+  private:
+    unsigned capacity_;
+    unsigned ptrBits_;
+    std::vector<std::uint32_t> dict_;
+};
+
+} // namespace comp
+} // namespace morc
+
+#endif // MORC_COMPRESS_CPACK_HH

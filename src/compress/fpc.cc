@@ -1,0 +1,155 @@
+#include "compress/fpc.hh"
+
+namespace morc {
+namespace comp {
+
+namespace {
+
+/** True when @p w equals sign-extension of its low @p bits bits. */
+bool
+fitsSigned(std::uint32_t w, unsigned bits)
+{
+    const auto s = static_cast<std::int32_t>(w);
+    const std::int32_t lo = -(1 << (bits - 1));
+    const std::int32_t hi = (1 << (bits - 1)) - 1;
+    return s >= lo && s <= hi;
+}
+
+} // namespace
+
+std::uint32_t
+Fpc::lineBits(const CacheLine &line, BitWriter *out)
+{
+    std::uint32_t bits = 0;
+    unsigned i = 0;
+    while (i < kWordsPerLine) {
+        const std::uint32_t w = line.word32(i);
+        if (w == 0) {
+            // Zero run, up to 8 words.
+            unsigned run = 1;
+            while (run < 8 && i + run < kWordsPerLine &&
+                   line.word32(i + run) == 0) {
+                run++;
+            }
+            if (out) {
+                out->put(0b000, 3);
+                out->put(run - 1, 3);
+            }
+            bits += 6;
+            i += run;
+            continue;
+        }
+        const std::uint16_t hi16 = static_cast<std::uint16_t>(w >> 16);
+        const std::uint16_t lo16 = static_cast<std::uint16_t>(w);
+        const std::uint8_t b0 = static_cast<std::uint8_t>(w);
+        if (fitsSigned(w, 4)) {
+            if (out) {
+                out->put(0b001, 3);
+                out->put(w & 0xf, 4);
+            }
+            bits += 3 + 4;
+        } else if (fitsSigned(w, 8)) {
+            if (out) {
+                out->put(0b010, 3);
+                out->put(w & 0xff, 8);
+            }
+            bits += 3 + 8;
+        } else if (fitsSigned(w, 16)) {
+            if (out) {
+                out->put(0b011, 3);
+                out->put(w & 0xffff, 16);
+            }
+            bits += 3 + 16;
+        } else if (lo16 == 0) {
+            if (out) {
+                out->put(0b100, 3);
+                out->put(hi16, 16);
+            }
+            bits += 3 + 16;
+        } else if (fitsSigned(hi16, 8) && fitsSigned(lo16, 8)) {
+            if (out) {
+                out->put(0b101, 3);
+                out->put(hi16 & 0xff, 8);
+                out->put(lo16 & 0xff, 8);
+            }
+            bits += 3 + 16;
+        } else if (b0 == static_cast<std::uint8_t>(w >> 8) &&
+                   b0 == static_cast<std::uint8_t>(w >> 16) &&
+                   b0 == static_cast<std::uint8_t>(w >> 24)) {
+            if (out) {
+                out->put(0b110, 3);
+                out->put(b0, 8);
+            }
+            bits += 3 + 8;
+        } else {
+            if (out) {
+                out->put(0b111, 3);
+                out->put(w, 32);
+            }
+            bits += 3 + 32;
+        }
+        i++;
+    }
+    return bits;
+}
+
+CacheLine
+Fpc::decodeLine(BitReader &in)
+{
+    CacheLine line;
+    unsigned i = 0;
+    const auto signExtend = [](std::uint32_t v, unsigned bits) {
+        const std::uint32_t m = 1u << (bits - 1);
+        return (v ^ m) - m;
+    };
+    while (i < kWordsPerLine) {
+        const unsigned prefix = static_cast<unsigned>(in.get(3));
+        switch (prefix) {
+          case 0b000: {
+            const unsigned run = static_cast<unsigned>(in.get(3)) + 1;
+            for (unsigned r = 0; r < run; r++)
+                line.setWord32(i++, 0);
+            break;
+          }
+          case 0b001:
+            line.setWord32(
+                i++, signExtend(static_cast<std::uint32_t>(in.get(4)), 4));
+            break;
+          case 0b010:
+            line.setWord32(
+                i++, signExtend(static_cast<std::uint32_t>(in.get(8)), 8));
+            break;
+          case 0b011:
+            line.setWord32(
+                i++,
+                signExtend(static_cast<std::uint32_t>(in.get(16)), 16));
+            break;
+          case 0b100:
+            line.setWord32(
+                i++, static_cast<std::uint32_t>(in.get(16)) << 16);
+            break;
+          case 0b101: {
+            const auto hi = signExtend(
+                                static_cast<std::uint32_t>(in.get(8)), 8) &
+                            0xffffu;
+            const auto lo = signExtend(
+                                static_cast<std::uint32_t>(in.get(8)), 8) &
+                            0xffffu;
+            line.setWord32(i++, (hi << 16) | lo);
+            break;
+          }
+          case 0b110: {
+            const auto b = static_cast<std::uint32_t>(in.get(8));
+            line.setWord32(i++, b * 0x01010101u);
+            break;
+          }
+          default:
+            line.setWord32(i++, static_cast<std::uint32_t>(in.get(32)));
+            break;
+        }
+    }
+    return line;
+}
+
+} // namespace comp
+} // namespace morc

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Frequent Pattern Compression (Alameldeen & Wood, 2004).
+ *
+ * FPC is strictly intra-line: each 32-bit word is encoded with a 3-bit
+ * prefix selecting one of eight patterns. The original Adaptive cache
+ * used FPC; the MORC paper evaluates Adaptive with C-Pack "for fairness"
+ * but reports FPC performs similarly. We implement it both for
+ * completeness and as an ablation compressor.
+ *
+ *   000 zero-word run (3-bit run length, up to 8 words)
+ *   001 4-bit sign-extended
+ *   010 8-bit sign-extended
+ *   011 16-bit sign-extended
+ *   100 16-bit padded with a zero halfword (data in the upper half)
+ *   101 two halfwords, each a sign-extended byte
+ *   110 word of four repeated bytes
+ *   111 uncompressed word
+ */
+
+#ifndef MORC_COMPRESS_FPC_HH
+#define MORC_COMPRESS_FPC_HH
+
+#include <cstdint>
+
+#include "util/bitstream.hh"
+#include "util/types.hh"
+
+namespace morc {
+namespace comp {
+
+/** Stateless per-line FPC codec. */
+class Fpc
+{
+  public:
+    /** Compressed size of @p line in bits. */
+    static std::uint32_t lineBits(const CacheLine &line,
+                                  BitWriter *out = nullptr);
+
+    /** Decode one line previously produced by lineBits(). */
+    static CacheLine decodeLine(BitReader &in);
+};
+
+} // namespace comp
+} // namespace morc
+
+#endif // MORC_COMPRESS_FPC_HH

@@ -1,0 +1,209 @@
+#include "compress/huffman.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace morc {
+namespace comp {
+
+namespace {
+
+/** Hardware decoders want bounded code length; SC2 uses short codes. */
+constexpr unsigned kMaxCodeLen = 24;
+
+/**
+ * Compute Huffman code lengths for the given weights. Returns one length
+ * per input weight. Standard two-queue/heap construction.
+ */
+std::vector<unsigned>
+huffmanLengths(const std::vector<std::uint64_t> &weights)
+{
+    const std::size_t n = weights.size();
+    std::vector<unsigned> lengths(n, 0);
+    if (n == 0)
+        return lengths;
+    if (n == 1) {
+        lengths[0] = 1;
+        return lengths;
+    }
+
+    struct HeapItem
+    {
+        std::uint64_t weight;
+        std::uint32_t node;
+        bool operator>(const HeapItem &o) const
+        {
+            return weight != o.weight ? weight > o.weight : node > o.node;
+        }
+    };
+
+    // parent links over 2n-1 nodes; leaves are [0, n).
+    std::vector<std::uint32_t> parent(2 * n - 1, 0);
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<HeapItem>>
+        heap;
+    for (std::size_t i = 0; i < n; i++)
+        heap.push({weights[i] == 0 ? 1 : weights[i],
+                   static_cast<std::uint32_t>(i)});
+    std::uint32_t next = static_cast<std::uint32_t>(n);
+    while (heap.size() > 1) {
+        const HeapItem a = heap.top();
+        heap.pop();
+        const HeapItem b = heap.top();
+        heap.pop();
+        parent[a.node] = next;
+        parent[b.node] = next;
+        heap.push({a.weight + b.weight, next});
+        next++;
+    }
+    const std::uint32_t root = next - 1;
+    for (std::size_t i = 0; i < n; i++) {
+        unsigned len = 0;
+        std::uint32_t node = static_cast<std::uint32_t>(i);
+        while (node != root) {
+            node = parent[node];
+            len++;
+        }
+        lengths[i] = len;
+    }
+    return lengths;
+}
+
+} // namespace
+
+HuffmanTable
+HuffmanTable::build(
+    const std::unordered_map<std::uint32_t, std::uint64_t> &freqs,
+    unsigned max_symbols)
+{
+    HuffmanTable t;
+    if (freqs.empty()) {
+        t.escapeLen_ = 0; // untrained: plain 32-bit literals
+        return t;
+    }
+
+    // Keep the most frequent values.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> top(freqs.begin(),
+                                                             freqs.end());
+    std::sort(top.begin(), top.end(), [](const auto &a, const auto &b) {
+        return a.second != b.second ? a.second > b.second
+                                    : a.first < b.first;
+    });
+    if (top.size() > max_symbols)
+        top.resize(max_symbols);
+
+    // Escape weight: everything that fell off the top list.
+    std::uint64_t escape_weight = 1;
+    for (const auto &kv : freqs)
+        escape_weight += kv.second;
+    for (const auto &kv : top)
+        escape_weight -= kv.second;
+
+    std::vector<std::uint64_t> weights;
+    weights.reserve(top.size() + 1);
+    for (const auto &kv : top)
+        weights.push_back(kv.second);
+    weights.push_back(escape_weight);
+
+    // Length-limit by flattening weights until the deepest code fits.
+    std::vector<unsigned> lengths = huffmanLengths(weights);
+    while (*std::max_element(lengths.begin(), lengths.end()) > kMaxCodeLen) {
+        for (auto &w : weights)
+            w = w / 2 + 1;
+        lengths = huffmanLengths(weights);
+    }
+
+    // Canonical code assignment: sort symbols by (length, insertion
+    // order); insertion order is deterministic (sorted by frequency).
+    const std::size_t n = weights.size();
+    std::vector<std::uint32_t> order(n);
+    for (std::size_t i = 0; i < n; i++)
+        order[i] = static_cast<std::uint32_t>(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return lengths[a] < lengths[b];
+                     });
+
+    const unsigned max_len =
+        *std::max_element(lengths.begin(), lengths.end());
+    t.firstCode_.assign(max_len + 1, 0);
+    t.firstSymbol_.assign(max_len + 1, 0);
+    std::vector<std::uint32_t> count(max_len + 1, 0);
+    for (unsigned l : lengths)
+        count[l]++;
+
+    std::uint32_t code = 0;
+    std::uint32_t sym_index = 0;
+    for (unsigned len = 1; len <= max_len; len++) {
+        t.firstCode_[len] = code;
+        t.firstSymbol_[len] = sym_index;
+        code = (code + count[len]) << 1;
+        sym_index += count[len];
+    }
+
+    t.countOfLen_.resize(n);
+    t.valueOfSymbol_.resize(n);
+    std::vector<std::uint32_t> next_of_len(max_len + 1, 0);
+    for (std::uint32_t idx : order) {
+        const unsigned len = lengths[idx];
+        const std::uint32_t pos =
+            t.firstSymbol_[len] + next_of_len[len]++;
+        const std::uint32_t cw =
+            t.firstCode_[len] + (pos - t.firstSymbol_[len]);
+        if (idx == n - 1) { // escape
+            t.escapeSymbolIndex_ = pos;
+            t.escape_ = {cw, static_cast<std::uint8_t>(len)};
+            t.escapeLen_ = len;
+            t.valueOfSymbol_[pos] = 0;
+        } else {
+            const std::uint32_t value = top[idx].first;
+            t.codes_[value] = {cw, static_cast<std::uint8_t>(len)};
+            t.codeLen_[value] = len;
+            t.valueOfSymbol_[pos] = value;
+        }
+    }
+    // Lengths table reused during decode: encode count per length.
+    t.countOfLen_ = count;
+    return t;
+}
+
+void
+HuffmanTable::encode(std::uint32_t w, BitWriter &out) const
+{
+    if (escapeLen_ == 0 && codes_.empty()) { // untrained table
+        out.put(w, 32);
+        return;
+    }
+    auto it = codes_.find(w);
+    const CodeWord cw = it != codes_.end() ? it->second : escape_;
+    for (int i = cw.len - 1; i >= 0; i--)
+        out.put((cw.bits >> i) & 1, 1);
+    if (it == codes_.end())
+        out.put(w, 32);
+}
+
+std::uint32_t
+HuffmanTable::decode(BitReader &in) const
+{
+    if (escapeLen_ == 0 && codes_.empty())
+        return static_cast<std::uint32_t>(in.get(32));
+    std::uint32_t code = 0;
+    for (unsigned len = 1; len < firstCode_.size(); len++) {
+        code = (code << 1) | static_cast<std::uint32_t>(in.get(1));
+        const std::uint32_t cnt = countOfLen_[len];
+        if (cnt != 0 && code >= firstCode_[len] &&
+            code - firstCode_[len] < cnt) {
+            const std::uint32_t pos =
+                firstSymbol_[len] + (code - firstCode_[len]);
+            if (pos == escapeSymbolIndex_)
+                return static_cast<std::uint32_t>(in.get(32));
+            return valueOfSymbol_[pos];
+        }
+    }
+    assert(false && "invalid Huffman stream");
+    return 0;
+}
+
+} // namespace comp
+} // namespace morc

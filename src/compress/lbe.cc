@@ -1,0 +1,594 @@
+#include "compress/lbe.hh"
+
+#include <cassert>
+
+namespace morc {
+namespace comp {
+
+namespace {
+
+/** Prefix codes from Table 3, written MSB-first so a decoder can walk
+ *  the code trie bit by bit. */
+struct Code
+{
+    std::uint8_t value;
+    std::uint8_t len;
+};
+
+constexpr Code kCodeU32{0b00, 2};
+constexpr Code kCodeM32{0b01, 2};
+constexpr Code kCodeU16{0b100, 3};
+constexpr Code kCodeZ32{0b1010, 4};
+constexpr Code kCodeU8{0b1011, 4};
+constexpr Code kCodeM64{0b1100, 4};
+constexpr Code kCodeZ64{0b1101, 4};
+constexpr Code kCodeM128{0b11100, 5};
+constexpr Code kCodeZ128{0b11101, 5};
+constexpr Code kCodeM256{0b11110, 5};
+constexpr Code kCodeZ256{0b11111, 5};
+
+void
+putCode(BitWriter *out, Code c)
+{
+    if (!out)
+        return;
+    for (int i = c.len - 1; i >= 0; i--)
+        out->put((c.value >> i) & 1, 1);
+}
+
+void
+putOperand(BitWriter *out, std::uint64_t v, unsigned bits)
+{
+    if (out)
+        out->put(v, bits);
+}
+
+} // namespace
+
+const char *
+LbeStats::name(LbeSymbol s)
+{
+    switch (s) {
+      case LbeSymbol::U32: return "u32";
+      case LbeSymbol::M32: return "m32";
+      case LbeSymbol::Z32: return "z32";
+      case LbeSymbol::U8: return "u8";
+      case LbeSymbol::U16: return "u16";
+      case LbeSymbol::M64: return "m64";
+      case LbeSymbol::Z64: return "z64";
+      case LbeSymbol::M128: return "m128";
+      case LbeSymbol::Z128: return "z128";
+      case LbeSymbol::M256: return "m256";
+      case LbeSymbol::Z256: return "z256";
+      default: return "?";
+    }
+}
+
+LbeEncoder::LbeEncoder(const LbeConfig &cfg) : cfg_(cfg)
+{
+    assert(cfg_.entries32() >= 2);
+}
+
+void
+LbeEncoder::reset()
+{
+    values32_.clear();
+    map32_.clear();
+    nodes64_.clear();
+    nodes128_.clear();
+    nodes256_.clear();
+    map64_.clear();
+    map128_.clear();
+    map256_.clear();
+}
+
+std::uint32_t
+LbeEncoder::lookup32(std::uint32_t w, const Overlay &ov) const
+{
+    if (w == 0)
+        return kZeroIdx;
+    auto it = map32_.find(w);
+    if (it != map32_.end())
+        return it->second;
+    for (std::size_t i = 0; i < ov.words.size(); i++) {
+        if (ov.words[i] == w)
+            return static_cast<std::uint32_t>(values32_.size() + i + 1);
+    }
+    return kNoIdx;
+}
+
+std::uint32_t
+LbeEncoder::insert32(std::uint32_t w, Overlay &ov) const
+{
+    const std::uint32_t found = lookup32(w, ov);
+    if (found != kNoIdx)
+        return found;
+    const std::size_t total = values32_.size() + ov.words.size();
+    if (total + 1 >= cfg_.entries32()) // index 0 is reserved for zero
+        return kNoIdx;
+    ov.words.push_back(w);
+    return static_cast<std::uint32_t>(total + 1);
+}
+
+std::uint32_t
+LbeEncoder::lookupNode(const Node &n,
+                       const std::unordered_map<Node, std::uint32_t,
+                                                NodeHash> &map,
+                       const std::vector<Node> &pending,
+                       std::uint32_t committed, unsigned cap) const
+{
+    (void)cap;
+    if (n.left == kNoIdx || n.right == kNoIdx)
+        return kNoIdx;
+    if (n.left == kZeroIdx && n.right == kZeroIdx)
+        return kZeroIdx;
+    auto it = map.find(n);
+    if (it != map.end())
+        return it->second;
+    for (std::size_t i = 0; i < pending.size(); i++) {
+        if (pending[i] == n)
+            return committed + static_cast<std::uint32_t>(i) + 1;
+    }
+    return kNoIdx;
+}
+
+std::uint32_t
+LbeEncoder::insertNode(const Node &n, std::vector<Node> &pending,
+                       std::uint32_t committed, unsigned cap) const
+{
+    if (n.left == kNoIdx || n.right == kNoIdx)
+        return kNoIdx;
+    const std::size_t total = committed + pending.size();
+    if (total >= cap)
+        return kNoIdx;
+    pending.push_back(n);
+    return static_cast<std::uint32_t>(total + 1);
+}
+
+std::uint32_t
+LbeEncoder::encodeLine(const CacheLine &line, Overlay &ov, BitWriter *out,
+                       LbeStats *stats) const
+{
+    std::uint32_t bits = 0;
+    const auto note = [&](LbeSymbol s, bool zero) {
+        if (stats)
+            stats->add(s, zero);
+    };
+
+    // Two 256-bit chunks per 64-byte line.
+    for (unsigned chunk = 0; chunk < 2; chunk++) {
+        std::uint32_t w[8];
+        bool zero[8];
+        bool allZero = true;
+        for (unsigned i = 0; i < 8; i++) {
+            w[i] = line.word32(chunk * 8 + i);
+            zero[i] = w[i] == 0;
+            allZero &= zero[i];
+        }
+
+        if (allZero) {
+            putCode(out, kCodeZ256);
+            bits += kCodeZ256.len;
+            note(LbeSymbol::Z256, true);
+            continue;
+        }
+
+        // Content indices for match checks at >=64-bit granularity.
+        // These reflect state at the start of the chunk plus earlier
+        // overlay insertions; tree nodes for this chunk are only
+        // allocated after it is fully encoded.
+        std::uint32_t c32[8], c64[4], c128[2];
+        for (unsigned i = 0; i < 8; i++)
+            c32[i] = zero[i] ? kZeroIdx : lookup32(w[i], ov);
+        for (unsigned q = 0; q < 4; q++) {
+            c64[q] = lookupNode({c32[2 * q], c32[2 * q + 1]}, map64_,
+                                ov.nodes64,
+                                static_cast<std::uint32_t>(nodes64_.size()),
+                                cfg_.nodes64);
+        }
+        for (unsigned h = 0; h < 2; h++) {
+            c128[h] = lookupNode({c64[2 * h], c64[2 * h + 1]}, map128_,
+                                 ov.nodes128,
+                                 static_cast<std::uint32_t>(nodes128_.size()),
+                                 cfg_.nodes128);
+        }
+        const std::uint32_t c256 =
+            lookupNode({c128[0], c128[1]}, map256_, ov.nodes256,
+                       static_cast<std::uint32_t>(nodes256_.size()),
+                       cfg_.nodes256);
+
+        if (c256 != kNoIdx) {
+            putCode(out, kCodeM256);
+            putOperand(out, c256, cfg_.ptrBits256());
+            bits += kCodeM256.len + cfg_.ptrBits256();
+            note(LbeSymbol::M256, false);
+            continue; // matched: no tree-node allocation for this chunk
+        }
+
+        // Coverage bookkeeping for post-chunk node allocation. An index
+        // of kNoIdx in idx64/idx128 means the sub-chunk has no usable
+        // dictionary identity yet.
+        std::uint32_t idx64[4], idx128[2];
+        bool descended64[4] = {false, false, false, false};
+        bool descended128[2] = {false, false};
+
+        for (unsigned h = 0; h < 2; h++) {
+            const bool zero128 =
+                zero[4 * h] && zero[4 * h + 1] && zero[4 * h + 2] &&
+                zero[4 * h + 3];
+            if (zero128) {
+                putCode(out, kCodeZ128);
+                bits += kCodeZ128.len;
+                note(LbeSymbol::Z128, true);
+                idx128[h] = kZeroIdx;
+                continue;
+            }
+            if (c128[h] != kNoIdx) {
+                putCode(out, kCodeM128);
+                putOperand(out, c128[h], cfg_.ptrBits128());
+                bits += kCodeM128.len + cfg_.ptrBits128();
+                note(LbeSymbol::M128, false);
+                idx128[h] = c128[h];
+                continue;
+            }
+            descended128[h] = true;
+            for (unsigned qq = 0; qq < 2; qq++) {
+                const unsigned q = 2 * h + qq;
+                const bool zero64 = zero[2 * q] && zero[2 * q + 1];
+                if (zero64) {
+                    putCode(out, kCodeZ64);
+                    bits += kCodeZ64.len;
+                    note(LbeSymbol::Z64, true);
+                    idx64[q] = kZeroIdx;
+                    continue;
+                }
+                if (c64[q] != kNoIdx) {
+                    putCode(out, kCodeM64);
+                    putOperand(out, c64[q], cfg_.ptrBits64());
+                    bits += kCodeM64.len + cfg_.ptrBits64();
+                    note(LbeSymbol::M64, false);
+                    idx64[q] = c64[q];
+                    continue;
+                }
+                descended64[q] = true;
+                for (unsigned ww = 0; ww < 2; ww++) {
+                    const unsigned i = 2 * q + ww;
+                    if (zero[i]) {
+                        putCode(out, kCodeZ32);
+                        bits += kCodeZ32.len;
+                        note(LbeSymbol::Z32, true);
+                        continue;
+                    }
+                    // Emit-time lookup: words inserted earlier in this
+                    // very line are already visible (C-Pack-style
+                    // immediate insertion).
+                    const std::uint32_t m = lookup32(w[i], ov);
+                    if (m != kNoIdx) {
+                        putCode(out, kCodeM32);
+                        putOperand(out, m, cfg_.ptrBits32());
+                        bits += kCodeM32.len + cfg_.ptrBits32();
+                        note(LbeSymbol::M32, false);
+                        continue;
+                    }
+                    insert32(w[i], ov);
+                    if (w[i] < 0x100u) {
+                        putCode(out, kCodeU8);
+                        putOperand(out, w[i], 8);
+                        bits += kCodeU8.len + 8;
+                        note(LbeSymbol::U8, false);
+                    } else if (w[i] < 0x10000u) {
+                        putCode(out, kCodeU16);
+                        putOperand(out, w[i], 16);
+                        bits += kCodeU16.len + 16;
+                        note(LbeSymbol::U16, false);
+                    } else {
+                        putCode(out, kCodeU32);
+                        putOperand(out, w[i], 32);
+                        bits += kCodeU32.len + 32;
+                        note(LbeSymbol::U32, false);
+                    }
+                }
+            }
+        }
+
+        // Post-chunk tree-node allocation for the sub-chunks that
+        // failed to match (Section 3.2.5).
+        for (unsigned q = 0; q < 4; q++) {
+            if (!descended128[q / 2] || !descended64[q])
+                continue;
+            const Node n{zero[2 * q] ? kZeroIdx : lookup32(w[2 * q], ov),
+                         zero[2 * q + 1] ? kZeroIdx
+                                         : lookup32(w[2 * q + 1], ov)};
+            idx64[q] = lookupNode(
+                n, map64_, ov.nodes64,
+                static_cast<std::uint32_t>(nodes64_.size()), cfg_.nodes64);
+            if (idx64[q] == kNoIdx) {
+                idx64[q] = insertNode(
+                    n, ov.nodes64,
+                    static_cast<std::uint32_t>(nodes64_.size()),
+                    cfg_.nodes64);
+            }
+        }
+        for (unsigned h = 0; h < 2; h++) {
+            if (!descended128[h])
+                continue;
+            const Node n{idx64[2 * h], idx64[2 * h + 1]};
+            idx128[h] = lookupNode(
+                n, map128_, ov.nodes128,
+                static_cast<std::uint32_t>(nodes128_.size()), cfg_.nodes128);
+            if (idx128[h] == kNoIdx) {
+                idx128[h] = insertNode(
+                    n, ov.nodes128,
+                    static_cast<std::uint32_t>(nodes128_.size()),
+                    cfg_.nodes128);
+            }
+        }
+        {
+            const Node n{idx128[0], idx128[1]};
+            if (lookupNode(n, map256_, ov.nodes256,
+                           static_cast<std::uint32_t>(nodes256_.size()),
+                           cfg_.nodes256) == kNoIdx) {
+                insertNode(n, ov.nodes256,
+                           static_cast<std::uint32_t>(nodes256_.size()),
+                           cfg_.nodes256);
+            }
+        }
+    }
+    return bits;
+}
+
+void
+LbeEncoder::commit(const Overlay &ov)
+{
+    for (std::uint32_t w : ov.words) {
+        values32_.push_back(w);
+        map32_.emplace(w, static_cast<std::uint32_t>(values32_.size()));
+    }
+    for (const Node &n : ov.nodes64) {
+        nodes64_.push_back(n);
+        map64_.emplace(n, static_cast<std::uint32_t>(nodes64_.size()));
+    }
+    for (const Node &n : ov.nodes128) {
+        nodes128_.push_back(n);
+        map128_.emplace(n, static_cast<std::uint32_t>(nodes128_.size()));
+    }
+    for (const Node &n : ov.nodes256) {
+        nodes256_.push_back(n);
+        map256_.emplace(n, static_cast<std::uint32_t>(nodes256_.size()));
+    }
+}
+
+std::uint32_t
+LbeEncoder::measure(const CacheLine &line) const
+{
+    Overlay ov;
+    return encodeLine(line, ov, nullptr, nullptr);
+}
+
+std::uint32_t
+LbeEncoder::append(const CacheLine &line, BitWriter *out)
+{
+    Overlay ov;
+    const std::uint32_t bits = encodeLine(line, ov, out, &stats_);
+    commit(ov);
+    return bits;
+}
+
+// ---------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------
+
+LbeDecoder::LbeDecoder(const LbeConfig &cfg) : cfg_(cfg) {}
+
+void
+LbeDecoder::reset()
+{
+    values32_.clear();
+    map32_.clear();
+    for (int l = 0; l < 3; l++) {
+        nodes_[l].clear();
+        nodeMap_[l].clear();
+    }
+}
+
+std::uint32_t
+LbeDecoder::value32(std::uint32_t idx) const
+{
+    return idx == 0 ? 0u : values32_[idx - 1];
+}
+
+void
+LbeDecoder::gather(unsigned level, std::uint32_t idx,
+                   std::uint32_t *out) const
+{
+    const unsigned words = 2u << level; // 2, 4, 8 words
+    if (idx == 0) {
+        for (unsigned i = 0; i < words; i++)
+            out[i] = 0;
+        return;
+    }
+    const std::uint64_t packed = nodes_[level][idx - 1];
+    const std::uint32_t left = static_cast<std::uint32_t>(packed >> 32);
+    const std::uint32_t right = static_cast<std::uint32_t>(packed);
+    if (level == 0) {
+        out[0] = value32(left);
+        out[1] = value32(right);
+    } else {
+        gather(level - 1, left, out);
+        gather(level - 1, right, out + words / 2);
+    }
+}
+
+CacheLine
+LbeDecoder::decodeLine(BitReader &in)
+{
+    CacheLine line;
+
+    const auto nodeKey = [](std::uint32_t l, std::uint32_t r) {
+        return (static_cast<std::uint64_t>(l) << 32) | r;
+    };
+    constexpr std::uint32_t noIdx = ~0u;
+
+    const auto lookupOrInsertNode = [&](unsigned level, std::uint32_t l,
+                                        std::uint32_t r,
+                                        unsigned cap) -> std::uint32_t {
+        if (l == noIdx || r == noIdx)
+            return noIdx;
+        if (l == 0 && r == 0)
+            return 0;
+        const std::uint64_t key = nodeKey(l, r);
+        auto it = nodeMap_[level].find(key);
+        if (it != nodeMap_[level].end())
+            return it->second;
+        if (nodes_[level].size() >= cap)
+            return noIdx;
+        nodes_[level].push_back(key);
+        const auto idx = static_cast<std::uint32_t>(nodes_[level].size());
+        nodeMap_[level].emplace(key, idx);
+        return idx;
+    };
+
+    for (unsigned chunk = 0; chunk < 2; chunk++) {
+        std::uint32_t w[8];
+        unsigned pos = 0; // next 32-bit word to fill within the chunk
+
+        // Coverage state mirrored from the encoder for post-chunk
+        // tree-node allocation.
+        bool chunkMatched = false;
+        std::uint32_t idx64[4] = {noIdx, noIdx, noIdx, noIdx};
+        std::uint32_t idx128[2] = {noIdx, noIdx};
+        bool descended64[4] = {false, false, false, false};
+        bool descended128[2] = {false, false};
+
+        while (pos < 8) {
+            // Walk the Table 3 prefix-code trie.
+            if (in.get(1) == 0) {
+                if (in.get(1) == 0) { // u32
+                    const auto v =
+                        static_cast<std::uint32_t>(in.get(32));
+                    w[pos] = v;
+                    if (map32_.find(v) == map32_.end() &&
+                        values32_.size() + 1 < cfg_.entries32()) {
+                        values32_.push_back(v);
+                        map32_.emplace(
+                            v,
+                            static_cast<std::uint32_t>(values32_.size()));
+                    }
+                    descended64[pos / 2] = true;
+                    descended128[pos / 4] = true;
+                    pos++;
+                } else { // m32
+                    const auto idx = static_cast<std::uint32_t>(
+                        in.get(cfg_.ptrBits32()));
+                    w[pos] = value32(idx);
+                    descended64[pos / 2] = true;
+                    descended128[pos / 4] = true;
+                    pos++;
+                }
+            } else if (in.get(1) == 0) {
+                if (in.get(1) == 0) { // u16 (code 100)
+                    const auto v =
+                        static_cast<std::uint32_t>(in.get(16));
+                    w[pos] = v;
+                    if (map32_.find(v) == map32_.end() &&
+                        values32_.size() + 1 < cfg_.entries32()) {
+                        values32_.push_back(v);
+                        map32_.emplace(
+                            v,
+                            static_cast<std::uint32_t>(values32_.size()));
+                    }
+                    descended64[pos / 2] = true;
+                    descended128[pos / 4] = true;
+                    pos++;
+                } else if (in.get(1) == 0) { // z32 (1010)
+                    w[pos] = 0;
+                    descended64[pos / 2] = true;
+                    descended128[pos / 4] = true;
+                    pos++;
+                } else { // u8 (1011)
+                    const auto v = static_cast<std::uint32_t>(in.get(8));
+                    w[pos] = v;
+                    if (map32_.find(v) == map32_.end() &&
+                        values32_.size() + 1 < cfg_.entries32()) {
+                        values32_.push_back(v);
+                        map32_.emplace(
+                            v,
+                            static_cast<std::uint32_t>(values32_.size()));
+                    }
+                    descended64[pos / 2] = true;
+                    descended128[pos / 4] = true;
+                    pos++;
+                }
+            } else if (in.get(1) == 0) {
+                if (in.get(1) == 0) { // m64 (1100)
+                    const auto idx = static_cast<std::uint32_t>(
+                        in.get(cfg_.ptrBits64()));
+                    gather(0, idx, w + pos);
+                    idx64[pos / 2] = idx;
+                    descended128[pos / 4] = true;
+                    pos += 2;
+                } else { // z64 (1101)
+                    w[pos] = w[pos + 1] = 0;
+                    idx64[pos / 2] = 0;
+                    descended128[pos / 4] = true;
+                    pos += 2;
+                }
+            } else if (in.get(1) == 0) {
+                if (in.get(1) == 0) { // m128 (11100)
+                    const auto idx = static_cast<std::uint32_t>(
+                        in.get(cfg_.ptrBits128()));
+                    gather(1, idx, w + pos);
+                    idx128[pos / 4] = idx;
+                    pos += 4;
+                } else { // z128 (11101)
+                    for (unsigned i = 0; i < 4; i++)
+                        w[pos + i] = 0;
+                    idx128[pos / 4] = 0;
+                    pos += 4;
+                }
+            } else {
+                if (in.get(1) == 0) { // m256 (11110)
+                    const auto idx = static_cast<std::uint32_t>(
+                        in.get(cfg_.ptrBits256()));
+                    gather(2, idx, w);
+                } else { // z256 (11111)
+                    for (unsigned i = 0; i < 8; i++)
+                        w[i] = 0;
+                }
+                pos = 8;
+                chunkMatched = true;
+            }
+        }
+
+        for (unsigned i = 0; i < 8; i++)
+            line.setWord32(chunk * 8 + i, w[i]);
+
+        if (chunkMatched)
+            continue;
+
+        // Mirror the encoder's post-chunk tree-node allocation.
+        const auto wordIdx = [&](unsigned i) -> std::uint32_t {
+            if (w[i] == 0)
+                return 0;
+            auto it = map32_.find(w[i]);
+            return it == map32_.end() ? noIdx : it->second;
+        };
+        for (unsigned q = 0; q < 4; q++) {
+            if (!descended128[q / 2] || !descended64[q])
+                continue;
+            idx64[q] = lookupOrInsertNode(0, wordIdx(2 * q),
+                                          wordIdx(2 * q + 1), cfg_.nodes64);
+        }
+        for (unsigned h = 0; h < 2; h++) {
+            if (!descended128[h])
+                continue;
+            idx128[h] = lookupOrInsertNode(1, idx64[2 * h],
+                                           idx64[2 * h + 1], cfg_.nodes128);
+        }
+        lookupOrInsertNode(2, idx128[0], idx128[1], cfg_.nodes256);
+    }
+    return line;
+}
+
+} // namespace comp
+} // namespace morc

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Large-Block Encoding (LBE), the compression algorithm introduced by
+ * MORC (Section 3.2.5).
+ *
+ * LBE consumes input in 256-bit chunks and looks for exact matches at
+ * 32/64/128/256-bit granularities. Only the 32-bit dictionary holds data;
+ * the larger granularities are binary-tree nodes whose children are
+ * entries one size smaller. Encoding symbols and their codes follow
+ * Table 3 of the paper:
+ *
+ *   u32 00+32   m32 01+ptr    z32 1010      u8 1011+8    u16 100+16
+ *   m64 1100+p  z64 1101      m128 11100+p  z128 11101
+ *   m256 11110+p z256 11111
+ *
+ * Incompressible 32-bit words with 16 or 24 upper zero bits are truncated
+ * (u16/u8, significance-based compression). After each 256-bit chunk,
+ * tree nodes are allocated for the 64/128/256-bit sub-chunks that failed
+ * to match, so later identical chunks can match at large granularity.
+ *
+ * The encoder supports trial compression (measure without committing) so
+ * MORC's multi-log selection can score a line against all active logs.
+ */
+
+#ifndef MORC_COMPRESS_LBE_HH
+#define MORC_COMPRESS_LBE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bitstream.hh"
+#include "util/types.hh"
+
+namespace morc {
+namespace comp {
+
+/** Symbol identifiers, used for Figure 7's usage distribution. */
+enum class LbeSymbol : std::uint8_t
+{
+    U32, M32, Z32, U8, U16, M64, Z64, M128, Z128, M256, Z256, NumSymbols
+};
+
+/** Per-symbol usage counters (weighted by represented data size). */
+struct LbeStats
+{
+    std::uint64_t count[static_cast<int>(LbeSymbol::NumSymbols)] = {};
+    /** Of which, counts that encoded all-zero data (z* plus zero u*). */
+    std::uint64_t zeroCount[static_cast<int>(LbeSymbol::NumSymbols)] = {};
+
+    void
+    add(LbeSymbol s, bool zero)
+    {
+        count[static_cast<int>(s)]++;
+        if (zero)
+            zeroCount[static_cast<int>(s)]++;
+    }
+
+    /** Bytes of input data one use of symbol @p s represents. */
+    static unsigned
+    dataBytes(LbeSymbol s)
+    {
+        switch (s) {
+          case LbeSymbol::M64:
+          case LbeSymbol::Z64:
+            return 8;
+          case LbeSymbol::M128:
+          case LbeSymbol::Z128:
+            return 16;
+          case LbeSymbol::M256:
+          case LbeSymbol::Z256:
+            return 32;
+          default:
+            return 4;
+        }
+    }
+
+    static const char *name(LbeSymbol s);
+};
+
+/** Sizing knobs for an LBE engine. */
+struct LbeConfig
+{
+    /** Bytes of 32-bit data dictionary (paper sizes it at 512 B). */
+    unsigned dictBytes = 512;
+
+    /**
+     * Max binary-tree nodes at 64/128/256-bit granularity. Only the
+     * 32-bit dictionary holds data (the paper's 512 B); tree nodes are
+     * two small pointers each, so they are provisioned generously —
+     * skimping here starves m64/m128/m256 of match candidates because
+     * one-off pairs exhaust the tables before popular chunks recur.
+     * With index 0 reserved for the hardwired all-zero entry, pointers
+     * are 8/7/6 bits.
+     */
+    unsigned nodes64 = 255;
+    unsigned nodes128 = 127;
+    unsigned nodes256 = 63;
+
+    unsigned entries32() const { return dictBytes / 4; }
+    unsigned ptrBits32() const { return ceilLog2(entries32()); }
+    unsigned ptrBits64() const { return ceilLog2(nodes64 + 1); }
+    unsigned ptrBits128() const { return ceilLog2(nodes128 + 1); }
+    unsigned ptrBits256() const { return ceilLog2(nodes256 + 1); }
+};
+
+/**
+ * Streaming LBE encoder. One encoder instance embodies the dictionary
+ * state of one compression stream (one MORC log).
+ */
+class LbeEncoder
+{
+  public:
+    explicit LbeEncoder(const LbeConfig &cfg = LbeConfig{});
+
+    /**
+     * Measure the compressed size of @p line against the current
+     * dictionary without committing any state change.
+     *
+     * @return Size in bits the line would occupy if appended.
+     */
+    std::uint32_t measure(const CacheLine &line) const;
+
+    /**
+     * Compress @p line, commit dictionary updates, and optionally emit
+     * the bit stream (used by the decoder round-trip tests).
+     *
+     * @return Size in bits of the appended line.
+     */
+    std::uint32_t append(const CacheLine &line, BitWriter *out = nullptr);
+
+    /** Forget all dictionary state (log flush). */
+    void reset();
+
+    const LbeConfig &config() const { return cfg_; }
+    const LbeStats &stats() const { return stats_; }
+    void clearStats() { stats_ = LbeStats{}; }
+
+    /** Number of committed 32-bit dictionary entries (excluding zero). */
+    unsigned dictSize() const { return static_cast<unsigned>(values32_.size()); }
+
+  private:
+    /** Index 0 is the hardwired zero entry at every granularity. */
+    static constexpr std::uint32_t kZeroIdx = 0;
+    static constexpr std::uint32_t kNoIdx = ~0u;
+
+    /** A tree node: children are indices one granularity smaller. */
+    struct Node
+    {
+        std::uint32_t left;
+        std::uint32_t right;
+        bool operator==(const Node &) const = default;
+    };
+
+    struct NodeHash
+    {
+        std::size_t
+        operator()(const Node &n) const
+        {
+            return static_cast<std::size_t>(
+                (static_cast<std::uint64_t>(n.left) << 32) ^ n.right ^
+                (static_cast<std::uint64_t>(n.right) << 13));
+        }
+    };
+
+    /**
+     * Dictionary updates buffered during one line so measure() can run
+     * without mutating and append() can commit atomically.
+     */
+    struct Overlay
+    {
+        std::vector<std::uint32_t> words;  // pending 32-bit insertions
+        std::vector<Node> nodes64;
+        std::vector<Node> nodes128;
+        std::vector<Node> nodes256;
+    };
+
+    std::uint32_t encodeLine(const CacheLine &line, Overlay &ov,
+                             BitWriter *out, LbeStats *stats) const;
+
+    std::uint32_t lookup32(std::uint32_t w, const Overlay &ov) const;
+    std::uint32_t lookupNode(const Node &n,
+                             const std::unordered_map<Node, std::uint32_t,
+                                                      NodeHash> &map,
+                             const std::vector<Node> &pending,
+                             std::uint32_t committed, unsigned cap) const;
+    std::uint32_t insert32(std::uint32_t w, Overlay &ov) const;
+    std::uint32_t insertNode(const Node &n, std::vector<Node> &pending,
+                             std::uint32_t committed, unsigned cap) const;
+
+    void commit(const Overlay &ov);
+
+    LbeConfig cfg_;
+    LbeStats stats_;
+
+    /** Committed 32-bit dictionary: value list + reverse map. */
+    std::vector<std::uint32_t> values32_;
+    std::unordered_map<std::uint32_t, std::uint32_t> map32_;
+
+    std::vector<Node> nodes64_;
+    std::vector<Node> nodes128_;
+    std::vector<Node> nodes256_;
+    std::unordered_map<Node, std::uint32_t, NodeHash> map64_;
+    std::unordered_map<Node, std::uint32_t, NodeHash> map128_;
+    std::unordered_map<Node, std::uint32_t, NodeHash> map256_;
+
+    friend class LbeDecoder;
+};
+
+/**
+ * Streaming LBE decoder, mirroring the encoder's dictionary evolution.
+ * Exists to prove the format is decodable; the cache model itself only
+ * needs compressed sizes.
+ */
+class LbeDecoder
+{
+  public:
+    explicit LbeDecoder(const LbeConfig &cfg = LbeConfig{});
+
+    /** Decode the next line from @p in. */
+    CacheLine decodeLine(BitReader &in);
+
+    void reset();
+
+  private:
+    std::uint32_t value32(std::uint32_t idx) const;
+    void gather(unsigned level, std::uint32_t idx, std::uint32_t *out) const;
+
+    LbeConfig cfg_;
+    std::vector<std::uint32_t> values32_;
+    std::unordered_map<std::uint32_t, std::uint32_t> map32_;
+    /** Node children packed as left<<32|right; index 0 is the zero entry. */
+    std::vector<std::uint64_t> nodes_[3]; // 64, 128, 256-bit levels
+    std::unordered_map<std::uint64_t, std::uint32_t> nodeMap_[3];
+};
+
+} // namespace comp
+} // namespace morc
+
+#endif // MORC_COMPRESS_LBE_HH

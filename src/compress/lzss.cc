@@ -1,0 +1,144 @@
+#include "compress/lzss.hh"
+
+#include <algorithm>
+
+namespace morc {
+namespace comp {
+
+LzssEncoder::LzssEncoder() : LzssEncoder(Config{}) {}
+
+LzssEncoder::LzssEncoder(const Config &cfg) : cfg_(cfg) {}
+
+void
+LzssEncoder::reset()
+{
+    history_.clear();
+    index_.clear();
+}
+
+std::uint32_t
+LzssEncoder::encode(const CacheLine &line,
+                    std::vector<std::uint8_t> &history,
+                    std::unordered_map<std::uint32_t,
+                                       std::vector<std::uint32_t>> &index,
+                    BitWriter *out) const
+{
+    std::uint32_t bits = 0;
+    const std::uint8_t *data = line.bytes.data();
+
+    unsigned pos = 0;
+    while (pos < kLineSize) {
+        // Find the longest match for data[pos..] in history + the part
+        // of the line already encoded (which is also history by now).
+        unsigned best_len = 0;
+        std::uint32_t best_off = 0;
+        const unsigned hist_size = static_cast<unsigned>(history.size());
+        if (pos + cfg_.minMatch <= kLineSize) {
+            // Candidates share the 3-byte prefix.
+            std::uint8_t probe[3] = {data[pos],
+                                     pos + 1 < kLineSize ? data[pos + 1]
+                                                         : std::uint8_t(0),
+                                     pos + 2 < kLineSize ? data[pos + 2]
+                                                         : std::uint8_t(0)};
+            auto it = index.find(tripleKey(probe));
+            if (it != index.end()) {
+                const std::uint32_t window_start =
+                    hist_size > cfg_.windowBytes
+                        ? hist_size - cfg_.windowBytes
+                        : 0;
+                for (auto cand = it->second.rbegin();
+                     cand != it->second.rend(); ++cand) {
+                    if (*cand < window_start)
+                        break; // older candidates are out of window
+                    unsigned len = 0;
+                    const unsigned max_len = std::min<unsigned>(
+                        cfg_.maxMatch, kLineSize - pos);
+                    while (len < max_len && *cand + len < hist_size &&
+                           history[*cand + len] == data[pos + len]) {
+                        len++;
+                    }
+                    if (len > best_len) {
+                        best_len = len;
+                        best_off = hist_size - *cand;
+                    }
+                }
+            }
+        }
+
+        if (best_len >= cfg_.minMatch &&
+            best_off <= (1u << cfg_.offsetBits)) {
+            if (out) {
+                out->put(1, 1);
+                out->put(best_off - 1, cfg_.offsetBits);
+                out->put(best_len - cfg_.minMatch, cfg_.lengthBits);
+            }
+            bits += 1 + cfg_.offsetBits + cfg_.lengthBits;
+            for (unsigned i = 0; i < best_len; i++) {
+                history.push_back(data[pos + i]);
+                if (history.size() >= 3) {
+                    index[tripleKey(&history[history.size() - 3])]
+                        .push_back(
+                            static_cast<std::uint32_t>(history.size() -
+                                                       3));
+                }
+            }
+            pos += best_len;
+        } else {
+            if (out) {
+                out->put(0, 1);
+                out->put(data[pos], 8);
+            }
+            bits += 9;
+            history.push_back(data[pos]);
+            if (history.size() >= 3) {
+                index[tripleKey(&history[history.size() - 3])].push_back(
+                    static_cast<std::uint32_t>(history.size() - 3));
+            }
+            pos++;
+        }
+    }
+    return bits;
+}
+
+std::uint32_t
+LzssEncoder::append(const CacheLine &line, BitWriter *out)
+{
+    return encode(line, history_, index_, out);
+}
+
+std::uint32_t
+LzssEncoder::measure(const CacheLine &line) const
+{
+    std::vector<std::uint8_t> history = history_;
+    auto index = index_;
+    return encode(line, history, index, nullptr);
+}
+
+CacheLine
+LzssDecoder::decodeLine(BitReader &in)
+{
+    CacheLine line;
+    unsigned produced = 0;
+    while (produced < kLineSize) {
+        if (in.get(1)) {
+            const auto off =
+                static_cast<std::uint32_t>(in.get(cfg_.offsetBits)) + 1;
+            const auto len = static_cast<unsigned>(
+                in.get(cfg_.lengthBits)) + cfg_.minMatch;
+            const std::size_t start = history_.size() - off;
+            for (unsigned i = 0; i < len; i++) {
+                const std::uint8_t b = history_[start + i];
+                history_.push_back(b);
+                line.bytes[produced++] = b;
+            }
+        } else {
+            const auto b = static_cast<std::uint8_t>(in.get(8));
+            history_.push_back(b);
+            line.bytes[produced++] = b;
+        }
+    }
+    return line;
+}
+
+} // namespace comp
+} // namespace morc

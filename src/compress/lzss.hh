@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Byte-level LZSS over a log's compressed stream — the "LZ as a direct
+ * replacement to LBE" ablation the paper mentions in Section 6 ("in
+ * our (not-shown) studies, we found that LZ ... has similar compression
+ * performance").
+ *
+ * The encoder keeps the uncompressed history of everything appended to
+ * the log (the window) and emits literals (1+8 bits) or back-references
+ * (1 + offset + length bits). Like hardware LZ (AHA/IBM MXT-class), the
+ * window is bounded; unlike LBE it has no alignment restriction, which
+ * buys ratio at the cost of serial, byte-at-a-time decode (the paper's
+ * argument for LBE's implementability).
+ */
+
+#ifndef MORC_COMPRESS_LZSS_HH
+#define MORC_COMPRESS_LZSS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bitstream.hh"
+#include "util/types.hh"
+
+namespace morc {
+namespace comp {
+
+/** Streaming LZSS encoder for one log. */
+class LzssEncoder
+{
+  public:
+    struct Config
+    {
+        unsigned windowBytes = 4096; //< history visible to matches
+        unsigned minMatch = 3;
+        unsigned maxMatch = 66;      //< minMatch + 6-bit length field
+        unsigned offsetBits = 12;
+        unsigned lengthBits = 6;
+    };
+
+    explicit LzssEncoder(const Config &cfg);
+    LzssEncoder();
+
+    /** Append one line; returns bits consumed. */
+    std::uint32_t append(const CacheLine &line, BitWriter *out = nullptr);
+
+    /** Measure without mutating (for multi-log trials). */
+    std::uint32_t measure(const CacheLine &line) const;
+
+    /** Forget all history (log flush). */
+    void reset();
+
+    const Config &config() const { return cfg_; }
+
+  private:
+    std::uint32_t encode(const CacheLine &line,
+                         std::vector<std::uint8_t> &history,
+                         std::unordered_map<std::uint32_t,
+                                            std::vector<std::uint32_t>>
+                             &index,
+                         BitWriter *out) const;
+
+    static std::uint32_t
+    tripleKey(const std::uint8_t *p)
+    {
+        return static_cast<std::uint32_t>(p[0]) |
+               (static_cast<std::uint32_t>(p[1]) << 8) |
+               (static_cast<std::uint32_t>(p[2]) << 16);
+    }
+
+    Config cfg_;
+    std::vector<std::uint8_t> history_;
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> index_;
+};
+
+/** Decoder proving the stream reconstructs. */
+class LzssDecoder
+{
+  public:
+    explicit LzssDecoder(const LzssEncoder::Config &cfg =
+                             LzssEncoder::Config{})
+        : cfg_(cfg)
+    {}
+
+    CacheLine decodeLine(BitReader &in);
+
+    void reset() { history_.clear(); }
+
+  private:
+    LzssEncoder::Config cfg_;
+    std::vector<std::uint8_t> history_;
+};
+
+} // namespace comp
+} // namespace morc
+
+#endif // MORC_COMPRESS_LZSS_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Ideal intra-line and inter-line compression models for the Figure 2
+ * limit study.
+ *
+ * Per the paper's footnote: lines are split into 4-byte words and
+ * deduplicated — within the line for Oracle-Intra, across all resident
+ * cache lines for Oracle-Inter. Small values are further compressed by
+ * dropping most-significant zero bytes (significance-based compression).
+ * Neither model pays any metadata cost (pointers, tags, fragmentation).
+ */
+
+#ifndef MORC_COMPRESS_ORACLE_HH
+#define MORC_COMPRESS_ORACLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/types.hh"
+
+namespace morc {
+namespace comp {
+
+/** Number of significant bytes of a 32-bit value (0 for zero). */
+inline unsigned
+significantBytes(std::uint32_t w)
+{
+    if (w == 0)
+        return 0;
+    if (w < 0x100u)
+        return 1;
+    if (w < 0x10000u)
+        return 2;
+    if (w < 0x1000000u)
+        return 3;
+    return 4;
+}
+
+/** Ideal intra-line cost: dedup within the line, truncate zeros. */
+inline std::uint32_t
+oracleIntraBits(const CacheLine &line)
+{
+    std::uint32_t bits = 0;
+    std::unordered_set<std::uint32_t> seen;
+    for (unsigned i = 0; i < kWordsPerLine; i++) {
+        const std::uint32_t w = line.word32(i);
+        if (w == 0)
+            continue;
+        if (seen.insert(w).second)
+            bits += 8 * significantBytes(w);
+    }
+    return bits;
+}
+
+/**
+ * Reference-counted multiset of the 32-bit words of all resident lines;
+ * the dedup scope of Oracle-Inter.
+ */
+class OracleDictionary
+{
+  public:
+    /** Cost of @p line against current contents (without adding it). */
+    std::uint32_t
+    interBits(const CacheLine &line) const
+    {
+        std::uint32_t bits = 0;
+        // Dedup also applies within the line being inserted.
+        std::unordered_set<std::uint32_t> local;
+        for (unsigned i = 0; i < kWordsPerLine; i++) {
+            const std::uint32_t w = line.word32(i);
+            if (w == 0)
+                continue;
+            if (refs_.find(w) != refs_.end())
+                continue;
+            if (local.insert(w).second)
+                bits += 8 * significantBytes(w);
+        }
+        return bits;
+    }
+
+    /** Account a line's words as resident. */
+    void
+    addLine(const CacheLine &line)
+    {
+        for (unsigned i = 0; i < kWordsPerLine; i++) {
+            const std::uint32_t w = line.word32(i);
+            if (w != 0)
+                refs_[w]++;
+        }
+    }
+
+    /** Remove a resident line's words. */
+    void
+    removeLine(const CacheLine &line)
+    {
+        for (unsigned i = 0; i < kWordsPerLine; i++) {
+            const std::uint32_t w = line.word32(i);
+            if (w == 0)
+                continue;
+            auto it = refs_.find(w);
+            if (it != refs_.end() && --it->second == 0)
+                refs_.erase(it);
+        }
+    }
+
+    std::size_t distinctWords() const { return refs_.size(); }
+
+  private:
+    std::unordered_map<std::uint32_t, std::uint32_t> refs_;
+};
+
+} // namespace comp
+} // namespace morc
+
+#endif // MORC_COMPRESS_ORACLE_HH

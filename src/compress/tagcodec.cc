@@ -1,0 +1,187 @@
+#include "compress/tagcodec.hh"
+
+#include <cassert>
+
+namespace morc {
+namespace comp {
+
+TagDistanceCode
+TagDistanceCode::forDistance(std::uint64_t distance)
+{
+    assert(distance >= 1 && distance <= TagCodec::kMaxDelta);
+    if (distance <= 4)
+        return {static_cast<unsigned>(distance - 1), 0, distance};
+    // Distance in (2^(k+1), 2^(k+2)] uses codes 2k+2 / 2k+3 with k
+    // precision bits each.
+    const unsigned k = floorLog2(distance - 1) - 1;
+    const std::uint64_t range_start = (1ull << (k + 1)) + 1;
+    const std::uint64_t offset = distance - range_start;
+    const unsigned code =
+        2 * k + 2 + static_cast<unsigned>(offset >> k);
+    const std::uint64_t code_base =
+        range_start + ((offset >> k) << k);
+    return {code, k, code_base};
+}
+
+std::uint64_t
+TagDistanceCode::rangeStart(unsigned code)
+{
+    if (code <= 3)
+        return code + 1;
+    const unsigned k = (code - 2) / 2;
+    const std::uint64_t range_start = (1ull << (k + 1)) + 1;
+    return range_start + (static_cast<std::uint64_t>((code - 2) & 1) << k);
+}
+
+unsigned
+TagDistanceCode::precisionOf(unsigned code)
+{
+    return code <= 3 ? 0 : (code - 2) / 2;
+}
+
+TagCodec::TagCodec(unsigned num_bases)
+    : numBases_(num_bases),
+      bases_(num_bases, 0),
+      baseValid_(num_bases, false),
+      baseUse_(num_bases, 0)
+{
+    assert(num_bases == 1 || num_bases == 2);
+}
+
+void
+TagCodec::reset()
+{
+    for (unsigned i = 0; i < numBases_; i++) {
+        baseValid_[i] = false;
+        baseUse_[i] = 0;
+    }
+    useClock_ = 0;
+}
+
+std::uint32_t
+TagCodec::deltaBits(std::uint64_t distance)
+{
+    if (distance == 0 || distance > kMaxDelta)
+        return 0;
+    const auto dc = TagDistanceCode::forDistance(distance);
+    return kCodeBits + 1 /* sign */ + dc.precisionBits;
+}
+
+TagCodec::Plan
+TagCodec::plan(std::uint64_t line_number) const
+{
+    Plan best{0, 0, true};
+    std::uint32_t best_bits = kCodeBits + kFullTagBits; // new base cost
+    for (unsigned b = 0; b < numBases_; b++) {
+        if (!baseValid_[b])
+            continue;
+        const std::uint64_t distance = line_number > bases_[b]
+                                           ? line_number - bases_[b]
+                                           : bases_[b] - line_number;
+        const std::uint32_t bits = deltaBits(distance);
+        if (bits != 0 && bits < best_bits) {
+            best_bits = bits;
+            best = {b, bits, false};
+        }
+    }
+    if (best.newBase) {
+        // Replace the least-recently-used base: a one-off scattered tag
+        // (e.g. a write-back) must not evict the base an active fill
+        // chain is running on.
+        unsigned victim = 0;
+        for (unsigned b = 1; b < numBases_; b++) {
+            if (!baseValid_[b]) {
+                victim = b;
+                break;
+            }
+            if (baseUse_[b] < baseUse_[victim])
+                victim = b;
+        }
+        best.base = victim;
+        best.bits = best_bits;
+    }
+    return best;
+}
+
+std::uint32_t
+TagCodec::measure(std::uint64_t line_number) const
+{
+    return overheadBits() + plan(line_number).bits;
+}
+
+std::uint32_t
+TagCodec::append(std::uint64_t line_number, BitWriter *out)
+{
+    const Plan p = plan(line_number);
+    const std::uint32_t total = overheadBits() + p.bits;
+    if (out) {
+        out->put(1, 1); // validity
+        if (numBases_ > 1)
+            out->put(p.base, 1);
+        if (p.newBase) {
+            out->put(30, kCodeBits);
+            out->put(line_number, kFullTagBits);
+        } else {
+            const std::uint64_t base = bases_[p.base];
+            const bool negative = line_number < base;
+            const std::uint64_t distance =
+                negative ? base - line_number : line_number - base;
+            const auto dc = TagDistanceCode::forDistance(distance);
+            out->put(dc.code, kCodeBits);
+            out->put(negative ? 1 : 0, 1);
+            if (dc.precisionBits > 0)
+                out->put(distance - dc.rangeBase, dc.precisionBits);
+        }
+    }
+    bases_[p.base] = line_number;
+    baseValid_[p.base] = true;
+    baseUse_[p.base] = ++useClock_;
+    if (p.newBase) {
+        newBases_++;
+    } else {
+        deltas_++;
+        deltaBitsTotal_ += p.bits;
+    }
+    return total;
+}
+
+TagDecoder::TagDecoder(unsigned num_bases)
+    : numBases_(num_bases),
+      bases_(num_bases, 0),
+      baseValid_(num_bases, false)
+{}
+
+void
+TagDecoder::reset()
+{
+    for (unsigned i = 0; i < numBases_; i++)
+        baseValid_[i] = false;
+}
+
+std::uint64_t
+TagDecoder::next(BitReader &in)
+{
+    [[maybe_unused]] const auto valid = in.get(1);
+    unsigned base = 0;
+    if (numBases_ > 1)
+        base = static_cast<unsigned>(in.get(1));
+    const unsigned code = static_cast<unsigned>(in.get(TagCodec::kCodeBits));
+    std::uint64_t tag;
+    if (code >= 30) {
+        // The base-select bit names the slot the encoder re-seeded.
+        tag = in.get(TagCodec::kFullTagBits);
+    } else {
+        const bool negative = in.get(1) != 0;
+        const unsigned precision = TagDistanceCode::precisionOf(code);
+        std::uint64_t distance = TagDistanceCode::rangeStart(code);
+        if (precision > 0)
+            distance += in.get(precision);
+        tag = negative ? bases_[base] - distance : bases_[base] + distance;
+    }
+    bases_[base] = tag;
+    baseValid_[base] = true;
+    return tag;
+}
+
+} // namespace comp
+} // namespace morc

@@ -1,0 +1,541 @@
+#include "core/morc.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "util/rng.hh"
+
+namespace morc {
+namespace core {
+
+namespace {
+
+/** Uncompressed per-line tag footprint (tag + state bits). */
+constexpr unsigned kRawTagBits = comp::TagCodec::kFullTagBits + 2;
+
+/** Uncompressed line size in bits (compression-disabled mode). */
+constexpr unsigned kRawLineBits = kLineSize * 8;
+
+constexpr std::uint64_t kNoFit = ~0ull;
+
+} // namespace
+
+LogCache::LogCache() : LogCache(MorcConfig{}) {}
+
+LogCache::LogCache(const MorcConfig &cfg) : cfg_(cfg)
+{
+    assert(cfg_.numLogs() >= cfg_.activeLogs + 1);
+    assert(cfg_.lmtWays >= 1 && cfg_.lmtWays <= 2);
+    logs_.reserve(cfg_.numLogs());
+    for (unsigned i = 0; i < cfg_.numLogs(); i++)
+        logs_.emplace_back(cfg_.lbe, cfg_.tagBases);
+    for (unsigned i = 0; i < cfg_.activeLogs; i++) {
+        logs_[i].open = true;
+        active_.push_back(i);
+    }
+    // Never-used logs start on the closed FIFO (all trivially
+    // reusable).
+    for (std::uint32_t i = cfg_.activeLogs; i < cfg_.numLogs(); i++)
+        closedFifo_.push_back(i);
+    if (!cfg_.unlimitedMeta) {
+        std::uint64_t entries = cfg_.lmtEntries();
+        // Round down to a power of two for cheap masking.
+        entries = 1ull << floorLog2(entries);
+        lmt_.resize(entries);
+        lmtMask_ = entries - 1;
+    }
+}
+
+void
+LogCache::slotsFor(Addr line_num, std::uint64_t *out) const
+{
+    const std::uint64_t h = splitmix64(line_num);
+    out[0] = h & lmtMask_;
+    if (cfg_.lmtWays > 1) {
+        // Column-associative rehash: an independent hash of the line.
+        out[1] = (h >> 32) & lmtMask_;
+        if (out[1] == out[0])
+            out[1] = (out[0] + 1) & lmtMask_;
+    }
+}
+
+bool
+LogCache::findResident(Addr line_num, std::uint64_t *slot_out,
+                       std::uint32_t *log_out, std::size_t *pos_out)
+{
+    const auto locate = [&](const LmtEntry &e, std::uint64_t slot) {
+        const Log &g = logs_[e.logIdx];
+        for (std::size_t p = 0; p < g.lines.size(); p++) {
+            if (g.lines[p].valid && g.lines[p].lineNum == line_num) {
+                *slot_out = slot;
+                *log_out = e.logIdx;
+                *pos_out = p;
+                return true;
+            }
+        }
+        assert(false && "LMT entry with no resident line");
+        return false;
+    };
+
+    if (cfg_.unlimitedMeta) {
+        auto it = lmtMap_.find(line_num);
+        if (it == lmtMap_.end() || !it->second.valid)
+            return false;
+        return locate(it->second, line_num);
+    }
+    std::uint64_t slots[2];
+    slotsFor(line_num, slots);
+    for (unsigned w = 0; w < cfg_.lmtWays; w++) {
+        const LmtEntry &e = lmt_[slots[w]];
+        if (e.valid && e.lineNum == line_num)
+            return locate(e, slots[w]);
+    }
+    return false;
+}
+
+void
+LogCache::invalidateEntry(std::uint64_t slot, cache::FillResult &result)
+{
+    LmtEntry &e = cfg_.unlimitedMeta ? lmtMap_[slot] : lmt_[slot];
+    assert(e.valid);
+    Log &g = logs_[e.logIdx];
+    for (auto &line : g.lines) {
+        if (line.valid && line.lineNum == e.lineNum) {
+            if (e.modified) {
+                // Modified data must be decompressed and written back
+                // (LMT-conflict eviction, Section 3.1).
+                result.writebacks.push_back(
+                    {e.lineNum << kLineShift, line.data});
+                stats_.victimWritebacks++;
+                const std::uint64_t bytes = divCeil(g.dataBits, 8);
+                result.bytesDecompressed += bytes;
+                result.linesDecompressed++;
+                stats_.bytesDecompressed += bytes;
+                stats_.linesDecompressed++;
+            }
+            line.valid = false;
+            g.validCount--;
+            valid_--;
+            e.valid = false;
+            if (cfg_.unlimitedMeta)
+                lmtMap_.erase(slot);
+            return;
+        }
+    }
+    assert(false && "dangling LMT entry");
+}
+
+std::uint64_t
+LogCache::trialBits(const Log &g, const CacheLine &data,
+                    Addr line_num) const
+{
+    const std::uint64_t d_bits =
+        cfg_.compressionEnabled ? g.lbe.measure(data) : kRawLineBits;
+    const std::uint64_t t_bits =
+        cfg_.compressionEnabled ? g.tags.measure(line_num) : kRawTagBits;
+    const std::uint64_t log_bits = static_cast<std::uint64_t>(cfg_.logBytes) * 8;
+    // An empty log always accepts one line, even when the compressed
+    // size exceeds a (pathologically small) log: progress must be
+    // possible for incompressible data.
+    if (g.lines.empty())
+        return d_bits + t_bits;
+    if (cfg_.mergedTags) {
+        if (g.dataBits + g.tagBits + d_bits + t_bits > log_bits)
+            return kNoFit;
+    } else {
+        if (g.dataBits + d_bits > log_bits)
+            return kNoFit;
+        if (!cfg_.unlimitedMeta &&
+            g.tagBits + t_bits > cfg_.tagBudgetBits()) {
+            return kNoFit;
+        }
+    }
+    return d_bits + t_bits;
+}
+
+void
+LogCache::flushLog(std::uint32_t log_idx, cache::FillResult &result)
+{
+    Log &g = logs_[log_idx];
+    logFlushes_++;
+    // A whole-log eviction decompresses the entire stream once.
+    const std::uint64_t bytes = divCeil(g.dataBits, 8);
+    result.bytesDecompressed += bytes;
+    result.linesDecompressed += static_cast<std::uint32_t>(g.lines.size());
+    stats_.bytesDecompressed += bytes;
+    stats_.linesDecompressed += g.lines.size();
+
+    for (const auto &line : g.lines) {
+        if (!line.valid)
+            continue;
+        // Find and clear the owning LMT entry.
+        LmtEntry *e = nullptr;
+        std::uint64_t slot = 0;
+        if (cfg_.unlimitedMeta) {
+            auto it = lmtMap_.find(line.lineNum);
+            assert(it != lmtMap_.end());
+            e = &it->second;
+            slot = line.lineNum;
+        } else {
+            std::uint64_t slots[2];
+            slotsFor(line.lineNum, slots);
+            for (unsigned w = 0; w < cfg_.lmtWays; w++) {
+                LmtEntry &cand = lmt_[slots[w]];
+                if (cand.valid && cand.lineNum == line.lineNum &&
+                    cand.logIdx == log_idx) {
+                    e = &cand;
+                    break;
+                }
+            }
+            assert(e && "valid log line without LMT entry");
+        }
+        if (e->modified) {
+            result.writebacks.push_back(
+                {line.lineNum << kLineShift, line.data});
+            stats_.victimWritebacks++;
+        }
+        e->valid = false;
+        if (cfg_.unlimitedMeta)
+            lmtMap_.erase(slot);
+        valid_--;
+    }
+    g.lines.clear();
+    g.dataBits = 0;
+    g.tagBits = 0;
+    g.validCount = 0;
+    g.lbe.reset();
+    g.tags.reset();
+}
+
+void
+LogCache::rotateLog(unsigned active_slot, cache::FillResult &result)
+{
+    Log &closing = logs_[active_[active_slot]];
+    closing.open = false;
+    closing.closedSeq = ++seqCounter_;
+
+    closedFifo_.push_back(active_[active_slot]);
+
+    // Priority 1: reuse a closed log whose lines are all invalid (no
+    // flush needed, Section 3.2.1). Scan a bounded prefix of the FIFO:
+    // all-invalid logs are overwhelmingly near its head (they are the
+    // oldest), and a bounded scan keeps rotation O(1)-ish even with
+    // tens of thousands of logs.
+    std::uint32_t chosen = ~0u;
+    const std::size_t scan =
+        std::min<std::size_t>(closedFifo_.size(), 64);
+    for (std::size_t k = 0; k < scan; k++) {
+        const std::uint32_t idx = closedFifo_[k];
+        Log &g = logs_[idx];
+        if (g.validCount != 0)
+            continue;
+        chosen = idx;
+        closedFifo_.erase(closedFifo_.begin() +
+                          static_cast<std::ptrdiff_t>(k));
+        if (!g.lines.empty()) {
+            logReuses_++;
+            g.lines.clear();
+            g.dataBits = 0;
+            g.tagBits = 0;
+            g.lbe.reset();
+            g.tags.reset();
+        }
+        break;
+    }
+
+    // Priority 2: FIFO victim among closed logs.
+    if (chosen == ~0u) {
+        assert(!closedFifo_.empty());
+        chosen = closedFifo_.front();
+        closedFifo_.pop_front();
+        flushLog(chosen, result);
+    }
+
+    logs_[chosen].open = true;
+    active_[active_slot] = chosen;
+}
+
+void
+LogCache::appendLine(std::uint32_t log_idx, Addr line_num,
+                     const CacheLine &data, bool dirty, std::uint64_t slot)
+{
+    Log &g = logs_[log_idx];
+    std::uint32_t d_bits, t_bits;
+    if (cfg_.compressionEnabled) {
+        d_bits = g.lbe.append(data);
+        t_bits = g.tags.append(line_num);
+    } else {
+        d_bits = kRawLineBits;
+        t_bits = kRawTagBits;
+    }
+    g.lines.push_back({line_num, true, d_bits, t_bits, data});
+    g.dataBits += d_bits;
+    g.tagBits += t_bits;
+    g.validCount++;
+
+    LmtEntry &e = cfg_.unlimitedMeta ? lmtMap_[slot] : lmt_[slot];
+    e.valid = true;
+    e.modified = dirty;
+    e.logIdx = log_idx;
+    e.lineNum = line_num;
+
+    valid_++;
+    appended_++;
+    stats_.linesCompressed++;
+}
+
+cache::ReadResult
+LogCache::read(Addr addr)
+{
+    stats_.reads++;
+    cache::ReadResult r;
+    const Addr line_num = lineNumber(addr);
+
+    const auto serveHit = [&](const LmtEntry &e) {
+        Log &g = logs_[e.logIdx];
+        std::size_t pos = 0;
+        std::uint64_t prefix_bits = 0;
+        for (; pos < g.lines.size(); pos++) {
+            prefix_bits += g.lines[pos].dataBits;
+            if (g.lines[pos].valid && g.lines[pos].lineNum == line_num)
+                break;
+        }
+        assert(pos < g.lines.size());
+        const std::uint64_t bytes = divCeil(prefix_bits, 8);
+        const auto tag_cycles = static_cast<std::uint32_t>(
+            divCeil(pos + 1, cfg_.tagsPerCycle));
+        const auto data_cycles = static_cast<std::uint32_t>(
+            divCeil(bytes, cfg_.decompressBytesPerCycle));
+        r.hit = true;
+        r.data = g.lines[pos].data;
+        r.extraLatency += cfg_.parallelTagData
+                              ? std::max(tag_cycles, data_cycles)
+                              : tag_cycles + data_cycles;
+        r.bytesDecompressed += bytes;
+        r.linesDecompressed += static_cast<std::uint32_t>(pos + 1);
+        stats_.readHits++;
+        stats_.bytesDecompressed += bytes;
+        stats_.linesDecompressed += pos + 1;
+    };
+
+    if (cfg_.unlimitedMeta) {
+        auto it = lmtMap_.find(line_num);
+        if (it != lmtMap_.end() && it->second.valid)
+            serveHit(it->second);
+        return r;
+    }
+
+    std::uint64_t slots[2];
+    slotsFor(line_num, slots);
+    for (unsigned w = 0; w < cfg_.lmtWays; w++) {
+        const LmtEntry &e = lmt_[slots[w]];
+        if (!e.valid)
+            continue;
+        if (e.lineNum == line_num) {
+            serveHit(e);
+            return r;
+        }
+        // LMT aliased-miss: the pointed-to log's tags must be fully
+        // decoded to discover the miss (Section 3.1).
+        const Log &g = logs_[e.logIdx];
+        r.extraLatency += static_cast<std::uint32_t>(
+            divCeil(g.lines.size(), cfg_.tagsPerCycle));
+        lmtAliasedMisses_++;
+    }
+    return r;
+}
+
+cache::FillResult
+LogCache::insert(Addr addr, const CacheLine &data, bool dirty)
+{
+    stats_.inserts++;
+    cache::FillResult result;
+    const Addr line_num = lineNumber(addr);
+
+    // Re-append of a resident line (write-back): invalidate the old
+    // copy without writing it to memory — the new data supersedes it.
+    std::uint64_t slot = 0;
+    {
+        std::uint64_t old_slot;
+        std::uint32_t old_log;
+        std::size_t old_pos;
+        if (findResident(line_num, &old_slot, &old_log, &old_pos)) {
+            Log &g = logs_[old_log];
+            g.lines[old_pos].valid = false;
+            g.validCount--;
+            valid_--;
+            if (cfg_.unlimitedMeta) {
+                lmtMap_.erase(line_num);
+            } else {
+                lmt_[old_slot].valid = false;
+            }
+            slot = old_slot;
+        } else if (cfg_.unlimitedMeta) {
+            slot = line_num;
+        } else {
+            // Allocate an LMT slot: prefer an invalid way; otherwise
+            // conflict-evict the secondary way's occupant.
+            std::uint64_t slots[2];
+            slotsFor(line_num, slots);
+            bool found = false;
+            for (unsigned w = 0; w < cfg_.lmtWays; w++) {
+                if (!lmt_[slots[w]].valid) {
+                    slot = slots[w];
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                // Column-associative relocation: before evicting, try
+                // to move the secondary way's occupant to its own
+                // alternate slot (hash-rehash style).
+                slot = slots[cfg_.lmtWays - 1];
+                bool relocated = false;
+                if (cfg_.lmtWays > 1) {
+                    const LmtEntry occupant = lmt_[slot];
+                    std::uint64_t occ_slots[2];
+                    slotsFor(occupant.lineNum, occ_slots);
+                    for (unsigned w = 0; w < cfg_.lmtWays; w++) {
+                        if (occ_slots[w] != slot &&
+                            !lmt_[occ_slots[w]].valid) {
+                            lmt_[occ_slots[w]] = occupant;
+                            lmt_[slot].valid = false;
+                            relocated = true;
+                            break;
+                        }
+                    }
+                }
+                if (!relocated) {
+                    lmtConflicts_++;
+                    invalidateEntry(slot, result);
+                }
+            }
+        }
+    }
+
+    // Content-aware multi-log selection: trial-compress against every
+    // active log, commit to the best; within the fudge margin, seed the
+    // least-used log to keep streams diverse (Section 3.2.3).
+    const auto choose = [&]() -> int {
+        std::uint64_t best = kNoFit, worst = 0;
+        int best_slot = -1;
+        for (unsigned i = 0; i < active_.size(); i++) {
+            const std::uint64_t bits =
+                trialBits(logs_[active_[i]], data, line_num);
+            if (bits == kNoFit)
+                continue;
+            if (bits < best) {
+                best = bits;
+                best_slot = static_cast<int>(i);
+            }
+            if (bits > worst)
+                worst = bits;
+        }
+        if (best_slot < 0)
+            return -1;
+        if (worst > 0 &&
+            static_cast<double>(worst - best) <=
+                cfg_.fudge * static_cast<double>(worst)) {
+            // Near-tie: pick the least-used fitting log.
+            std::uint64_t least = ~0ull;
+            for (unsigned i = 0; i < active_.size(); i++) {
+                const Log &g = logs_[active_[i]];
+                if (trialBits(g, data, line_num) == kNoFit)
+                    continue;
+                const std::uint64_t used = g.dataBits + g.tagBits;
+                if (used < least) {
+                    least = used;
+                    best_slot = static_cast<int>(i);
+                }
+            }
+        }
+        return best_slot;
+    };
+
+    int pick = choose();
+    if (pick < 0) {
+        // Nothing fits: retire the fullest active log and try again
+        // with its fresh replacement.
+        unsigned fullest = 0;
+        std::uint64_t most = 0;
+        for (unsigned i = 0; i < active_.size(); i++) {
+            const Log &g = logs_[active_[i]];
+            const std::uint64_t used = g.dataBits + g.tagBits;
+            if (used >= most) {
+                most = used;
+                fullest = i;
+            }
+        }
+        rotateLog(fullest, result);
+        pick = choose();
+        if (pick < 0)
+            std::abort(); // an empty log must accept any line
+    }
+
+#ifdef MORC_TRACE_APPENDS
+    std::fprintf(stderr, "APPEND log=%u line=%llu dirty=%d\n",
+                 active_[static_cast<unsigned>(pick)],
+                 (unsigned long long)line_num, dirty ? 1 : 0);
+#endif
+    appendLine(active_[static_cast<unsigned>(pick)], line_num, data, dirty,
+               slot);
+    result.linesCompressed++;
+    return result;
+}
+
+double
+LogCache::invalidLineFraction() const
+{
+    std::uint64_t total = 0, valid = 0;
+    for (const auto &g : logs_) {
+        total += g.lines.size();
+        valid += g.validCount;
+    }
+    return total == 0
+               ? 0.0
+               : static_cast<double>(total - valid) /
+                     static_cast<double>(total);
+}
+
+LogCache::LogSnapshot
+LogCache::snapshot() const
+{
+    LogSnapshot s;
+    s.logs = logs_.size();
+    const std::uint64_t data_budget =
+        static_cast<std::uint64_t>(cfg_.logBytes) * 8;
+    const std::uint64_t tag_budget = cfg_.tagBudgetBits();
+    for (const auto &g : logs_) {
+        s.linesTotal += g.lines.size();
+        s.linesValid += g.validCount;
+        s.dataBits += g.dataBits;
+        s.tagBits += g.tagBits;
+        if (10 * g.dataBits > 9 * data_budget)
+            s.dataFullLogs++;
+        if (!cfg_.mergedTags && 10 * g.tagBits > 9 * tag_budget)
+            s.tagFullLogs++;
+        s.tagNewBases += g.tags.newBaseCount();
+        s.tagDeltas += g.tags.deltaCount();
+        s.tagDeltaBits += g.tags.deltaBitsTotal();
+    }
+    return s;
+}
+
+comp::LbeStats
+LogCache::lbeStats() const
+{
+    comp::LbeStats sum;
+    for (const auto &g : logs_) {
+        const comp::LbeStats &s = g.lbe.stats();
+        for (int i = 0; i < static_cast<int>(comp::LbeSymbol::NumSymbols);
+             i++) {
+            sum.count[i] += s.count[i];
+            sum.zeroCount[i] += s.zeroCount[i];
+        }
+    }
+    return sum;
+}
+
+} // namespace core
+} // namespace morc

@@ -1,0 +1,60 @@
+#include "energy/energy.hh"
+
+namespace morc {
+namespace energy {
+
+const std::vector<OperationEnergy> &
+table1()
+{
+    static const std::vector<OperationEnergy> kTable = {
+        {"64b comparison (65nm)", 2e-12},
+        {"64b access 128KB SRAM (32nm)", 4e-12},
+        {"64b floating point op (45nm)", 45e-12},
+        {"64b transfer across 15mm on-chip", 375e-12},
+        {"64b transfer across main-board", 2.5e-9},
+        {"64b access to DDR3", 9.35e-9},
+    };
+    return kTable;
+}
+
+EnergyBreakdown
+integrate(const EnergyEvents &events, Engine engine,
+          const EnergyParams &params, double llc_capacity_ratio,
+          unsigned cores)
+{
+    EnergyBreakdown out;
+    const double seconds =
+        static_cast<double>(events.cycles) / params.clockHz;
+    out.staticJ = seconds * cores *
+                  (params.l1StaticW +
+                   params.llcStaticScaled(llc_capacity_ratio) +
+                   params.dramStaticW);
+    out.dramJ = static_cast<double>(events.dramAccesses) *
+                params.dramAccessJ;
+    out.sramJ = static_cast<double>(events.l1Accesses) * params.l1AccessJ +
+                static_cast<double>(events.llcAccesses) * params.llcDataJ;
+
+    double comp = 0, decomp = 0;
+    switch (engine) {
+      case Engine::CPack:
+        comp = params.cpackCompJ;
+        decomp = params.cpackDecompJ;
+        break;
+      case Engine::Sc2:
+        comp = params.sc2CompJ;
+        decomp = params.sc2DecompJ;
+        break;
+      case Engine::Lbe:
+        comp = params.lbeCompJ;
+        decomp = params.lbeDecompJ;
+        break;
+      case Engine::None:
+        break;
+    }
+    out.compJ = static_cast<double>(events.linesCompressed) * comp;
+    out.decompJ = static_cast<double>(events.linesDecompressed) * decomp;
+    return out;
+}
+
+} // namespace energy
+} // namespace morc

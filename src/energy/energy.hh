@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Memory-subsystem energy model (paper Tables 1 and 7).
+ *
+ * The paper reduces CACTI/Micron models to fixed per-event energies and
+ * static powers; this module embeds those published constants and
+ * integrates event counts into Joules. Core energy is excluded, matching
+ * Section 5.3 ("including compression engine but not CPU core energy").
+ */
+
+#ifndef MORC_ENERGY_ENERGY_HH
+#define MORC_ENERGY_ENERGY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace morc {
+namespace energy {
+
+/** Table 1: energy of on-chip and off-chip operations on 64 b of data. */
+struct OperationEnergy
+{
+    const char *operation;
+    double joules;
+};
+
+/** The six rows of Table 1 (comparison 2 pJ ... DDR3 9.35 nJ). */
+const std::vector<OperationEnergy> &table1();
+
+/** Table 7 constants (32 nm; per-line access energies). */
+struct EnergyParams
+{
+    // Static power, per core.
+    double l1StaticW = 7.0e-3;
+    double llcStaticW = 20.0e-3;
+    double dramStaticW = 10.9e-3;
+
+    // Dynamic energy per cache-line event.
+    double l1AccessJ = 61.0e-12;
+    double llcDataJ = 32.0e-12;
+    double dramAccessJ = 74.8e-9; // 64B off-chip access
+
+    // Compression engines, per line (de)compressed.
+    double cpackCompJ = 50.0e-12;
+    double cpackDecompJ = 37.5e-12;
+    double sc2CompJ = 144.0e-12;
+    double sc2DecompJ = 148.0e-12;
+    double lbeCompJ = 200.0e-12;
+    double lbeDecompJ = 150.0e-12;
+
+    double clockHz = 2.0e9;
+
+    /** LLC static power scale for a different capacity (Figure 9's 1 MB
+     *  "Uncompressed8x" baseline): static power tracks SRAM size. */
+    double
+    llcStaticScaled(double capacity_ratio) const
+    {
+        return llcStaticW * capacity_ratio;
+    }
+};
+
+/** Which engine's constants apply to a cache scheme. */
+enum class Engine
+{
+    None,  // uncompressed
+    CPack, // Adaptive, Decoupled
+    Sc2,
+    Lbe    // MORC
+};
+
+/** Event counts the simulator accumulates per core/workload. */
+struct EnergyEvents
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t llcAccesses = 0;       // data-array touches (lines)
+    std::uint64_t dramAccesses = 0;      // 64B transfers
+    std::uint64_t linesCompressed = 0;
+    std::uint64_t linesDecompressed = 0;
+};
+
+/** Energy breakdown in Joules (Figure 9b's categories). */
+struct EnergyBreakdown
+{
+    double staticJ = 0;
+    double dramJ = 0;
+    double sramJ = 0;   // L1 + LLC dynamic
+    double compJ = 0;
+    double decompJ = 0;
+
+    double
+    total() const
+    {
+        return staticJ + dramJ + sramJ + compJ + decompJ;
+    }
+};
+
+/**
+ * Integrate event counts into a breakdown.
+ *
+ * @param events        Accumulated counts.
+ * @param engine        Compression engine of the evaluated scheme.
+ * @param params        Technology constants.
+ * @param llc_capacity_ratio LLC size relative to the 128 KB baseline
+ *                      (scales static power).
+ * @param cores         Number of cores (static power is per core).
+ */
+EnergyBreakdown integrate(const EnergyEvents &events, Engine engine,
+                          const EnergyParams &params = EnergyParams{},
+                          double llc_capacity_ratio = 1.0,
+                          unsigned cores = 1);
+
+} // namespace energy
+} // namespace morc
+
+#endif // MORC_ENERGY_ENERGY_HH

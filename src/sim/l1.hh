@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Private per-core L1 data cache (Table 5: 32 KB, 4-way, 64 B lines,
+ * single-cycle, write-back write-allocate).
+ */
+
+#ifndef MORC_SIM_L1_HH
+#define MORC_SIM_L1_HH
+
+#include <optional>
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace morc {
+namespace sim {
+
+/** A dirty line displaced from the L1. */
+struct L1Victim
+{
+    Addr addr;
+    CacheLine data;
+    bool dirty;
+};
+
+/** Small set-associative write-back L1. */
+class L1Cache
+{
+  public:
+    L1Cache(std::uint64_t capacity_bytes = 32 * 1024, unsigned ways = 4)
+        : ways_(ways), numSets_(capacity_bytes / kLineSize / ways)
+    {
+        store_.resize(numSets_ * ways_);
+    }
+
+    /** Look up @p addr; updates recency. */
+    bool
+    lookup(Addr addr)
+    {
+        Way *w = find(addr);
+        if (w) {
+            w->lastUse = ++clock_;
+            return true;
+        }
+        return false;
+    }
+
+    /** Overwrite a resident line's data and mark it dirty (store hit). */
+    void
+    update(Addr addr, const CacheLine &data)
+    {
+        Way *w = find(addr);
+        if (w) {
+            w->data = data;
+            w->dirty = true;
+            w->lastUse = ++clock_;
+        }
+    }
+
+    /** Data of a resident line, or nullptr. */
+    const CacheLine *
+    peek(Addr addr)
+    {
+        Way *w = find(addr);
+        return w ? &w->data : nullptr;
+    }
+
+    /** Allocate @p addr; returns the displaced victim if one existed. */
+    std::optional<L1Victim>
+    fill(Addr addr, const CacheLine &data, bool dirty)
+    {
+        const std::uint64_t set = setOf(addr);
+        Way *victim = nullptr;
+        for (unsigned i = 0; i < ways_; i++) {
+            Way &w = store_[set * ways_ + i];
+            if (!w.valid) {
+                victim = &w;
+                break;
+            }
+            if (!victim || w.lastUse < victim->lastUse)
+                victim = &w;
+        }
+        std::optional<L1Victim> out;
+        if (victim->valid) {
+            out = L1Victim{victim->tag << kLineShift, victim->data,
+                           victim->dirty};
+        }
+        victim->tag = lineNumber(addr);
+        victim->valid = true;
+        victim->dirty = dirty;
+        victim->data = data;
+        victim->lastUse = ++clock_;
+        return out;
+    }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+        CacheLine data{};
+    };
+
+    std::uint64_t
+    setOf(Addr addr) const
+    {
+        // Real L1s index by address bits; this preserves the spatial
+        // clustering of fills and therefore of evictions.
+        return lineNumber(addr) & (numSets_ - 1);
+    }
+
+    Way *
+    find(Addr addr)
+    {
+        const std::uint64_t set = setOf(addr);
+        const Addr tag = lineNumber(addr);
+        for (unsigned i = 0; i < ways_; i++) {
+            Way &w = store_[set * ways_ + i];
+            if (w.valid && w.tag == tag)
+                return &w;
+        }
+        return nullptr;
+    }
+
+    unsigned ways_;
+    std::uint64_t numSets_;
+    std::vector<Way> store_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace sim
+} // namespace morc
+
+#endif // MORC_SIM_L1_HH

@@ -1,0 +1,99 @@
+#include "sim/scheme.hh"
+
+#include "cache/adaptive.hh"
+#include "cache/decoupled.hh"
+#include "cache/ideal.hh"
+#include "cache/sc2.hh"
+#include "cache/uncompressed.hh"
+
+namespace morc {
+namespace sim {
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::Uncompressed: return "Uncompressed";
+      case Scheme::Uncompressed8x: return "Uncompressed8x";
+      case Scheme::Adaptive: return "Adaptive";
+      case Scheme::Decoupled: return "Decoupled";
+      case Scheme::Sc2: return "SC2";
+      case Scheme::Morc: return "MORC";
+      case Scheme::MorcMerged: return "MORCMerged";
+      case Scheme::OracleIntra: return "Oracle-Intra";
+      case Scheme::OracleInter: return "Oracle-Inter";
+    }
+    return "?";
+}
+
+energy::Engine
+schemeEngine(Scheme s)
+{
+    switch (s) {
+      case Scheme::Adaptive:
+      case Scheme::Decoupled:
+        return energy::Engine::CPack;
+      case Scheme::Sc2:
+        return energy::Engine::Sc2;
+      case Scheme::Morc:
+      case Scheme::MorcMerged:
+        return energy::Engine::Lbe;
+      default:
+        return energy::Engine::None;
+    }
+}
+
+unsigned
+schemeBaseDecompressionLatency(Scheme s)
+{
+    (void)s;
+    // Prior schemes charge a flat +4 cycles; that is already returned
+    // via ReadResult::extraLatency by each model, so nothing flat is
+    // added here. Kept as an extension point for latency studies.
+    return 0;
+}
+
+std::unique_ptr<cache::Llc>
+makeLlc(Scheme scheme, std::uint64_t capacity_bytes,
+        const core::MorcConfig *morc_override)
+{
+    switch (scheme) {
+      case Scheme::Uncompressed:
+      case Scheme::Uncompressed8x:
+        return std::make_unique<cache::UncompressedCache>(capacity_bytes);
+      case Scheme::Adaptive: {
+        cache::AdaptiveCache::Config cfg;
+        cfg.capacityBytes = capacity_bytes;
+        return std::make_unique<cache::AdaptiveCache>(cfg);
+      }
+      case Scheme::Decoupled: {
+        cache::DecoupledCache::Config cfg;
+        cfg.capacityBytes = capacity_bytes;
+        return std::make_unique<cache::DecoupledCache>(cfg);
+      }
+      case Scheme::Sc2: {
+        cache::Sc2Cache::Config cfg;
+        cfg.capacityBytes = capacity_bytes;
+        return std::make_unique<cache::Sc2Cache>(cfg);
+      }
+      case Scheme::Morc:
+      case Scheme::MorcMerged: {
+        core::MorcConfig cfg;
+        if (morc_override)
+            cfg = *morc_override;
+        cfg.capacityBytes = capacity_bytes;
+        cfg.mergedTags = scheme == Scheme::MorcMerged;
+        return std::make_unique<core::LogCache>(cfg);
+      }
+      case Scheme::OracleIntra:
+        return std::make_unique<cache::IdealCache>(
+            cache::OracleScope::IntraLine, capacity_bytes);
+      case Scheme::OracleInter:
+        return std::make_unique<cache::IdealCache>(
+            cache::OracleScope::InterLine, capacity_bytes);
+    }
+    return nullptr;
+}
+
+} // namespace sim
+} // namespace morc

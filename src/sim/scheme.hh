@@ -1,0 +1,54 @@
+/**
+ * @file
+ * LLC scheme selection: a factory over every cache model in the study.
+ */
+
+#ifndef MORC_SIM_SCHEME_HH
+#define MORC_SIM_SCHEME_HH
+
+#include <memory>
+#include <string>
+
+#include "cache/llc.hh"
+#include "core/morc.hh"
+#include "energy/energy.hh"
+
+namespace morc {
+namespace sim {
+
+/** Every LLC evaluated in the paper. */
+enum class Scheme
+{
+    Uncompressed,
+    Uncompressed8x, // 1 MB-per-core baseline of Figure 9
+    Adaptive,
+    Decoupled,
+    Sc2,
+    Morc,
+    MorcMerged,
+    OracleIntra,
+    OracleInter,
+};
+
+/** Display name matching the paper's legends. */
+const char *schemeName(Scheme s);
+
+/** Compression engine used by @p s (for the energy model). */
+energy::Engine schemeEngine(Scheme s);
+
+/** Flat LLC base latency add-on used by prior work (+4 cycles). */
+unsigned schemeBaseDecompressionLatency(Scheme s);
+
+/**
+ * Build an LLC of @p scheme with @p capacity_bytes of data storage.
+ * MORC variants accept an optional config override (capacity is still
+ * taken from @p capacity_bytes).
+ */
+std::unique_ptr<cache::Llc>
+makeLlc(Scheme scheme, std::uint64_t capacity_bytes,
+        const core::MorcConfig *morc_override = nullptr);
+
+} // namespace sim
+} // namespace morc
+
+#endif // MORC_SIM_SCHEME_HH

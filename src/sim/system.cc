@@ -1,0 +1,288 @@
+#include "sim/system.hh"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/morc.hh"
+
+namespace morc {
+namespace sim {
+
+double
+RunResult::meanIpc() const
+{
+    std::vector<double> v;
+    for (const auto &c : cores)
+        v.push_back(c.ipc());
+    return stats::amean(v);
+}
+
+double
+RunResult::gmeanIpc() const
+{
+    std::vector<double> v;
+    for (const auto &c : cores)
+        v.push_back(c.ipc());
+    return stats::gmean(v);
+}
+
+double
+RunResult::meanThroughput() const
+{
+    std::vector<double> v;
+    for (const auto &c : cores)
+        v.push_back(c.throughput());
+    return stats::amean(v);
+}
+
+System::System(const SystemConfig &cfg,
+               const std::vector<trace::BenchmarkSpec> &programs)
+    : cfg_(cfg),
+      llc_(makeLlc(cfg.scheme,
+                   cfg.llcBytesPerCore * cfg.numCores *
+                       (cfg.scheme == Scheme::Uncompressed8x ? 8 : 1),
+                   cfg.useMorcOverride ? &cfg.morc : nullptr)),
+      channel_(cfg.bandwidthPerCore * cfg.numCores, cfg.clockHz,
+               cfg.dramCycles),
+      ratioSampler_(cfg.ratioSampleInterval)
+{
+    assert(programs.size() == cfg.numCores);
+    cores_.resize(cfg.numCores);
+    for (unsigned i = 0; i < cfg.numCores; i++) {
+        cores_[i].trace =
+            std::make_unique<trace::ThreadTrace>(programs[i], i, i);
+        cores_[i].l1 = L1Cache(cfg.l1Bytes, cfg.l1Ways);
+        cores_[i].result.program = programs[i].name;
+    }
+}
+
+CacheLine
+System::dramFetch(unsigned core_idx, Addr addr) const
+{
+    auto it = dram_.find(lineNumber(addr));
+    if (it != dram_.end())
+        return it->second;
+    // Pristine memory: the benchmark's value model at version 0.
+    return cores_[core_idx].trace->values().line(localLine(addr), 0);
+}
+
+void
+System::dramWrite(Addr addr, const CacheLine &data)
+{
+    dram_[lineNumber(addr)] = data;
+}
+
+void
+System::handleWritebacks(const cache::FillResult &fr, Cycles now)
+{
+    for (const auto &wb : fr.writebacks) {
+        channel_.writeAccess(now);
+        dramWrite(wb.addr, wb.data);
+    }
+}
+
+void
+System::step(unsigned core_idx)
+{
+    Core &core = cores_[core_idx];
+    CoreResult &m = core.result;
+    const trace::MemRef ref = core.trace->next();
+
+    // Batch the non-memory instructions (CPI 1).
+    m.instructions += ref.gap + 1;
+    m.cycles += ref.gap;
+    totalInstructions_ += ref.gap + 1;
+
+    m.cycles += cfg_.l1Latency;
+    m.l1Accesses++;
+
+    const Addr lnum = localLine(ref.addr);
+    if (core.l1.lookup(ref.addr)) {
+        if (ref.write) {
+            const std::uint32_t ver = ++core.versions[lnum];
+            core.l1.update(ref.addr,
+                           core.trace->values().line(lnum, ver));
+        } else if (cfg_.checkFunctional) {
+            const CacheLine *got = core.l1.peek(ref.addr);
+            const std::uint32_t ver = [&] {
+                auto it = core.versions.find(lnum);
+                return it == core.versions.end() ? 0u : it->second;
+            }();
+            if (!got ||
+                !(*got == core.trace->values().line(lnum, ver))) {
+                std::fprintf(stderr, "functional mismatch (L1)\n");
+                std::abort();
+            }
+        }
+        return;
+    }
+
+    // ---- L1 miss: the compute gap since the previous miss feeds the
+    // CGMT latency-hiding model.
+    m.l1Misses++;
+    const double gap =
+        static_cast<double>(m.cycles - core.lastMissCycle);
+    core.gapSum += gap;
+
+    Cycles latency = cfg_.llcLatency;
+    CacheLine data;
+
+    cache::ReadResult rr = llc_->read(ref.addr);
+    latency += rr.extraLatency;
+    if (rr.hit) {
+        m.llcHits++;
+        data = rr.data;
+        if (cfg_.latencyHistogram)
+            cfg_.latencyHistogram->record(rr.bytesDecompressed);
+    } else {
+        m.llcMisses++;
+        latency += channel_.readAccess(m.cycles + cfg_.llcLatency);
+        data = dramFetch(core_idx, ref.addr);
+        // Non-inclusive fill policy (Section 5.4.2): read misses fill
+        // the LLC; write misses fill only the L1 unless the inclusive
+        // mode of the Figure 12 study is on.
+        if (!ref.write || cfg_.inclusiveWriteFills) {
+            handleWritebacks(llc_->insert(ref.addr, data, false),
+                             m.cycles);
+        }
+    }
+
+    if (cfg_.checkFunctional && !ref.write) {
+        const std::uint32_t ver = [&] {
+            auto it = core.versions.find(lnum);
+            return it == core.versions.end() ? 0u : it->second;
+        }();
+        if (!(data == core.trace->values().line(lnum, ver))) {
+            std::fprintf(stderr, "functional mismatch (LLC/DRAM)\n");
+            std::abort();
+        }
+    }
+
+    if (ref.write) {
+        const std::uint32_t ver = ++core.versions[lnum];
+        data = core.trace->values().line(lnum, ver);
+    }
+
+    // Allocate into the L1; a displaced dirty line is written back to
+    // the (non-inclusive) LLC.
+    if (auto victim = core.l1.fill(ref.addr, data, ref.write)) {
+        if (victim->dirty) {
+            handleWritebacks(
+                llc_->insert(victim->addr, victim->data, true),
+                m.cycles);
+        }
+    }
+
+    m.cycles += latency;
+
+    // CGMT throughput estimate: (threads-1) x the running mean gap of
+    // this core hides that much of the latency; the rest stalls.
+    const double mean_gap =
+        core.gapSum / static_cast<double>(m.l1Misses);
+    const double hidden =
+        static_cast<double>(cfg_.threadsPerCore - 1) * mean_gap;
+    const double l = static_cast<double>(latency);
+    if (l > hidden)
+        m.stallCycles += static_cast<std::uint64_t>(l - hidden);
+    core.lastMissCycle = m.cycles;
+}
+
+void
+System::runUntil(std::uint64_t target)
+{
+    bool done = false;
+    while (!done) {
+        // Advance the core that is furthest behind in local time, so
+        // cores interleave at the shared LLC in (approximate) cycle
+        // order, like PriME's lock-step quanta.
+        unsigned pick = 0;
+        Cycles min_cycles = ~0ull;
+        done = true;
+        for (unsigned i = 0; i < cores_.size(); i++) {
+            const CoreResult &m = cores_[i].result;
+            if (m.instructions >= target)
+                continue;
+            done = false;
+            if (m.cycles < min_cycles) {
+                min_cycles = m.cycles;
+                pick = i;
+            }
+        }
+        if (done)
+            break;
+        for (unsigned q = 0; q < cfg_.interleaveQuantum; q++) {
+            step(pick);
+            if (cores_[pick].result.instructions >= target)
+                break;
+        }
+        ratioSampler_.tick(totalInstructions_, [&] {
+            return llc_->compressionRatio();
+        });
+    }
+}
+
+RunResult
+System::run(std::uint64_t instructions_per_core,
+            std::uint64_t warmup_per_core)
+{
+    if (warmup_per_core > 0) {
+        runUntil(warmup_per_core);
+        // Reset measurement state; architectural state stays warm.
+        for (auto &core : cores_) {
+            const std::string program = core.result.program;
+            core.result = CoreResult{};
+            core.result.program = program;
+            core.gapSum = 0.0;
+            core.lastMissCycle = 0;
+        }
+        llc_->stats().clear();
+        channel_.clearCounters();
+        totalInstructions_ = 0;
+        ratioSampler_.restart(0);
+    }
+    runUntil(instructions_per_core);
+
+    RunResult out;
+    for (auto &core : cores_)
+        out.cores.push_back(core.result);
+    out.compressionRatio =
+        ratioSampler_.mean(llc_->compressionRatio());
+    out.memReads = channel_.reads();
+    out.memWrites = channel_.writes();
+    out.totalInstructions = totalInstructions_;
+    for (const auto &core : cores_)
+        out.completionCycles =
+            std::max(out.completionCycles, core.result.cycles);
+    out.llcStats = llc_->stats();
+
+    // Energy integration (Section 5.3 categories).
+    energy::EnergyEvents ev;
+    ev.cycles = out.completionCycles;
+    for (const auto &core : cores_)
+        ev.l1Accesses += core.result.l1Accesses;
+    // LLC data-array touches: every insert and hit touches the array;
+    // stream decompression (MORC) reads additional resident lines, the
+    // surplus beyond one line per hit.
+    const auto &ls = out.llcStats;
+    ev.llcAccesses = ls.inserts + ls.readHits +
+                     (ls.linesDecompressed > ls.readHits
+                          ? ls.linesDecompressed - ls.readHits
+                          : 0);
+    ev.dramAccesses = out.memReads + out.memWrites;
+    ev.linesCompressed = ls.linesCompressed;
+    ev.linesDecompressed = ls.linesDecompressed;
+    const double capacity_ratio =
+        cfg_.scheme == Scheme::Uncompressed8x ? 8.0 : 1.0;
+    out.energyBreakdown =
+        energy::integrate(ev, schemeEngine(cfg_.scheme),
+                          energy::EnergyParams{}, capacity_ratio,
+                          cfg_.numCores);
+
+    if (auto *log_cache = dynamic_cast<core::LogCache *>(llc_.get()))
+        out.invalidLineFraction = log_cache->invalidLineFraction();
+    return out;
+}
+
+} // namespace sim
+} // namespace morc

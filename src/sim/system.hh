@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The manycore simulation driver: N in-order cores with private L1s over
+ * one shared LLC and one FCFS bandwidth-capped memory channel, executing
+ * synthetic benchmark traces (Table 5 configuration).
+ *
+ * Timing is per-access: non-memory instructions cost one cycle (batched
+ * via the trace's geometric gaps), L1 hits one cycle, LLC hits the base
+ * latency plus the scheme's decompression annotation, and misses add the
+ * channel's queueing + DRAM latency. A 4-thread coarse-grain
+ * multithreading estimate (Section 4) is accumulated alongside: of each
+ * memory latency, (threads-1) x the running average gap between L1
+ * misses is hidden; the remainder stalls the core.
+ */
+
+#ifndef MORC_SIM_SYSTEM_HH
+#define MORC_SIM_SYSTEM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/llc.hh"
+#include "energy/energy.hh"
+#include "stats/histogram.hh"
+#include "sim/l1.hh"
+#include "sim/memchannel.hh"
+#include "sim/scheme.hh"
+#include "stats/summary.hh"
+#include "trace/workload.hh"
+
+namespace morc {
+namespace sim {
+
+/** Full system configuration (defaults are the paper's Table 5). */
+struct SystemConfig
+{
+    Scheme scheme = Scheme::Uncompressed;
+
+    unsigned numCores = 1;
+    std::uint64_t llcBytesPerCore = 128 * 1024;
+
+    /** Statically allocated bandwidth per core (100 MB/s default). */
+    double bandwidthPerCore = 100e6;
+
+    double clockHz = 2e9;
+    std::uint64_t l1Bytes = 32 * 1024;
+    unsigned l1Ways = 4;
+    Cycles l1Latency = 1;
+    Cycles llcLatency = 14;
+    Cycles dramCycles = 70;
+
+    /** Coarse-grain multithreading depth for the throughput model. */
+    unsigned threadsPerCore = 4;
+
+    /** Memory references a core executes before the scheduler picks
+     *  the next core. 1 = cycle-accurate interleaving; larger quanta
+     *  approximate PriME-style lockstep windows and preserve per-core
+     *  burst locality at the shared LLC. */
+    unsigned interleaveQuantum = 1;
+
+    /** Insert lines fetched on write misses into the LLC (the
+     *  "inclusive" behaviour of the Figure 12 study). */
+    bool inclusiveWriteFills = false;
+
+    /** Instructions (system-wide) between compression-ratio samples. */
+    std::uint64_t ratioSampleInterval = 1000 * 1000;
+
+    /** Verify every returned line against the expected value model. */
+    bool checkFunctional = false;
+
+    /** MORC parameter override for Morc/MorcMerged schemes. */
+    core::MorcConfig morc{};
+    bool useMorcOverride = false;
+
+    /** Optional: record decompressor bytes per LLC read hit (the
+     *  Figure 14 access-latency distribution). Not owned. */
+    stats::Histogram *latencyHistogram = nullptr;
+};
+
+/** Per-core outcome metrics. */
+struct CoreResult
+{
+    std::string program;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t stallCycles = 0; // CGMT residual stalls
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                                 static_cast<double>(cycles);
+    }
+
+    /** Normalized multithreaded throughput (instructions per cycle of
+     *  the 4-thread model; 1.0 = never stalled). */
+    double
+    throughput() const
+    {
+        const double busy =
+            static_cast<double>(instructions + stallCycles);
+        return busy == 0.0 ? 0.0
+                           : static_cast<double>(instructions) / busy;
+    }
+};
+
+/** Whole-run outcome. */
+struct RunResult
+{
+    std::vector<CoreResult> cores;
+
+    /** Time-sampled mean compression ratio (paper methodology). */
+    double compressionRatio = 1.0;
+
+    std::uint64_t memReads = 0;
+    std::uint64_t memWrites = 0;
+    std::uint64_t totalInstructions = 0;
+    Cycles completionCycles = 0;
+
+    cache::LlcStats llcStats;
+    energy::EnergyBreakdown energyBreakdown;
+
+    /** MORC-only extras (zero otherwise). */
+    double invalidLineFraction = 0.0;
+
+    /** Off-chip traffic in GB per billion instructions (Figure 6b). */
+    double
+    gbPerBillionInstr() const
+    {
+        if (totalInstructions == 0)
+            return 0.0;
+        const double bytes =
+            static_cast<double>((memReads + memWrites) * kLineSize);
+        return bytes / 1e9 * 1e9 /
+               static_cast<double>(totalInstructions);
+    }
+
+    double meanIpc() const;
+    double gmeanIpc() const;
+    double meanThroughput() const;
+};
+
+/** One simulated system instance. */
+class System
+{
+  public:
+    /**
+     * @param cfg      System parameters.
+     * @param programs One benchmark per core (size = numCores).
+     */
+    System(const SystemConfig &cfg,
+           const std::vector<trace::BenchmarkSpec> &programs);
+
+    /**
+     * Run until every core retires @p instructions_per_core measured
+     * instructions, after an unmeasured warm-up phase (the paper warms
+     * for 100 M before measuring 30 M).
+     */
+    RunResult run(std::uint64_t instructions_per_core,
+                  std::uint64_t warmup_per_core = 0);
+
+    cache::Llc &llc() { return *llc_; }
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    struct Core
+    {
+        std::unique_ptr<trace::ThreadTrace> trace;
+        L1Cache l1;
+        CoreResult result;
+        /** Store mutation counters, keyed by local line number. */
+        std::unordered_map<Addr, std::uint32_t> versions;
+        double gapSum = 0.0; // compute cycles between L1 misses
+        Cycles lastMissCycle = 0;
+    };
+
+    /** Local (per-program) line number of an address. */
+    static Addr
+    localLine(Addr addr)
+    {
+        return lineNumber(addr & ((1ull << 40) - 1));
+    }
+
+    CacheLine dramFetch(unsigned core_idx, Addr addr) const;
+    void dramWrite(Addr addr, const CacheLine &data);
+    void handleWritebacks(const cache::FillResult &fr, Cycles now);
+    void step(unsigned core_idx);
+    void runUntil(std::uint64_t instructions_per_core);
+
+    SystemConfig cfg_;
+    std::unique_ptr<cache::Llc> llc_;
+    MemoryChannel channel_;
+    std::vector<Core> cores_;
+    std::unordered_map<Addr, CacheLine> dram_;
+    std::uint64_t totalInstructions_ = 0;
+    stats::PeriodicSampler ratioSampler_;
+};
+
+} // namespace sim
+} // namespace morc
+
+#endif // MORC_SIM_SYSTEM_HH

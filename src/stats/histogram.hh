@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bucketed histogram used for latency and symbol-usage distributions.
+ */
+
+#ifndef MORC_STATS_HISTOGRAM_HH
+#define MORC_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace morc {
+namespace stats {
+
+/**
+ * Histogram over user-defined bucket upper bounds. A value lands in the
+ * first bucket whose (inclusive) upper bound is >= value; values above
+ * every bound land in a final overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param upper_bounds Inclusive upper bound of each bucket. */
+    explicit Histogram(std::vector<std::uint64_t> upper_bounds)
+        : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0)
+    {}
+
+    /** Record one sample with optional weight. */
+    void
+    record(std::uint64_t value, std::uint64_t weight = 1)
+    {
+        std::size_t i = 0;
+        while (i < bounds_.size() && value > bounds_[i])
+            i++;
+        counts_[i] += weight;
+        total_ += weight;
+    }
+
+    /** Number of buckets, including the overflow bucket. */
+    std::size_t numBuckets() const { return counts_.size(); }
+
+    /** Raw count of bucket @p i. */
+    std::uint64_t count(std::size_t i) const { return counts_[i]; }
+
+    /** Fraction of all weight that fell in bucket @p i. */
+    double
+    fraction(std::size_t i) const
+    {
+        return total_ == 0
+                   ? 0.0
+                   : static_cast<double>(counts_[i]) /
+                         static_cast<double>(total_);
+    }
+
+    /** Human-readable label for bucket @p i ("<=64", "65-128", ">512"). */
+    std::string
+    label(std::size_t i) const
+    {
+        if (i == counts_.size() - 1)
+            return ">" + std::to_string(bounds_.back());
+        const std::uint64_t lo = i == 0 ? 0 : bounds_[i - 1] + 1;
+        if (lo == 0)
+            return "<=" + std::to_string(bounds_[0]);
+        return std::to_string(lo) + "-" + std::to_string(bounds_[i]);
+    }
+
+    std::uint64_t total() const { return total_; }
+
+    void
+    clear()
+    {
+        for (auto &c : counts_)
+            c = 0;
+        total_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace stats
+} // namespace morc
+
+#endif // MORC_STATS_HISTOGRAM_HH

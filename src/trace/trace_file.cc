@@ -1,0 +1,75 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+namespace morc {
+namespace trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'O', 'R', 'C', 'T', 'R', 'C', '1'};
+
+struct Record
+{
+    std::uint64_t addr;
+    std::uint32_t gap;
+    std::uint8_t write;
+    std::uint8_t pad[3];
+};
+
+static_assert(sizeof(Record) == 16, "stable on-disk layout");
+
+} // namespace
+
+bool
+TraceFile::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1;
+    const std::uint64_t count = refs_.size();
+    ok = ok && std::fwrite(&count, sizeof(count), 1, f) == 1;
+    for (const MemRef &r : refs_) {
+        Record rec{};
+        rec.addr = r.addr;
+        rec.gap = r.gap;
+        rec.write = r.write ? 1 : 0;
+        ok = ok && std::fwrite(&rec, sizeof(rec), 1, f) == 1;
+        if (!ok)
+            break;
+    }
+    std::fclose(f);
+    return ok;
+}
+
+TraceFile
+TraceFile::load(const std::string &path)
+{
+    TraceFile t;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return t;
+    char magic[8];
+    std::uint64_t count = 0;
+    if (std::fread(magic, sizeof(magic), 1, f) != 1 ||
+        std::memcmp(magic, kMagic, sizeof(magic)) != 0 ||
+        std::fread(&count, sizeof(count), 1, f) != 1) {
+        std::fclose(f);
+        return t;
+    }
+    t.refs_.reserve(count);
+    for (std::uint64_t i = 0; i < count; i++) {
+        Record rec;
+        if (std::fread(&rec, sizeof(rec), 1, f) != 1) {
+            t.refs_.clear();
+            break;
+        }
+        t.refs_.push_back({rec.addr, rec.write != 0, rec.gap});
+    }
+    std::fclose(f);
+    return t;
+}
+
+} // namespace trace
+} // namespace morc

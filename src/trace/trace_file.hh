@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Record/replay of reference streams.
+ *
+ * The synthetic generators stand in for SPEC2006 pinballs, but users
+ * who have real traces (Pin, DynamoRIO, gem5 elastic traces, ...) can
+ * convert them to this simple binary format and drive the same
+ * simulator. The format also lets any ThreadTrace be captured once and
+ * replayed bit-exactly, which the tests use.
+ *
+ * File layout (little-endian):
+ *   magic "MORCTRC1" (8 bytes)
+ *   u64 record count
+ *   records: { u64 addr; u32 gap; u8 write; u8 pad[3] }
+ *
+ * Data values are not stored: replay re-synthesizes them from a
+ * DataProfile exactly like the generators do (values are a pure
+ * function of address/version). A trace converted from a real machine
+ * can instead carry its own value model choice.
+ */
+
+#ifndef MORC_TRACE_TRACE_FILE_HH
+#define MORC_TRACE_TRACE_FILE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace morc {
+namespace trace {
+
+/** In-memory reference stream with file I/O. */
+class TraceFile
+{
+  public:
+    /** Capture @p count references from @p source. */
+    static TraceFile
+    record(ThreadTrace &source, std::size_t count)
+    {
+        TraceFile t;
+        t.refs_.reserve(count);
+        for (std::size_t i = 0; i < count; i++)
+            t.refs_.push_back(source.next());
+        return t;
+    }
+
+    /** Serialize to @p path. @return false on I/O error. */
+    bool save(const std::string &path) const;
+
+    /** Load from @p path. @return empty trace on error. */
+    static TraceFile load(const std::string &path);
+
+    const std::vector<MemRef> &refs() const { return refs_; }
+    std::vector<MemRef> &refs() { return refs_; }
+    bool empty() const { return refs_.empty(); }
+
+  private:
+    std::vector<MemRef> refs_;
+};
+
+/**
+ * A ThreadTrace-compatible replayer: yields the recorded references
+ * (cycling at the end so arbitrarily long runs work) with values from
+ * the given data profile.
+ */
+class ReplayTrace
+{
+  public:
+    ReplayTrace(TraceFile file, const DataProfile &profile)
+        : file_(std::move(file)), values_(profile)
+    {}
+
+    MemRef
+    next()
+    {
+        const MemRef r = file_.refs()[pos_];
+        pos_ = (pos_ + 1) % file_.refs().size();
+        return r;
+    }
+
+    const ValueModel &values() const { return values_; }
+    std::size_t size() const { return file_.refs().size(); }
+
+  private:
+    TraceFile file_;
+    std::size_t pos_ = 0;
+    ValueModel values_;
+};
+
+} // namespace trace
+} // namespace morc
+
+#endif // MORC_TRACE_TRACE_FILE_HH

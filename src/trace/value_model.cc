@@ -1,0 +1,181 @@
+#include "trace/value_model.hh"
+
+namespace morc {
+namespace trace {
+
+namespace {
+
+/** Domain-separation salts for the hash cascade. */
+constexpr std::uint64_t kSaltLine = 0x11c7;
+constexpr std::uint64_t kSaltChunk = 0xc256;
+constexpr std::uint64_t kSaltWord = 0x3091d;
+constexpr std::uint64_t kSaltPool = 0x9001;
+constexpr std::uint64_t kSaltGlobal = 0x91084;
+constexpr std::uint64_t kSaltFresh = 0xf4e5;
+
+/** Salt folding chunk vocabularies into their owning region: repeated
+ *  records are local to the data structure (region) that holds them, so
+ *  a log capturing a phase's regions learns their chunks, while a
+ *  global dictionary cannot hold every region's chunk vocabulary. */
+constexpr std::uint64_t kChunkRegionSalt = 0xc09c09;
+
+} // namespace
+
+ValueModel::ValueModel(const DataProfile &profile)
+    : profile_(profile),
+      regionPool_(std::max<std::uint32_t>(profile.regionPoolSize, 1),
+                  profile.poolTheta),
+      globalPool_(std::max<std::uint32_t>(profile.globalPoolSize, 1), 0.9),
+      chunk256Pool_(std::max<std::uint32_t>(profile.chunk256Pool, 1), 0.8),
+      chunk128Pool_(std::max<std::uint32_t>(profile.chunk128Pool, 1), 0.8)
+{}
+
+std::uint32_t
+ValueModel::poolWord(std::uint64_t region, std::uint64_t index) const
+{
+    const std::uint64_t h =
+        mix64(profile_.seed ^ kSaltPool, mix64(region, index));
+    // Pool values mimic pointers/indices: word-aligned, medium width.
+    return static_cast<std::uint32_t>(h) & ~0x3u;
+}
+
+std::uint32_t
+ValueModel::freshWord(std::uint64_t h, std::uint64_t region) const
+{
+    const double u = unit(h);
+    double acc = profile_.zeroWordFrac;
+    if (u < acc)
+        return 0;
+    acc += profile_.poolWordFrac;
+    if (u < acc) {
+        const std::uint64_t h2 = splitmix64(h ^ 0x9a7);
+        if (unit(h2) < profile_.globalPoolFrac) {
+            return poolWord(kSaltGlobal,
+                            globalPool_.sampleHashed(splitmix64(h2)));
+        }
+        return poolWord(region,
+                        regionPool_.sampleHashed(splitmix64(h2 + 1)));
+    }
+    acc += profile_.smallWordFrac;
+    if (u < acc) {
+        // Small integers: diverse (counters, sizes, coordinates) — too
+        // many distinct values for a frequent-value dictionary, but
+        // ideal for significance truncation (u8/u16).
+        const std::uint64_t h2 = splitmix64(h);
+        return (h2 & 7) < 2
+                   ? static_cast<std::uint32_t>(h2 >> 3) & 0xff
+                   : static_cast<std::uint32_t>(h2 >> 3) & 0xffff;
+    }
+    acc += profile_.fpWordFrac;
+    if (u < acc) {
+        // Double-precision style: a handful of common exponents over a
+        // random mantissa. Two consecutive words form one double; this
+        // word-level model keeps the high-entropy property that matters.
+        const std::uint64_t h2 = splitmix64(h);
+        const std::uint32_t exponents[4] = {0x3fe00000, 0x40080000,
+                                            0xbfe00000, 0x3ff00000};
+        return exponents[h2 & 3] | (static_cast<std::uint32_t>(h2 >> 2) &
+                                    0x000fffffu);
+    }
+    // Residual "fresh" words are pointer-styled: the high half is
+    // shared within a region (heap addresses, indices into nearby
+    // structures), the low half is unique. C-Pack's partial-match
+    // patterns (mmxx/mmmx) exploit exactly this; LBE does not, matching
+    // the paper's characterization of both.
+    const std::uint64_t h2 = splitmix64(h ^ kSaltFresh);
+    if (h2 & 1) {
+        const std::uint32_t high = static_cast<std::uint32_t>(
+            mix64(profile_.seed ^ 0xb45e, region)) & 0x7fffu;
+        return (high << 17) | (static_cast<std::uint32_t>(h2 >> 8) &
+                               0x1ffffu);
+    }
+    return static_cast<std::uint32_t>(h2 >> 8);
+}
+
+void
+ValueModel::chunkWords(std::uint64_t region, std::uint64_t chunk_id,
+                       unsigned n, std::uint64_t salt,
+                       std::uint32_t *out) const
+{
+    // Chunk contents are sequences over a compact, *region-scoped*
+    // vocabulary (zeros, small integers, and the region's chunk pool):
+    // repeated records reuse a narrow set of member values local to the
+    // structure that holds them. A log that captures a phase's regions
+    // learns their chunks (tree nodes form, m128/m256 land); a single
+    // global dictionary cannot hold every region's vocabulary.
+    const std::uint64_t base = mix64(
+        profile_.seed ^ kSaltChunk ^ salt, mix64(region, chunk_id));
+    for (unsigned i = 0; i < n; i++) {
+        const std::uint64_t h = mix64(base, i);
+        const double u = unit(h);
+        if (u < profile_.zeroWordFrac) {
+            out[i] = 0;
+        } else if (u < profile_.zeroWordFrac + profile_.smallWordFrac) {
+            out[i] = static_cast<std::uint32_t>(splitmix64(h) >> 1) &
+                     0xffffu;
+        } else {
+            out[i] = poolWord(kChunkRegionSalt ^ salt ^ region,
+                              regionPool_.sampleHashed(splitmix64(h)));
+        }
+    }
+}
+
+CacheLine
+ValueModel::line(std::uint64_t line_number, std::uint32_t version) const
+{
+    CacheLine l;
+    const std::uint64_t hline =
+        mix64(profile_.seed ^ kSaltLine, mix64(line_number, version));
+
+    if (unit(hline) < profile_.zeroLineFrac)
+        return l; // all-zero line
+
+    const std::uint64_t region =
+        line_number / (profile_.regionBytes / kLineSize);
+
+    std::uint32_t words[kWordsPerLine];
+    for (unsigned chunk = 0; chunk < 2; chunk++) {
+        const std::uint64_t hchunk = mix64(hline, chunk + 1);
+        if (unit(hchunk) < profile_.chunk256Frac) {
+            const std::uint64_t id =
+                chunk256Pool_.sampleHashed(splitmix64(hchunk));
+            chunkWords(region, id, 8, 0x256, words + chunk * 8);
+            continue;
+        }
+        for (unsigned half = 0; half < 2; half++) {
+            const std::uint64_t hhalf = mix64(hchunk, half + 3);
+            std::uint32_t *out = words + chunk * 8 + half * 4;
+            if (unit(splitmix64(hhalf ^ 0x2e20)) < profile_.zeroHalfFrac) {
+                for (unsigned w = 0; w < 4; w++)
+                    out[w] = 0;
+                continue;
+            }
+            if (unit(hhalf) < profile_.chunk128Frac) {
+                const std::uint64_t id =
+                    chunk128Pool_.sampleHashed(splitmix64(hhalf));
+                chunkWords(region, id, 4, 0x128, out);
+                continue;
+            }
+            for (unsigned w = 0; w < 4; w++)
+                out[w] = freshWord(mix64(hhalf, kSaltWord + w), region);
+        }
+    }
+
+    // Stores only churn part of a line: splice un-churned words from
+    // version 0 so dirty data stays related to its original contents.
+    if (version != 0 && profile_.storeChurn < 1.0) {
+        const CacheLine base = line(line_number, 0);
+        for (unsigned i = 0; i < kWordsPerLine; i++) {
+            const std::uint64_t hw = mix64(hline, 0xc4u + i);
+            if (unit(hw) >= profile_.storeChurn)
+                words[i] = base.word32(i);
+        }
+    }
+
+    for (unsigned i = 0; i < kWordsPerLine; i++)
+        l.setWord32(i, words[i]);
+    return l;
+}
+
+} // namespace trace
+} // namespace morc

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Deterministic cache-line value synthesis.
+ *
+ * The paper's compression results are driven by the *value structure* of
+ * SPEC CPU2006 memory images: dense zeros, small integers, duplicated
+ * words across lines (pointer/index-heavy codes), duplicated 128/256-bit
+ * chunks (struct/record-heavy and stencil FP codes), and high-entropy FP
+ * mantissas. Since the original traces are not redistributable, each
+ * benchmark here carries a DataProfile describing that structure, and
+ * ValueModel synthesizes line contents as a pure function of
+ * (profile seed, line address, version). Stores bump the version.
+ *
+ * Purity matters: a line's contents never change behind the cache's back,
+ * replicated workloads (the paper's Sx mixes) share value pools across
+ * cores, and every run is exactly reproducible.
+ */
+
+#ifndef MORC_TRACE_VALUE_MODEL_HH
+#define MORC_TRACE_VALUE_MODEL_HH
+
+#include <cstdint>
+
+#include "util/rng.hh"
+#include "util/types.hh"
+#include "util/zipf.hh"
+
+namespace morc {
+namespace trace {
+
+/** Value-structure parameters of one benchmark's data. */
+struct DataProfile
+{
+    /** Seed of the value universe. Shared by replicas of the same
+     *  benchmark so inter-core commonality emerges (Sx workloads). */
+    std::uint64_t seed = 1;
+
+    /** Probability a line is entirely zero. */
+    double zeroLineFrac = 0.05;
+
+    /** Probability an individual word is zero (within non-zero lines). */
+    double zeroWordFrac = 0.2;
+
+    /** Probability a 128-bit half-chunk is entirely zero. Real zeros
+     *  cluster (padding, cleared structs, sparse rows); clustered zeros
+     *  are where LBE's z128/z256 symbols pay off over per-word codes. */
+    double zeroHalfFrac = 0.0;
+
+    /** Probability a 256-bit chunk is drawn whole from the chunk pool
+     *  (drives LBE m256 matches). */
+    double chunk256Frac = 0.0;
+    std::uint32_t chunk256Pool = 64;
+
+    /** Probability a 128-bit half-chunk is drawn from the 128-bit pool. */
+    double chunk128Frac = 0.0;
+    std::uint32_t chunk128Pool = 128;
+
+    /**
+     * Probability a word is drawn from a value pool (inter-line
+     * duplication). Pools are *region-scoped*: lines in the same
+     * regionBytes window share a small Zipf-distributed slice of
+     * values, modelling the address-correlated value locality of real
+     * heaps/arrays. This is the property MORC exploits: lines filled
+     * close in time come from few regions, so a log's dictionary stays
+     * small and hot, while a single global dictionary (SC2) must cover
+     * every region's slice at once.
+     */
+    double poolWordFrac = 0.3;
+
+    /** Distinct values per region slice (kept near LBE's dictionary). */
+    std::uint32_t regionPoolSize = 96;
+
+    /** Region granularity for value locality. */
+    std::uint32_t regionBytes = 16384;
+
+    /** Zipf skew within a region slice. */
+    double poolTheta = 1.1;
+
+    /** Share of pool draws that come from the small program-global pool
+     *  (common constants, vtable pointers, canonical values). The
+     *  frozen 512 B LBE dictionary — and real cache contents — imply a
+     *  compact working vocabulary; most duplication is program-wide. */
+    double globalPoolFrac = 0.25;
+    std::uint32_t globalPoolSize = 48;
+
+    /** Probability a word is a small integer (exercises u8/u16). */
+    double smallWordFrac = 0.1;
+
+    /** Probability a word is FP-styled: common exponent byte, random
+     *  mantissa (poor intra-line, mediocre inter-line value locality). */
+    double fpWordFrac = 0.0;
+
+    /** How much a store perturbs a line: fraction of words rewritten. */
+    double storeChurn = 0.25;
+};
+
+/**
+ * Synthesizes line data for one benchmark instance.
+ *
+ * All sampling is hash-driven (no generator state), so data is a pure
+ * function of (seed, line number, version, position).
+ */
+class ValueModel
+{
+  public:
+    explicit ValueModel(const DataProfile &profile);
+
+    /** Contents of line @p line_number at mutation @p version. */
+    CacheLine line(std::uint64_t line_number, std::uint32_t version) const;
+
+    const DataProfile &profile() const { return profile_; }
+
+  private:
+    /** Map a hash to [0,1). */
+    static double
+    unit(std::uint64_t h)
+    {
+        return (h >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** A pool word's value: pure function of (region, index). */
+    std::uint32_t poolWord(std::uint64_t region, std::uint64_t index) const;
+
+    /** Fill @p n words of a pooled chunk of @p region at @p out. */
+    void chunkWords(std::uint64_t region, std::uint64_t chunk_id,
+                    unsigned n, std::uint64_t salt,
+                    std::uint32_t *out) const;
+
+    /** One freshly synthesized (non-chunk) word for @p region. */
+    std::uint32_t freshWord(std::uint64_t h, std::uint64_t region) const;
+
+    DataProfile profile_;
+    ZipfSampler regionPool_;
+    ZipfSampler globalPool_;
+    ZipfSampler chunk256Pool_;
+    ZipfSampler chunk128Pool_;
+};
+
+} // namespace trace
+} // namespace morc
+
+#endif // MORC_TRACE_VALUE_MODEL_HH

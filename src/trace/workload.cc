@@ -1,0 +1,342 @@
+#include "trace/workload.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace morc {
+namespace trace {
+
+ThreadTrace::ThreadTrace(const BenchmarkSpec &spec, unsigned thread_id,
+                         std::uint64_t seed_salt)
+    : spec_(spec),
+      threadId_(thread_id),
+      base_(static_cast<Addr>(thread_id + 1) << 40),
+      values_(std::make_shared<ValueModel>(spec.data)),
+      hotPages_(std::max<std::uint64_t>(
+                    spec.access.hotBytes / spec.access.hotPageBytes, 1),
+                spec.access.hotTheta),
+      wsLines_(std::max<std::uint64_t>(spec.access.wsBytes / kLineSize, 1)),
+      rng_(mix64(spec.data.seed, mix64(thread_id, seed_salt) ^ 0x7ace))
+{
+    // De-synchronized phases: replicas start at different streaming
+    // positions (the paper observes slight asynchronism between
+    // replicated programs stresses the compression engines).
+    seqPos_ = rng_.below(spec_.access.wsBytes);
+}
+
+MemRef
+ThreadTrace::next()
+{
+    const AccessProfile &a = spec_.access;
+    MemRef ref;
+    ref.gap = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(rng_.geometric(a.memFrac), 100000));
+
+    const double u = rng_.uniform();
+    std::uint64_t offset;
+    if (u < a.seqFrac) {
+        // Streaming walker over the full working set. Streaming data is
+        // mostly read (inputs swept once); stores concentrate on hot
+        // structures, which the L1 then absorbs.
+        ref.write = rng_.chance(a.storeSeqBias * a.storeFrac);
+        seqPos_ += a.seqStride;
+        if (seqPos_ >= a.wsBytes)
+            seqPos_ = 0;
+        offset = seqPos_;
+    } else {
+        // Hot (Zipf-popular page) and cold (uniform page) references
+        // burst: several accesses walk a page before moving on. Each
+        // class keeps its own live walk so interleaving does not break
+        // the other's spatial chain.
+        const bool want_hot = u < a.seqFrac + a.hotFrac;
+        Burst &b = want_hot ? hotBurst_ : coldBurst_;
+        if (b.left == 0) {
+            if (want_hot) {
+                b.page = hotPages_.sample(rng_);
+            } else {
+                const std::uint64_t pages = std::max<std::uint64_t>(
+                    spec_.access.wsBytes / a.hotPageBytes, 1);
+                b.page = rng_.below(pages);
+            }
+            b.left = 1 + static_cast<unsigned>(
+                rng_.geometric(1.0 / a.burstMean));
+            b.pos = rng_.below(a.hotPageBytes / kLineSize);
+        }
+        b.left--;
+        ref.write = rng_.chance((want_hot ? a.storeHotBias
+                                          : a.storeColdBias) *
+                                a.storeFrac);
+        // Walk the page's lines in ascending order (strided sweeps);
+        // missing lines then arrive address-adjacent at the LLC.
+        const std::uint64_t lines_per_page = a.hotPageBytes / kLineSize;
+        const std::uint64_t line = b.pos % lines_per_page;
+        b.pos += 1 + rng_.below(2);
+        offset = b.page * a.hotPageBytes + line * kLineSize +
+                 rng_.below(kLineSize / 8) * 8;
+        if (offset >= spec_.access.wsBytes)
+            offset %= spec_.access.wsBytes;
+    }
+    ref.addr = base_ + offset;
+    return ref;
+}
+
+// ----------------------------------------------------------------------
+// Registry
+// ----------------------------------------------------------------------
+
+namespace {
+
+/** Shorthand builder keeping the table below readable. */
+BenchmarkSpec
+bench(const char *name, std::uint64_t seed,
+      // access: memFrac, storeFrac, wsMB, hotKB, hotTheta, hotFrac,
+      //         seqFrac (cold random = 1 - hot - seq)
+      double mem, double st, double ws_mb, double hot_kb, double theta,
+      double hot, double seq,
+      // data: zeroLine, zeroWord, pool frac/regionPool/theta, small,
+      //       c256 frac/pool, c128 frac/pool, fp
+      double zl, double zw, double pf, std::uint32_t rps, double pt,
+      double sm, double c256, std::uint32_t c256p, double c128,
+      std::uint32_t c128p, double fp)
+{
+    BenchmarkSpec s;
+    s.name = name;
+    s.access.memFrac = mem;
+    s.access.storeFrac = st;
+    s.access.wsBytes = static_cast<std::uint64_t>(ws_mb * 1024) * 1024;
+    s.access.hotBytes = static_cast<std::uint64_t>(hot_kb) * 1024;
+    s.access.hotTheta = theta;
+    s.access.hotFrac = hot;
+    s.access.seqFrac = seq;
+    s.data.seed = seed;
+    s.data.zeroLineFrac = zl;
+    s.data.zeroWordFrac = zw;
+    s.data.poolWordFrac = pf;
+    s.data.regionPoolSize = rps;
+    s.data.poolTheta = pt;
+    s.data.smallWordFrac = sm;
+    s.data.chunk256Frac = c256;
+    s.data.chunk256Pool = c256p;
+    s.data.chunk128Frac = c128;
+    s.data.chunk128Pool = c128p;
+    s.data.fpWordFrac = fp;
+    return s;
+}
+
+} // namespace
+
+const std::vector<BenchmarkSpec> &
+spec2006()
+{
+    // Parameters are calibrated so the relative compressibility,
+    // bandwidth intensity, and working-set behaviour of each benchmark
+    // track the paper's characterization (Figures 2, 6, 7): gcc and
+    // zeusmp are zero-dominated; astar/omnetpp/soplex duplicate words
+    // across lines heavily; cactusADM/gamess/leslie3d/povray duplicate
+    // whole 256-bit chunks; h264ref is small-value dominated; and
+    // mcf/lbm/milc/GemsFDTD are bandwidth-bound with huge footprints.
+    static const std::vector<BenchmarkSpec> kTable = {
+        //    name       seed  mem   st  wsMB hotKB theta  hot  seq |  zl   zw   pf  rps   pt   sm  c256 p  c128  p   fp
+        bench("astar",     101, .35, .30,   8,  384, 1.15, .50, .42, .12, .30, .55, 16, 1.20, .08, .30,  6, .35, 12, .00),
+        bench("bzip2",     102, .32, .30,   4,  160, 1.00, .80, .12, .02, .12, .45, 128, 0.90, .20, .08,  8, .10, 16, .00),
+        bench("gcc",       103, .33, .32,   6,  384, 1.10, .36, .60, .45, .72, .18, 32, 1.10, .06, .10,  8, .12, 16, .00),
+        bench("gobmk",     104, .30, .28,   2,  128, 1.00, .88, .06, .03, .15, .45, 64, 0.90, .18, .06,  8, .10, 16, .00),
+        bench("h264ref",   105, .34, .30,   3,  192, 1.00, .82, .12, .03, .20, .18, 64, 0.80, .55, .06,  8, .10, 16, .00),
+        bench("hmmer",     106, .36, .32,   2,  160, 1.05, .85, .10, .02, .14, .38, 48, 0.90, .40, .06,  8, .10, 16, .00),
+        bench("mcf",       107, .38, .25,  48,  256, 0.85, .62, .18, .05, .28, .55, 24, 1.10, .08, .10,  6, .40,  8, .00),
+        bench("omnetpp",   108, .36, .30,   8,  448, 1.12, .52, .40, .10, .28, .55, 16, 1.20, .08, .32,  6, .35, 12, .00),
+        bench("perlbench", 109, .34, .32,   4,  384, 1.08, .64, .26, .05, .20, .55, 24, 1.10, .12, .12,  6, .25, 12, .00),
+        bench("sjeng",     110, .30, .28,   2,  160, 1.00, .86, .08, .02, .10, .35, 256, 0.80, .15, .02,  8, .04, 16, .00),
+        bench("xalancbmk", 111, .36, .30,   6,  384, 1.10, .55, .36, .14, .30, .50, 24, 1.10, .08, .18,  6, .25, 12, .00),
+        bench("bwaves",    112, .40, .28,  32,   96, 0.90, .30, .62, .03, .18, .15, 96, 0.80, .06, .20,  8, .20, 16, .45),
+        bench("cactusADM", 113, .38, .30,  32,   96, 0.90, .25, .68, .03, .22, .18, 16, 0.80, .06, .45,  6, .18, 12, .40),
+        bench("calculix",  114, .32, .28,   4,  160, 1.00, .80, .14, .02, .18, .25, 48, 0.90, .10, .18,  8, .18, 16, .38),
+        bench("dealII",    115, .32, .30,   1,   96, 1.05, .85, .10, .04, .20, .35, 32, 1.00, .12, .15,  8, .15, 16, .26),
+        bench("gamess",    116, .15, .30,   1,   96, 1.00, .85, .10, .02, .18, .28, 12, 0.90, .10, .45,  6, .15, 12, .35),
+        bench("GemsFDTD",  117, .40, .30,  48,   96, 0.90, .22, .70, .05, .22, .22, 48, 0.90, .08, .25,  8, .18, 16, .40),
+        bench("gromacs",   118, .30, .28,   3,  160, 1.00, .84, .10, .02, .14, .22, 96, 0.80, .12, .12,  8, .12, 16, .42),
+        bench("lbm",       119, .42, .35,  64,   64, 0.90, .10, .82, .02, .18, .18, 64, 0.80, .08, .15,  8, .15, 16, .46),
+        bench("leslie3d",  120, .38, .30,  24,   96, 0.90, .28, .62, .03, .20, .20, 16, 0.80, .06, .38,  6, .15, 12, .44),
+        bench("milc",      121, .40, .30,  48,   96, 0.90, .25, .60, .02, .15, .18, 64, 0.90, .08, .20,  8, .15, 16, .44),
+        bench("namd",      122, .20, .28,   2,  128, 1.00, .85, .10, .02, .12, .15, 128, 0.80, .08, .12,  8, .12, 16, .50),
+        bench("povray",    123, .12, .30, 1.5,  128, 1.05, .82, .10, .02, .15, .45, 16, 1.10, .12, .42,  6, .15, 12, .20),
+        bench("soplex",    124, .37, .28,   8,  384, 1.12, .42, .50, .15, .38, .45, 16, 1.20, .06, .28,  6, .35, 12, .05),
+        bench("sphinx3",   125, .35, .28,   8,  256, 1.00, .60, .32, .02, .18, .35, 48, 1.00, .14, .15,  8, .18, 16, .28),
+        bench("tonto",     126, .28, .30,   3,  192, 1.00, .82, .12, .02, .15, .30, 32, 0.90, .12, .22,  8, .18, 16, .35),
+        bench("wrf",       127, .34, .30,  16,  192, 0.95, .45, .45, .05, .25, .25, 32, 0.90, .10, .20,  8, .22, 16, .33),
+        bench("zeusmp",    128, .33, .30,   2,  128, 1.00, .40, .55, .48, .75, .12, 48, 0.90, .06, .10,  8, .12, 16, .05),
+    };
+    static const std::vector<BenchmarkSpec> kAdjusted = [] {
+        std::vector<BenchmarkSpec> t = kTable;
+        // Sweep-writing programs: stores follow the streaming pass
+        // (gcc's IR passes, stencil/array kernels), so write-back
+        // streams stay address-chained. Pointer-chasing codes keep the
+        // default hot-structure store bias.
+        const char *sweep_writers[] = {"gcc",      "zeusmp", "soplex",
+                                       "lbm",      "GemsFDTD", "bwaves",
+                                       "cactusADM", "leslie3d", "milc",
+                                       "wrf",      "sphinx3", "astar",
+                                       "omnetpp",  "xalancbmk"};
+        for (auto &b : t) {
+            for (const char *n : sweep_writers) {
+                if (b.name == n) {
+                    b.access.storeSeqBias = 1.6;
+                    b.access.storeHotBias = 0.15;
+                    b.access.storeColdBias = 0.2;
+                    break;
+                }
+            }
+        }
+        // Zeros cluster: move most of each profile's zero mass into
+        // all-zero 128-bit halves (padding/cleared regions), keeping a
+        // scattered per-word remainder.
+        for (auto &b : t) {
+            const double zw = b.data.zeroWordFrac;
+            b.data.zeroHalfFrac = 0.6 * zw;
+            // Keep total zero mass: h + (1-h) * w = zw.
+            b.data.zeroWordFrac =
+                (zw - b.data.zeroHalfFrac) / (1.0 - b.data.zeroHalfFrac);
+        }
+        // The high-compression club leans on streaming sweeps.
+        const auto retune = [&t](const char *n, double hot_kb, double hot,
+                                 double seq) {
+            for (auto &b : t) {
+                if (b.name == n) {
+                    b.access.hotBytes =
+                        static_cast<std::uint64_t>(hot_kb * 1024);
+                    b.access.hotFrac = hot;
+                    b.access.seqFrac = seq;
+                }
+            }
+        };
+        retune("gcc", 384, .36, .60);
+        retune("zeusmp", 128, .40, .55);
+        retune("soplex", 384, .42, .50);
+        retune("astar", 384, .50, .42);
+        retune("omnetpp", 448, .52, .40);
+        retune("xalancbmk", 384, .55, .36);
+        return t;
+    }();
+    return kAdjusted;
+}
+
+const BenchmarkSpec &
+findBenchmark(const std::string &name)
+{
+    for (const auto &b : spec2006()) {
+        if (b.name == name)
+            return b;
+    }
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+    std::abort();
+}
+
+BenchmarkSpec
+makeVariant(const BenchmarkSpec &base, unsigned index)
+{
+    BenchmarkSpec v = base;
+    v.name = base.name + "_" + std::to_string(index);
+    // Different reference inputs shift footprint and intensity but keep
+    // the benchmark's character. Perturbations are deterministic.
+    const std::uint64_t h = mix64(base.data.seed, index);
+    const auto jitter = [&](double x, double amp, unsigned salt) {
+        const double u =
+            (splitmix64(h + salt) >> 11) * (1.0 / 9007199254740992.0);
+        return x * (1.0 + amp * (2.0 * u - 1.0));
+    };
+    v.access.wsBytes = static_cast<std::uint64_t>(
+        jitter(static_cast<double>(base.access.wsBytes), 0.35, 1));
+    v.access.hotBytes = static_cast<std::uint64_t>(
+        jitter(static_cast<double>(base.access.hotBytes), 0.30, 2));
+    v.access.memFrac = std::min(0.6, jitter(base.access.memFrac, 0.15, 3));
+    v.access.hotFrac = std::min(0.9, jitter(base.access.hotFrac, 0.10, 4));
+    v.data.zeroWordFrac = std::min(0.9, jitter(base.data.zeroWordFrac,
+                                               0.25, 5));
+    v.data.poolWordFrac = std::min(0.9, jitter(base.data.poolWordFrac,
+                                               0.20, 6));
+    // Variants keep the same value-universe seed: different inputs to
+    // the same program still share data patterns.
+    return v;
+}
+
+BenchmarkSpec
+resolveWorkload(const std::string &name)
+{
+    const auto us = name.rfind('_');
+    if (us != std::string::npos) {
+        const std::string base = name.substr(0, us);
+        const unsigned index =
+            static_cast<unsigned>(std::atoi(name.c_str() + us + 1));
+        for (const auto &b : spec2006()) {
+            if (b.name == base)
+                return makeVariant(b, index);
+        }
+    }
+    return findBenchmark(name);
+}
+
+std::vector<BenchmarkSpec>
+figure6Workloads()
+{
+    static const char *kNames[] = {
+        "astar", "astar_1",
+        "bzip2", "bzip2_1", "bzip2_2", "bzip2_3", "bzip2_4", "bzip2_5",
+        "gcc", "gcc_1", "gcc_2", "gcc_3", "gcc_4", "gcc_5", "gcc_6",
+        "gcc_7", "gcc_8",
+        "gobmk", "gobmk_1", "gobmk_2", "gobmk_3", "gobmk_4",
+        "h264ref", "h264ref_1", "h264ref_2",
+        "hmmer", "hmmer_1",
+        "mcf",
+        "omnetpp",
+        "perlbench", "perlbench_1", "perlbench_2",
+        "sjeng",
+        "xalancbmk",
+        "bwaves", "cactusADM", "calculix", "dealII",
+        "gamess", "gamess_1", "gamess_2",
+        "GemsFDTD", "gromacs", "lbm", "leslie3d", "milc", "namd",
+        "povray",
+        "soplex", "soplex_1",
+        "sphinx3", "tonto", "wrf", "zeusmp",
+    };
+    std::vector<BenchmarkSpec> out;
+    for (const char *n : kNames)
+        out.push_back(resolveWorkload(n));
+    return out;
+}
+
+const std::vector<MultiProgramSpec> &
+table6Workloads()
+{
+    static const std::vector<MultiProgramSpec> kTable = {
+        {"M0",
+         {"h264ref_2", "soplex", "hmmer_1", "bzip2", "gcc_8", "sjeng",
+          "perlbench_2", "hmmer", "sphinx3", "zeusmp", "gobmk_2",
+          "perlbench_1", "h264ref", "dealII", "gcc_5", "sjeng"}},
+        {"M1",
+         {"gobmk_2", "gcc_2", "astar_1", "h264ref_2", "gobmk_1",
+          "h264ref_1", "bzip2_1", "gcc_1", "gobmk_4", "bzip2_5",
+          "h264ref_2", "gcc_4", "xalancbmk", "astar_1", "bzip2_5",
+          "bzip2_5"}},
+        {"M2",
+         {"bzip2_2", "perlbench", "astar_1", "perlbench", "bzip2_5",
+          "sjeng", "omnetpp", "gcc_1", "bzip2", "h264ref", "gcc",
+          "gobmk_4", "perlbench_1", "omnetpp", "omnetpp", "gcc_7"}},
+        {"M3",
+         {"hmmer_1", "sjeng", "bzip2_2", "mcf", "gcc_5", "bzip2_5",
+          "hmmer", "gcc_1", "perlbench_1", "gcc_4", "hmmer_1", "astar_1",
+          "astar", "astar", "gcc_5", "h264ref"}},
+        {"S0", std::vector<std::string>(16, "bwaves")},
+        {"S1", std::vector<std::string>(16, "bzip2")},
+        {"S2", std::vector<std::string>(16, "gcc")},
+        {"S3", std::vector<std::string>(16, "h264ref")},
+        {"S4", std::vector<std::string>(16, "hmmer")},
+        {"S5", std::vector<std::string>(16, "perlbench")},
+        {"S6", std::vector<std::string>(16, "sjeng")},
+        {"S7", std::vector<std::string>(16, "soplex")},
+    };
+    return kTable;
+}
+
+} // namespace trace
+} // namespace morc

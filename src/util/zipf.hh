@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Zipf-distributed index sampling for value-pool selection.
+ *
+ * Data-value duplication in real programs is highly skewed (a few values
+ * occur extremely often); the workload substrate models pools of words
+ * whose popularity follows a Zipf distribution.
+ */
+
+#ifndef MORC_UTIL_ZIPF_HH
+#define MORC_UTIL_ZIPF_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace morc {
+
+/**
+ * Samples indices in [0, n) with probability proportional to
+ * 1 / (i+1)^theta using a precomputed inverse CDF table.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double theta) : n_(n), theta_(theta)
+    {
+        cdf_.reserve(n);
+        double sum = 0.0;
+        for (std::uint64_t i = 0; i < n; i++) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+            cdf_.push_back(sum);
+        }
+        for (auto &c : cdf_)
+            c /= sum;
+    }
+
+    /** Draw an index using randomness from @p rng. */
+    std::uint64_t
+    sample(Rng &rng) const
+    {
+        const double u = rng.uniform();
+        // Binary search the inverse CDF.
+        std::uint64_t lo = 0, hi = n_ - 1;
+        while (lo < hi) {
+            const std::uint64_t mid = (lo + hi) / 2;
+            if (cdf_[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    /**
+     * Deterministic variant: map a hash value to an index with the same
+     * skew. Used when a datum must be a pure function of its key.
+     */
+    std::uint64_t
+    sampleHashed(std::uint64_t hash) const
+    {
+        const double u = (hash >> 11) * (1.0 / 9007199254740992.0);
+        std::uint64_t lo = 0, hi = n_ - 1;
+        while (lo < hi) {
+            const std::uint64_t mid = (lo + hi) / 2;
+            if (cdf_[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    std::uint64_t size() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    std::vector<double> cdf_;
+};
+
+} // namespace morc
+
+#endif // MORC_UTIL_ZIPF_HH

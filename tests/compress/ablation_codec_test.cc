@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the ablation codecs: BDI and streaming LZSS.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compress/bdi.hh"
+#include "compress/lbe.hh"
+#include "compress/lzss.hh"
+#include "trace/value_model.hh"
+#include "util/rng.hh"
+
+namespace morc {
+namespace comp {
+namespace {
+
+CacheLine
+randomLine(Rng &rng)
+{
+    CacheLine l;
+    for (unsigned i = 0; i < kWordsPerLine; i++)
+        l.setWord32(i, static_cast<std::uint32_t>(rng.next()));
+    return l;
+}
+
+// -------------------------------------------------------------------- BDI
+
+TEST(Bdi, ZeroLine)
+{
+    EXPECT_EQ(Bdi::bestEncoding(CacheLine{}), BdiEncoding::Zero);
+    EXPECT_EQ(Bdi::lineBits(CacheLine{}), Bdi::kHeaderBits);
+}
+
+TEST(Bdi, RepeatedValue)
+{
+    CacheLine l;
+    for (unsigned i = 0; i < kLineSize / 8; i++)
+        l.setWord64(i, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(Bdi::bestEncoding(l), BdiEncoding::Repeat64);
+    EXPECT_EQ(Bdi::lineBits(l), Bdi::kHeaderBits + 64u);
+}
+
+TEST(Bdi, NarrowDeltasOverOneBase)
+{
+    // Pointer-array style: one 64-bit base plus small offsets.
+    CacheLine l;
+    for (unsigned i = 0; i < kLineSize / 8; i++)
+        l.setWord64(i, 0x7fff00000000ull + i * 8);
+    EXPECT_EQ(Bdi::bestEncoding(l), BdiEncoding::B8D1);
+}
+
+TEST(Bdi, FourByteBase)
+{
+    CacheLine l;
+    for (unsigned i = 0; i < kWordsPerLine; i++)
+        l.setWord32(i, 0x10000000u + i * 3);
+    const auto e = Bdi::bestEncoding(l);
+    EXPECT_TRUE(e == BdiEncoding::B4D1 || e == BdiEncoding::B8D2)
+        << Bdi::name(e);
+    EXPECT_LT(Bdi::lineBits(l), 512u);
+}
+
+TEST(Bdi, RandomDataIsUncompressed)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50; i++) {
+        const CacheLine l = randomLine(rng);
+        EXPECT_EQ(Bdi::bestEncoding(l), BdiEncoding::Uncompressed);
+        EXPECT_EQ(Bdi::lineBits(l), Bdi::kHeaderBits + 512u);
+    }
+}
+
+TEST(Bdi, BestEncodingIsMinimalAmongFitting)
+{
+    Rng rng(9);
+    for (int i = 0; i < 300; i++) {
+        CacheLine l;
+        const std::uint64_t base = rng.next();
+        for (unsigned w = 0; w < kLineSize / 8; w++) {
+            l.setWord64(w, base + (rng.below(1u << (8 * (1 + rng.below(3))))
+                                   >> rng.below(4)));
+        }
+        const auto best = Bdi::bestEncoding(l);
+        const std::uint32_t best_bits = Bdi::encodingBits(best);
+        for (auto e : {BdiEncoding::Zero, BdiEncoding::Repeat64,
+                       BdiEncoding::B8D1, BdiEncoding::B8D2,
+                       BdiEncoding::B8D4, BdiEncoding::B4D1,
+                       BdiEncoding::B4D2, BdiEncoding::B2D1}) {
+            if (Bdi::fits(l, e)) {
+                ASSERT_GE(Bdi::encodingBits(e), best_bits)
+                    << Bdi::name(e);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------- LZSS
+
+TEST(Lzss, RoundTripStream)
+{
+    LzssEncoder enc;
+    LzssDecoder dec;
+    BitWriter out;
+    Rng rng(12);
+    trace::DataProfile p;
+    p.poolWordFrac = 0.5;
+    p.chunk256Frac = 0.2;
+    p.zeroHalfFrac = 0.2;
+    trace::ValueModel vm(p);
+    std::vector<CacheLine> lines;
+    for (int i = 0; i < 150; i++) {
+        const CacheLine l = vm.line(rng.below(64), 0);
+        lines.push_back(l);
+        enc.append(l, &out);
+    }
+    BitReader in(out);
+    for (std::size_t i = 0; i < lines.size(); i++)
+        ASSERT_EQ(dec.decodeLine(in), lines[i]) << "line " << i;
+    EXPECT_EQ(in.remaining(), 0u);
+}
+
+TEST(Lzss, RepeatedLineIsCheap)
+{
+    LzssEncoder enc;
+    Rng rng(5);
+    const CacheLine l = randomLine(rng);
+    const std::uint32_t first = enc.append(l);
+    const std::uint32_t second = enc.append(l);
+    EXPECT_GT(first, 512u); // literals cost 9 bits/byte
+    EXPECT_LT(second, 64u); // one long back-reference
+}
+
+TEST(Lzss, MeasureMatchesAppend)
+{
+    LzssEncoder enc;
+    Rng rng(6);
+    trace::ValueModel vm(trace::DataProfile{});
+    for (int i = 0; i < 60; i++) {
+        const CacheLine l = vm.line(rng.below(128), 0);
+        const auto m = enc.measure(l);
+        ASSERT_EQ(m, enc.append(l));
+    }
+}
+
+TEST(Lzss, ResetForgetsHistory)
+{
+    LzssEncoder enc;
+    Rng rng(7);
+    const CacheLine l = randomLine(rng);
+    const std::uint32_t first = enc.append(l);
+    enc.reset();
+    EXPECT_EQ(enc.append(l), first);
+}
+
+TEST(Lzss, WindowBoundsMatches)
+{
+    LzssEncoder::Config cfg;
+    cfg.windowBytes = 128;
+    LzssEncoder enc(cfg);
+    Rng rng(8);
+    const CacheLine target = randomLine(rng);
+    enc.append(target);
+    // Push the target out of the window with fresh random data.
+    for (int i = 0; i < 4; i++)
+        enc.append(randomLine(rng));
+    // The repeat can no longer reference it.
+    EXPECT_GT(enc.append(target), 300u);
+}
+
+TEST(Lzss, UnalignedDuplicationBeatsLbe)
+{
+    // LZSS matches arbitrary byte offsets; LBE is restricted to aligned
+    // power-of-two blocks — the paper's implementability trade-off.
+    LzssEncoder lz;
+    LbeEncoder lbe;
+    Rng rng(10);
+    CacheLine a = randomLine(rng);
+    CacheLine b;
+    // b = a shifted by 5 bytes: breaks every aligned match.
+    for (unsigned i = 0; i < kLineSize; i++)
+        b.bytes[i] = a.bytes[(i + 5) % kLineSize];
+    lz.append(a);
+    lbe.append(a);
+    EXPECT_LT(lz.append(b), lbe.append(b));
+}
+
+} // namespace
+} // namespace comp
+} // namespace morc

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Tests for C-Pack, FPC, the SC2 Huffman table, the tag codec, and the
+ * oracle limit models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compress/cpack.hh"
+#include "compress/fpc.hh"
+#include "compress/huffman.hh"
+#include "compress/oracle.hh"
+#include "compress/tagcodec.hh"
+#include "util/rng.hh"
+
+namespace morc {
+namespace comp {
+namespace {
+
+CacheLine
+randomLine(Rng &rng)
+{
+    CacheLine l;
+    for (unsigned i = 0; i < kWordsPerLine; i++)
+        l.setWord32(i, static_cast<std::uint32_t>(rng.next()));
+    return l;
+}
+
+// ------------------------------------------------------------------ CPack
+
+TEST(Cpack, ZeroLineIsTwoBitsPerWord)
+{
+    EXPECT_EQ(CpackEncoder::lineBits(CacheLine{}), 2u * kWordsPerLine);
+}
+
+TEST(Cpack, RepeatedWordUsesDictionary)
+{
+    CacheLine l;
+    for (unsigned i = 0; i < kWordsPerLine; i++)
+        l.setWord32(i, 0xdeadbeef);
+    // First word xxxx (34 bits), remaining 15 mmmm (2 + 4 ptr bits).
+    EXPECT_EQ(CpackEncoder::lineBits(l), 34u + 15u * 6u);
+}
+
+TEST(Cpack, RoundTripPerLine)
+{
+    Rng rng(2024);
+    for (int i = 0; i < 300; i++) {
+        CacheLine l;
+        for (unsigned w = 0; w < kWordsPerLine; w++) {
+            switch (rng.below(5)) {
+              case 0: l.setWord32(w, 0); break;
+              case 1: l.setWord32(w, 0x55aa0000 + rng.below(4)); break;
+              case 2:
+                l.setWord32(w, static_cast<std::uint32_t>(rng.below(200)));
+                break;
+              default:
+                l.setWord32(w, static_cast<std::uint32_t>(rng.next()));
+            }
+        }
+        CpackEncoder enc;
+        CpackDecoder dec;
+        BitWriter out;
+        const std::uint32_t bits = enc.append(l, &out);
+        EXPECT_EQ(bits, out.sizeBits());
+        BitReader in(out);
+        ASSERT_EQ(dec.decodeLine(in), l) << "line " << i;
+    }
+}
+
+TEST(Cpack, RoundTripStreaming)
+{
+    CpackEncoder enc(64);
+    CpackDecoder dec(64);
+    BitWriter out;
+    Rng rng(5);
+    std::vector<CacheLine> lines;
+    for (int i = 0; i < 100; i++) {
+        CacheLine l;
+        for (unsigned w = 0; w < kWordsPerLine; w++)
+            l.setWord32(w, static_cast<std::uint32_t>(rng.below(64)) << 8);
+        lines.push_back(l);
+        enc.append(l, &out);
+    }
+    BitReader in(out);
+    for (std::size_t i = 0; i < lines.size(); i++)
+        ASSERT_EQ(dec.decodeLine(in), lines[i]) << i;
+}
+
+TEST(Cpack, MeasureMatchesAppendAndDoesNotMutate)
+{
+    CpackEncoder enc;
+    Rng rng(17);
+    for (int i = 0; i < 100; i++) {
+        const CacheLine l = randomLine(rng);
+        const std::uint32_t m = enc.measure(l);
+        EXPECT_EQ(m, enc.append(l));
+    }
+}
+
+TEST(Cpack, MaxCompressionBoundedByPointerOverhead)
+{
+    // C-Pack's 2-bit zzzz code bounds ratio at 16x per line;
+    // with the standard dictionary, never below 2 bits/word.
+    Rng rng(31);
+    for (int i = 0; i < 100; i++) {
+        CacheLine l = randomLine(rng);
+        const std::uint32_t bits = CpackEncoder::lineBits(l);
+        EXPECT_GE(bits, 2u * kWordsPerLine);
+        EXPECT_LE(bits, 34u * kWordsPerLine);
+    }
+}
+
+// -------------------------------------------------------------------- FPC
+
+TEST(Fpc, ZeroLineUsesRuns)
+{
+    // 16 zero words = 2 runs of 8 = 2 * 6 bits.
+    EXPECT_EQ(Fpc::lineBits(CacheLine{}), 12u);
+}
+
+TEST(Fpc, RoundTrip)
+{
+    Rng rng(6);
+    for (int i = 0; i < 300; i++) {
+        CacheLine l;
+        for (unsigned w = 0; w < kWordsPerLine; w++) {
+            switch (rng.below(8)) {
+              case 0: l.setWord32(w, 0); break;
+              case 1: l.setWord32(w, static_cast<std::uint32_t>(
+                          static_cast<std::int32_t>(rng.below(15)) - 7));
+                      break;
+              case 2: l.setWord32(w, rng.below(200)); break;
+              case 3: l.setWord32(w, rng.below(30000)); break;
+              case 4: l.setWord32(w, (rng.below(60000) << 16)); break;
+              case 5: l.setWord32(w, 0x01010101u *
+                                         (rng.below(255) + 1)); break;
+              default: l.setWord32(w, static_cast<std::uint32_t>(rng.next()));
+            }
+        }
+        BitWriter out;
+        const std::uint32_t bits = Fpc::lineBits(l, &out);
+        EXPECT_EQ(bits, out.sizeBits());
+        BitReader in(out);
+        ASSERT_EQ(Fpc::decodeLine(in), l) << "line " << i;
+    }
+}
+
+// ---------------------------------------------------------------- Huffman
+
+TEST(Huffman, EmptyTableIsLiteral)
+{
+    HuffmanTable t = HuffmanTable::build({}, 16);
+    EXPECT_EQ(t.bitsFor(123), 32u);
+    BitWriter out;
+    t.encode(0xabcdefu, out);
+    EXPECT_EQ(out.sizeBits(), 32u);
+    BitReader in(out);
+    EXPECT_EQ(t.decode(in), 0xabcdefu);
+}
+
+TEST(Huffman, FrequentValuesGetShortCodes)
+{
+    std::unordered_map<std::uint32_t, std::uint64_t> freqs;
+    freqs[0] = 100000;
+    freqs[1] = 5000;
+    freqs[2] = 100;
+    freqs[3] = 1;
+    HuffmanTable t = HuffmanTable::build(freqs, 16);
+    EXPECT_LT(t.bitsFor(0), t.bitsFor(3));
+    EXPECT_LE(t.bitsFor(0), 2u);
+    // Unknown values pay escape + 32.
+    EXPECT_GE(t.bitsFor(0x12345678), 33u);
+}
+
+TEST(Huffman, RoundTripManyValues)
+{
+    Rng rng(77);
+    std::unordered_map<std::uint32_t, std::uint64_t> freqs;
+    for (unsigned i = 0; i < 500; i++)
+        freqs[i * 3] = rng.below(10000) + 1;
+    HuffmanTable t = HuffmanTable::build(freqs, 256);
+
+    BitWriter out;
+    std::vector<std::uint32_t> values;
+    for (int i = 0; i < 2000; i++) {
+        const std::uint32_t v = rng.chance(0.8)
+                                    ? static_cast<std::uint32_t>(
+                                          rng.below(500) * 3)
+                                    : static_cast<std::uint32_t>(rng.next());
+        values.push_back(v);
+        t.encode(v, out);
+    }
+    BitReader in(out);
+    std::uint64_t measured = 0;
+    for (std::uint32_t v : values)
+        measured += t.bitsFor(v);
+    EXPECT_EQ(measured, out.sizeBits());
+    for (std::size_t i = 0; i < values.size(); i++)
+        ASSERT_EQ(t.decode(in), values[i]) << i;
+}
+
+TEST(Huffman, SamplerTrainsAndDecays)
+{
+    ValueSampler sampler(64);
+    CacheLine common{};
+    for (unsigned i = 0; i < kWordsPerLine; i++)
+        common.setWord32(i, 0xabcd);
+    for (int i = 0; i < 100; i++)
+        sampler.observe(common);
+    HuffmanTable t = sampler.train();
+    EXPECT_LE(t.bitsFor(0xabcd), 2u);
+    sampler.decay();
+    EXPECT_EQ(sampler.linesObserved(), 100u);
+}
+
+TEST(Huffman, SkewedWeightsRespectLengthLimit)
+{
+    // Fibonacci-like weights drive unbounded Huffman depth; the builder
+    // must flatten them.
+    std::unordered_map<std::uint32_t, std::uint64_t> freqs;
+    std::uint64_t a = 1, b = 1;
+    for (unsigned i = 0; i < 60; i++) {
+        freqs[i] = a;
+        const std::uint64_t c = a + b;
+        a = b;
+        b = c;
+    }
+    HuffmanTable t = HuffmanTable::build(freqs, 64);
+    BitWriter out;
+    for (unsigned i = 0; i < 60; i++)
+        t.encode(i, out);
+    BitReader in(out);
+    for (unsigned i = 0; i < 60; i++)
+        ASSERT_EQ(t.decode(in), i);
+}
+
+// --------------------------------------------------------------- TagCodec
+
+TEST(TagDistance, TableMatchesPaper)
+{
+    // Table 2 rows: code values 0-3 -> distances 1-4, 0 bits.
+    for (std::uint64_t d = 1; d <= 4; d++) {
+        const auto dc = TagDistanceCode::forDistance(d);
+        EXPECT_EQ(dc.code, d - 1);
+        EXPECT_EQ(dc.precisionBits, 0u);
+    }
+    // Codes 4-5: distances 5-8, 1 bit.
+    EXPECT_EQ(TagDistanceCode::forDistance(5).code, 4u);
+    EXPECT_EQ(TagDistanceCode::forDistance(5).precisionBits, 1u);
+    EXPECT_EQ(TagDistanceCode::forDistance(8).code, 5u);
+    // Codes 6-7: 9-16, 2 bits.
+    EXPECT_EQ(TagDistanceCode::forDistance(9).code, 6u);
+    EXPECT_EQ(TagDistanceCode::forDistance(16).code, 7u);
+    EXPECT_EQ(TagDistanceCode::forDistance(16).precisionBits, 2u);
+    // Codes 26-27: 8193-16384, 12 bits.
+    EXPECT_EQ(TagDistanceCode::forDistance(8193).code, 26u);
+    EXPECT_EQ(TagDistanceCode::forDistance(16384).code, 27u);
+    EXPECT_EQ(TagDistanceCode::forDistance(16384).precisionBits, 12u);
+    // Codes 28-29: 16385-32768, 13 bits.
+    EXPECT_EQ(TagDistanceCode::forDistance(16385).code, 28u);
+    EXPECT_EQ(TagDistanceCode::forDistance(32768).code, 29u);
+    EXPECT_EQ(TagDistanceCode::forDistance(32768).precisionBits, 13u);
+}
+
+TEST(TagCodec, SequentialTagsAreCheap)
+{
+    TagCodec codec(1);
+    codec.append(1000); // new base: 5 + 42 + validity
+    for (int i = 1; i <= 10; i++) {
+        // delta 1 -> code 0, no precision: 1 + 5 + 1 = 7 bits.
+        EXPECT_EQ(codec.append(1000 + i), 7u);
+    }
+}
+
+TEST(TagCodec, TwoBasesTrackTwoStreams)
+{
+    TagCodec two(2);
+    TagCodec one(1);
+    // Interleave two distant sequential streams.
+    std::uint64_t cost_two = 0, cost_one = 0;
+    for (int i = 0; i < 50; i++) {
+        cost_two += two.append(1000 + i);
+        cost_two += two.append(900000 + i);
+        cost_one += one.append(1000 + i);
+        cost_one += one.append(900000 + i);
+    }
+    EXPECT_LT(cost_two, cost_one);
+}
+
+TEST(TagCodec, MeasureMatchesAppend)
+{
+    TagCodec codec(2);
+    Rng rng(8);
+    std::uint64_t tag = 500000;
+    for (int i = 0; i < 200; i++) {
+        tag += rng.below(100) - 50;
+        const auto m = codec.measure(tag);
+        EXPECT_EQ(m, codec.append(tag));
+    }
+}
+
+TEST(TagCodec, RoundTrip)
+{
+    for (unsigned bases : {1u, 2u}) {
+        TagCodec enc(bases);
+        TagDecoder dec(bases);
+        BitWriter out;
+        Rng rng(bases * 13);
+        std::vector<std::uint64_t> tags;
+        std::uint64_t t1 = 123456, t2 = 999999999;
+        for (int i = 0; i < 500; i++) {
+            std::uint64_t tag;
+            switch (rng.below(4)) {
+              case 0: tag = (t1 += rng.below(5) + 1); break;
+              case 1: tag = (t1 -= std::min<std::uint64_t>(
+                                 t1, rng.below(1000))); break;
+              case 2: tag = (t2 += rng.below(40000)); break;
+              default: tag = rng.next() & ((1ull << 42) - 1); break;
+            }
+            tags.push_back(tag);
+            enc.append(tag, &out);
+        }
+        BitReader in(out);
+        for (std::size_t i = 0; i < tags.size(); i++)
+            ASSERT_EQ(dec.next(in), tags[i]) << "bases=" << bases
+                                             << " i=" << i;
+        EXPECT_EQ(in.remaining(), 0u);
+    }
+}
+
+TEST(TagCodec, SameTagTwiceFallsBackToNewBase)
+{
+    TagCodec codec(1);
+    codec.append(42);
+    // Delta of zero is not encodable; must re-emit a base.
+    EXPECT_EQ(codec.append(42),
+              1u + TagCodec::kCodeBits + TagCodec::kFullTagBits);
+}
+
+// ----------------------------------------------------------------- Oracle
+
+TEST(Oracle, IntraZeroLineIsFree)
+{
+    EXPECT_EQ(oracleIntraBits(CacheLine{}), 0u);
+}
+
+TEST(Oracle, IntraDedupsWithinLine)
+{
+    CacheLine l;
+    for (unsigned i = 0; i < kWordsPerLine; i++)
+        l.setWord32(i, 0xcafebabe);
+    EXPECT_EQ(oracleIntraBits(l), 32u); // one unique word
+}
+
+TEST(Oracle, InterDedupsAcrossLines)
+{
+    OracleDictionary dict;
+    CacheLine a;
+    for (unsigned i = 0; i < kWordsPerLine; i++)
+        a.setWord32(i, 0x10000 + i);
+    EXPECT_EQ(dict.interBits(a), 16u * 24u); // 3 significant bytes each
+    dict.addLine(a);
+    EXPECT_EQ(dict.interBits(a), 0u); // fully duplicated now
+    dict.removeLine(a);
+    EXPECT_EQ(dict.interBits(a), 16u * 24u);
+    EXPECT_EQ(dict.distinctWords(), 0u);
+}
+
+TEST(Oracle, SignificantBytes)
+{
+    EXPECT_EQ(significantBytes(0), 0u);
+    EXPECT_EQ(significantBytes(0xff), 1u);
+    EXPECT_EQ(significantBytes(0x100), 2u);
+    EXPECT_EQ(significantBytes(0xffff), 2u);
+    EXPECT_EQ(significantBytes(0x10000), 3u);
+    EXPECT_EQ(significantBytes(0x1000000), 4u);
+}
+
+} // namespace
+} // namespace comp
+} // namespace morc

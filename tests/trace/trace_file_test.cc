@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for trace record/replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/trace_file.hh"
+
+namespace morc {
+namespace trace {
+namespace {
+
+TEST(TraceFile, RecordSaveLoadRoundTrip)
+{
+    const auto spec = findBenchmark("gcc");
+    ThreadTrace source(spec, 0);
+    TraceFile recorded = TraceFile::record(source, 5000);
+    ASSERT_EQ(recorded.refs().size(), 5000u);
+
+    const std::string path = "/tmp/morc_trace_test.bin";
+    ASSERT_TRUE(recorded.save(path));
+    const TraceFile loaded = TraceFile::load(path);
+    std::remove(path.c_str());
+
+    ASSERT_EQ(loaded.refs().size(), recorded.refs().size());
+    for (std::size_t i = 0; i < loaded.refs().size(); i++) {
+        ASSERT_EQ(loaded.refs()[i].addr, recorded.refs()[i].addr);
+        ASSERT_EQ(loaded.refs()[i].write, recorded.refs()[i].write);
+        ASSERT_EQ(loaded.refs()[i].gap, recorded.refs()[i].gap);
+    }
+}
+
+TEST(TraceFile, LoadRejectsGarbage)
+{
+    const std::string path = "/tmp/morc_trace_garbage.bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    EXPECT_TRUE(TraceFile::load(path).empty());
+    std::remove(path.c_str());
+    EXPECT_TRUE(TraceFile::load("/nonexistent/path").empty());
+}
+
+TEST(TraceFile, ReplayMatchesRecording)
+{
+    const auto spec = findBenchmark("astar");
+    ThreadTrace source(spec, 0);
+    TraceFile recorded = TraceFile::record(source, 1000);
+    ReplayTrace replay(recorded, spec.data);
+    for (int pass = 0; pass < 2; pass++) { // cycles at the end
+        for (std::size_t i = 0; i < 1000; i++) {
+            const MemRef r = replay.next();
+            ASSERT_EQ(r.addr, recorded.refs()[i].addr);
+        }
+    }
+}
+
+TEST(TraceFile, ReplayValuesAreDeterministic)
+{
+    const auto spec = findBenchmark("soplex");
+    ThreadTrace source(spec, 0);
+    ReplayTrace replay(TraceFile::record(source, 10), spec.data);
+    EXPECT_EQ(replay.values().line(77, 0),
+              ValueModel(spec.data).line(77, 0));
+}
+
+} // namespace
+} // namespace trace
+} // namespace morc

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests for the synthetic workload substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "trace/workload.hh"
+
+namespace morc {
+namespace trace {
+namespace {
+
+TEST(ValueModel, DeterministicPerAddressAndVersion)
+{
+    const DataProfile p{};
+    ValueModel m(p);
+    EXPECT_EQ(m.line(42, 0), m.line(42, 0));
+    EXPECT_EQ(m.line(42, 3), m.line(42, 3));
+    // Different lines and versions diverge (overwhelmingly likely).
+    EXPECT_FALSE(m.line(42, 0) == m.line(43, 0));
+    EXPECT_FALSE(m.line(42, 0) == m.line(42, 1));
+}
+
+TEST(ValueModel, SharedSeedSharesValues)
+{
+    DataProfile a{}, b{};
+    a.seed = b.seed = 777;
+    ValueModel ma(a), mb(b);
+    EXPECT_EQ(ma.line(1000, 0), mb.line(1000, 0));
+}
+
+TEST(ValueModel, ZeroLineFraction)
+{
+    DataProfile p{};
+    p.zeroLineFrac = 0.5;
+    ValueModel m(p);
+    unsigned zeros = 0;
+    for (std::uint64_t l = 0; l < 2000; l++) {
+        if (m.line(l, 0).isZero())
+            zeros++;
+    }
+    EXPECT_NEAR(zeros / 2000.0, 0.5, 0.06);
+}
+
+TEST(ValueModel, ZeroWordFraction)
+{
+    DataProfile p{};
+    p.zeroLineFrac = 0.0;
+    p.zeroWordFrac = 0.4;
+    p.poolWordFrac = 0.0;
+    p.smallWordFrac = 0.0;
+    p.chunk256Frac = 0.0;
+    p.chunk128Frac = 0.0;
+    ValueModel m(p);
+    std::uint64_t zero_words = 0, total = 0;
+    for (std::uint64_t l = 0; l < 2000; l++) {
+        const CacheLine line = m.line(l, 0);
+        for (unsigned w = 0; w < kWordsPerLine; w++) {
+            total++;
+            if (line.word32(w) == 0)
+                zero_words++;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(zero_words) / total, 0.4, 0.05);
+}
+
+TEST(ValueModel, PoolDuplicationIsRegionScoped)
+{
+    DataProfile p{};
+    p.zeroLineFrac = 0;
+    p.zeroWordFrac = 0;
+    p.smallWordFrac = 0;
+    p.poolWordFrac = 1.0;
+    p.globalPoolFrac = 0.0;
+    p.regionPoolSize = 32;
+    p.regionBytes = 4096;
+    ValueModel m(p);
+    // Lines within one region share <=32 distinct words.
+    std::set<std::uint32_t> within;
+    for (std::uint64_t l = 0; l < 64; l++) { // one 4 KB region
+        const CacheLine line = m.line(l, 0);
+        for (unsigned w = 0; w < kWordsPerLine; w++)
+            within.insert(line.word32(w));
+    }
+    EXPECT_LE(within.size(), 32u);
+    // Distant regions use different slices.
+    std::set<std::uint32_t> across = within;
+    for (std::uint64_t l = 1000000; l < 1000064; l++) {
+        const CacheLine line = m.line(l, 0);
+        for (unsigned w = 0; w < kWordsPerLine; w++)
+            across.insert(line.word32(w));
+    }
+    EXPECT_GT(across.size(), within.size());
+}
+
+TEST(ValueModel, GlobalPoolSharedAcrossRegions)
+{
+    DataProfile p{};
+    p.zeroLineFrac = 0;
+    p.zeroWordFrac = 0;
+    p.smallWordFrac = 0;
+    p.poolWordFrac = 1.0;
+    p.globalPoolFrac = 1.0;
+    p.globalPoolSize = 16;
+    ValueModel m(p);
+    std::set<std::uint32_t> distinct;
+    for (std::uint64_t l = 0; l < 10000; l += 97) {
+        const CacheLine line = m.line(l, 0);
+        for (unsigned w = 0; w < kWordsPerLine; w++)
+            distinct.insert(line.word32(w));
+    }
+    EXPECT_LE(distinct.size(), 16u);
+}
+
+TEST(ValueModel, ChunkPoolRepeats256BitChunks)
+{
+    DataProfile p{};
+    p.zeroLineFrac = 0;
+    p.chunk256Frac = 1.0;
+    p.chunk256Pool = 8;
+    ValueModel m(p);
+    // Chunk vocabularies are region-scoped: stay within one region.
+    std::set<std::string> chunks;
+    const std::uint64_t lines_per_region = p.regionBytes / kLineSize;
+    for (std::uint64_t l = 0; l < lines_per_region; l++) {
+        const CacheLine line = m.line(l, 0);
+        for (unsigned c = 0; c < 2; c++) {
+            chunks.emplace(
+                reinterpret_cast<const char *>(line.bytes.data()) + c * 32,
+                32);
+        }
+    }
+    EXPECT_LE(chunks.size(), 8u);
+    // A distant region uses a different chunk vocabulary.
+    std::set<std::string> other = chunks;
+    for (std::uint64_t l = 100 * lines_per_region;
+         l < 101 * lines_per_region; l++) {
+        const CacheLine line = m.line(l, 0);
+        for (unsigned c = 0; c < 2; c++) {
+            other.emplace(
+                reinterpret_cast<const char *>(line.bytes.data()) + c * 32,
+                32);
+        }
+    }
+    EXPECT_GT(other.size(), chunks.size());
+}
+
+TEST(ValueModel, StoreChurnPreservesSomeWords)
+{
+    DataProfile p{};
+    p.zeroLineFrac = 0;
+    p.storeChurn = 0.3;
+    ValueModel m(p);
+    unsigned preserved = 0, total = 0;
+    for (std::uint64_t l = 0; l < 200; l++) {
+        const CacheLine v0 = m.line(l, 0);
+        const CacheLine v1 = m.line(l, 1);
+        for (unsigned w = 0; w < kWordsPerLine; w++) {
+            total++;
+            if (v0.word32(w) == v1.word32(w))
+                preserved++;
+        }
+    }
+    EXPECT_GT(static_cast<double>(preserved) / total, 0.5);
+}
+
+TEST(ThreadTrace, DeterministicStream)
+{
+    const BenchmarkSpec &spec = findBenchmark("gcc");
+    ThreadTrace a(spec, 0), b(spec, 0);
+    for (int i = 0; i < 1000; i++) {
+        const MemRef ra = a.next(), rb = b.next();
+        ASSERT_EQ(ra.addr, rb.addr);
+        ASSERT_EQ(ra.write, rb.write);
+        ASSERT_EQ(ra.gap, rb.gap);
+    }
+}
+
+TEST(ThreadTrace, AddressSpaceIsolation)
+{
+    const BenchmarkSpec &spec = findBenchmark("astar");
+    ThreadTrace t0(spec, 0), t5(spec, 5);
+    EXPECT_NE(t0.addrBase(), t5.addrBase());
+    for (int i = 0; i < 1000; i++) {
+        EXPECT_EQ(t0.next().addr >> 40, t0.addrBase() >> 40);
+        EXPECT_EQ(t5.next().addr >> 40, t5.addrBase() >> 40);
+    }
+}
+
+TEST(ThreadTrace, MemFracControlsGaps)
+{
+    BenchmarkSpec spec = findBenchmark("gcc");
+    spec.access.memFrac = 0.25;
+    ThreadTrace t(spec, 0);
+    std::uint64_t instrs = 0, refs = 0;
+    for (int i = 0; i < 50000; i++) {
+        const MemRef r = t.next();
+        instrs += r.gap + 1;
+        refs++;
+    }
+    EXPECT_NEAR(static_cast<double>(refs) / instrs, 0.25, 0.02);
+}
+
+TEST(ThreadTrace, StoreFraction)
+{
+    BenchmarkSpec spec = findBenchmark("gcc");
+    spec.access.storeFrac = 0.3;
+    ThreadTrace t(spec, 0);
+    unsigned writes = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; i++)
+        writes += t.next().write ? 1 : 0;
+    EXPECT_NEAR(writes / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(ThreadTrace, FootprintStaysWithinWorkingSet)
+{
+    BenchmarkSpec spec = findBenchmark("dealII");
+    ThreadTrace t(spec, 0);
+    for (int i = 0; i < 100000; i++) {
+        const Addr off = t.next().addr - t.addrBase();
+        ASSERT_LT(off, spec.access.wsBytes);
+    }
+}
+
+TEST(Registry, AllBaseBenchmarksPresent)
+{
+    EXPECT_EQ(spec2006().size(), 28u);
+    std::set<std::string> names;
+    for (const auto &b : spec2006())
+        names.insert(b.name);
+    EXPECT_EQ(names.size(), 28u);
+    EXPECT_TRUE(names.count("gcc"));
+    EXPECT_TRUE(names.count("zeusmp"));
+    EXPECT_TRUE(names.count("cactusADM"));
+}
+
+TEST(Registry, Figure6Has54Workloads)
+{
+    const auto w = figure6Workloads();
+    EXPECT_EQ(w.size(), 54u);
+    EXPECT_EQ(w[0].name, "astar");
+    EXPECT_EQ(w[1].name, "astar_1");
+    EXPECT_EQ(w.back().name, "zeusmp");
+}
+
+TEST(Registry, VariantsDifferButShareSeed)
+{
+    const BenchmarkSpec base = findBenchmark("bzip2");
+    const BenchmarkSpec v1 = makeVariant(base, 1);
+    const BenchmarkSpec v2 = makeVariant(base, 2);
+    EXPECT_EQ(v1.name, "bzip2_1");
+    EXPECT_EQ(v1.data.seed, base.data.seed);
+    EXPECT_NE(v1.access.wsBytes, v2.access.wsBytes);
+    // Deterministic.
+    EXPECT_EQ(makeVariant(base, 1).access.wsBytes, v1.access.wsBytes);
+}
+
+TEST(Registry, ResolveWorkloadHandlesVariants)
+{
+    EXPECT_EQ(resolveWorkload("gcc").name, "gcc");
+    EXPECT_EQ(resolveWorkload("gcc_3").name, "gcc_3");
+}
+
+TEST(Registry, Table6Structure)
+{
+    const auto &t6 = table6Workloads();
+    ASSERT_EQ(t6.size(), 12u);
+    for (const auto &mp : t6) {
+        EXPECT_EQ(mp.programs.size(), 16u) << mp.name;
+        for (const auto &p : mp.programs)
+            resolveWorkload(p); // must not abort
+    }
+    EXPECT_EQ(t6[0].name, "M0");
+    EXPECT_EQ(t6[4].name, "S0");
+    for (const auto &p : t6[5].programs)
+        EXPECT_EQ(p, "bzip2"); // S1 replicates bzip2
+}
+
+} // namespace
+} // namespace trace
+} // namespace morc
