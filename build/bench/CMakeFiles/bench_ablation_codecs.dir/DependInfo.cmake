@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_codecs.cc" "bench/CMakeFiles/bench_ablation_codecs.dir/bench_ablation_codecs.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_codecs.dir/bench_ablation_codecs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/morc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/morc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/morc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/morc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/morc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/morc_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

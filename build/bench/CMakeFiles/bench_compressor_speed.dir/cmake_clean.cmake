@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compressor_speed.dir/bench_compressor_speed.cc.o"
+  "CMakeFiles/bench_compressor_speed.dir/bench_compressor_speed.cc.o.d"
+  "bench_compressor_speed"
+  "bench_compressor_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compressor_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

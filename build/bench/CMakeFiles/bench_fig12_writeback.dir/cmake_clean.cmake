@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_writeback.dir/bench_fig12_writeback.cc.o"
+  "CMakeFiles/bench_fig12_writeback.dir/bench_fig12_writeback.cc.o.d"
+  "bench_fig12_writeback"
+  "bench_fig12_writeback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_writeback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

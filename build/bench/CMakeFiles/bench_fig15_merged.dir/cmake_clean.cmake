@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_merged.dir/bench_fig15_merged.cc.o"
+  "CMakeFiles/bench_fig15_merged.dir/bench_fig15_merged.cc.o.d"
+  "bench_fig15_merged"
+  "bench_fig15_merged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_merged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

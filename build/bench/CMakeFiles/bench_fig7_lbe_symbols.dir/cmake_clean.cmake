@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_lbe_symbols.dir/bench_fig7_lbe_symbols.cc.o"
+  "CMakeFiles/bench_fig7_lbe_symbols.dir/bench_fig7_lbe_symbols.cc.o.d"
+  "bench_fig7_lbe_symbols"
+  "bench_fig7_lbe_symbols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_lbe_symbols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

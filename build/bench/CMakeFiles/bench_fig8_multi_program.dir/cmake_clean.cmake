@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_multi_program.dir/bench_fig8_multi_program.cc.o"
+  "CMakeFiles/bench_fig8_multi_program.dir/bench_fig8_multi_program.cc.o.d"
+  "bench_fig8_multi_program"
+  "bench_fig8_multi_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_multi_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

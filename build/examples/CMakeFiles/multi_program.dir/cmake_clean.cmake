@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_program.dir/multi_program.cpp.o"
+  "CMakeFiles/multi_program.dir/multi_program.cpp.o.d"
+  "multi_program"
+  "multi_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_program.dir/single_program.cpp.o"
+  "CMakeFiles/single_program.dir/single_program.cpp.o.d"
+  "single_program"
+  "single_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

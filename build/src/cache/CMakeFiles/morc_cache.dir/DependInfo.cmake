@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/adaptive.cc" "src/cache/CMakeFiles/morc_cache.dir/adaptive.cc.o" "gcc" "src/cache/CMakeFiles/morc_cache.dir/adaptive.cc.o.d"
+  "/root/repo/src/cache/decoupled.cc" "src/cache/CMakeFiles/morc_cache.dir/decoupled.cc.o" "gcc" "src/cache/CMakeFiles/morc_cache.dir/decoupled.cc.o.d"
+  "/root/repo/src/cache/ideal.cc" "src/cache/CMakeFiles/morc_cache.dir/ideal.cc.o" "gcc" "src/cache/CMakeFiles/morc_cache.dir/ideal.cc.o.d"
+  "/root/repo/src/cache/overheads.cc" "src/cache/CMakeFiles/morc_cache.dir/overheads.cc.o" "gcc" "src/cache/CMakeFiles/morc_cache.dir/overheads.cc.o.d"
+  "/root/repo/src/cache/sc2.cc" "src/cache/CMakeFiles/morc_cache.dir/sc2.cc.o" "gcc" "src/cache/CMakeFiles/morc_cache.dir/sc2.cc.o.d"
+  "/root/repo/src/cache/uncompressed.cc" "src/cache/CMakeFiles/morc_cache.dir/uncompressed.cc.o" "gcc" "src/cache/CMakeFiles/morc_cache.dir/uncompressed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/morc_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

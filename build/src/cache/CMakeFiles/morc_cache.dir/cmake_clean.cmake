@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morc_cache.dir/adaptive.cc.o"
+  "CMakeFiles/morc_cache.dir/adaptive.cc.o.d"
+  "CMakeFiles/morc_cache.dir/decoupled.cc.o"
+  "CMakeFiles/morc_cache.dir/decoupled.cc.o.d"
+  "CMakeFiles/morc_cache.dir/ideal.cc.o"
+  "CMakeFiles/morc_cache.dir/ideal.cc.o.d"
+  "CMakeFiles/morc_cache.dir/overheads.cc.o"
+  "CMakeFiles/morc_cache.dir/overheads.cc.o.d"
+  "CMakeFiles/morc_cache.dir/sc2.cc.o"
+  "CMakeFiles/morc_cache.dir/sc2.cc.o.d"
+  "CMakeFiles/morc_cache.dir/uncompressed.cc.o"
+  "CMakeFiles/morc_cache.dir/uncompressed.cc.o.d"
+  "libmorc_cache.a"
+  "libmorc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

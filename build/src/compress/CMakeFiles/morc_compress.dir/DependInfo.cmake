@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bdi.cc" "src/compress/CMakeFiles/morc_compress.dir/bdi.cc.o" "gcc" "src/compress/CMakeFiles/morc_compress.dir/bdi.cc.o.d"
+  "/root/repo/src/compress/cpack.cc" "src/compress/CMakeFiles/morc_compress.dir/cpack.cc.o" "gcc" "src/compress/CMakeFiles/morc_compress.dir/cpack.cc.o.d"
+  "/root/repo/src/compress/fpc.cc" "src/compress/CMakeFiles/morc_compress.dir/fpc.cc.o" "gcc" "src/compress/CMakeFiles/morc_compress.dir/fpc.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/compress/CMakeFiles/morc_compress.dir/huffman.cc.o" "gcc" "src/compress/CMakeFiles/morc_compress.dir/huffman.cc.o.d"
+  "/root/repo/src/compress/lbe.cc" "src/compress/CMakeFiles/morc_compress.dir/lbe.cc.o" "gcc" "src/compress/CMakeFiles/morc_compress.dir/lbe.cc.o.d"
+  "/root/repo/src/compress/lzss.cc" "src/compress/CMakeFiles/morc_compress.dir/lzss.cc.o" "gcc" "src/compress/CMakeFiles/morc_compress.dir/lzss.cc.o.d"
+  "/root/repo/src/compress/tagcodec.cc" "src/compress/CMakeFiles/morc_compress.dir/tagcodec.cc.o" "gcc" "src/compress/CMakeFiles/morc_compress.dir/tagcodec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morc_compress.dir/bdi.cc.o"
+  "CMakeFiles/morc_compress.dir/bdi.cc.o.d"
+  "CMakeFiles/morc_compress.dir/cpack.cc.o"
+  "CMakeFiles/morc_compress.dir/cpack.cc.o.d"
+  "CMakeFiles/morc_compress.dir/fpc.cc.o"
+  "CMakeFiles/morc_compress.dir/fpc.cc.o.d"
+  "CMakeFiles/morc_compress.dir/huffman.cc.o"
+  "CMakeFiles/morc_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/morc_compress.dir/lbe.cc.o"
+  "CMakeFiles/morc_compress.dir/lbe.cc.o.d"
+  "CMakeFiles/morc_compress.dir/lzss.cc.o"
+  "CMakeFiles/morc_compress.dir/lzss.cc.o.d"
+  "CMakeFiles/morc_compress.dir/tagcodec.cc.o"
+  "CMakeFiles/morc_compress.dir/tagcodec.cc.o.d"
+  "libmorc_compress.a"
+  "libmorc_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morc_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

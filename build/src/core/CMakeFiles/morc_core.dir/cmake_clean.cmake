@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morc_core.dir/morc.cc.o"
+  "CMakeFiles/morc_core.dir/morc.cc.o.d"
+  "libmorc_core.a"
+  "libmorc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

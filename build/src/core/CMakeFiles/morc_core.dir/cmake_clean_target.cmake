@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmorc_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morc_energy.dir/energy.cc.o"
+  "CMakeFiles/morc_energy.dir/energy.cc.o.d"
+  "libmorc_energy.a"
+  "libmorc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morc_sim.dir/scheme.cc.o"
+  "CMakeFiles/morc_sim.dir/scheme.cc.o.d"
+  "CMakeFiles/morc_sim.dir/system.cc.o"
+  "CMakeFiles/morc_sim.dir/system.cc.o.d"
+  "libmorc_sim.a"
+  "libmorc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

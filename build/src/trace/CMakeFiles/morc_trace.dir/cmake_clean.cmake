@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morc_trace.dir/trace_file.cc.o"
+  "CMakeFiles/morc_trace.dir/trace_file.cc.o.d"
+  "CMakeFiles/morc_trace.dir/value_model.cc.o"
+  "CMakeFiles/morc_trace.dir/value_model.cc.o.d"
+  "CMakeFiles/morc_trace.dir/workload.cc.o"
+  "CMakeFiles/morc_trace.dir/workload.cc.o.d"
+  "libmorc_trace.a"
+  "libmorc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

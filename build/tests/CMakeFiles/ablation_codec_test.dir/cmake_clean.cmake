@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_codec_test.dir/compress/ablation_codec_test.cc.o"
+  "CMakeFiles/ablation_codec_test.dir/compress/ablation_codec_test.cc.o.d"
+  "ablation_codec_test"
+  "ablation_codec_test.pdb"
+  "ablation_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbe_test.dir/compress/lbe_test.cc.o"
+  "CMakeFiles/lbe_test.dir/compress/lbe_test.cc.o.d"
+  "lbe_test"
+  "lbe_test.pdb"
+  "lbe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

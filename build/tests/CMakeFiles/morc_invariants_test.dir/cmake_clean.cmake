@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morc_invariants_test.dir/core/morc_invariants_test.cc.o"
+  "CMakeFiles/morc_invariants_test.dir/core/morc_invariants_test.cc.o.d"
+  "morc_invariants_test"
+  "morc_invariants_test.pdb"
+  "morc_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morc_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

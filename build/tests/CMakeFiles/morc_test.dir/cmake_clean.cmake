@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morc_test.dir/core/morc_test.cc.o"
+  "CMakeFiles/morc_test.dir/core/morc_test.cc.o.d"
+  "morc_test"
+  "morc_test.pdb"
+  "morc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
