@@ -1,105 +1,13 @@
 /**
  * @file
- * Ablation: compression-algorithm choices on the same per-benchmark log
- * streams. Reproduces two claims from the paper's text rather than its
- * figures: (a) "LZ, as a direct replacement to LBE, has similar
- * compression performance" (Section 6), and (b) C-Pack's pointer
- * overhead caps streaming ratio (Section 3.2.5). BDI and FPC are
- * included as intra-line yardsticks, and the tag codec's 1- vs 2-base
- * variants are swept.
+ * Thin wrapper: runs the "ablation" sweep from the shared figure registry
+ * (see common/figures.cc). Accepts --jobs N and --out DIR.
  */
 
-#include <cstdio>
-
-#include "common/bench_common.hh"
-#include "compress/bdi.hh"
-#include "compress/cpack.hh"
-#include "compress/fpc.hh"
-#include "compress/lbe.hh"
-#include "compress/lzss.hh"
-#include "compress/tagcodec.hh"
-#include "util/rng.hh"
+#include "common/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace morc;
-    using namespace morc::bench;
-    banner("Ablation: stream/line codecs on identical fill streams",
-           "LZ ~ LBE (Section 6); C-Pack capped by per-word pointers; "
-           "intra-line codecs (FPC/BDI) trail inter-line ones");
-
-    std::printf("%-10s %7s %7s %8s %7s %7s\n", "bench", "LBE",
-                "LZSS", "C-Packs", "FPC", "BDI");
-    std::vector<double> r_lbe, r_lz, r_cp, r_fpc, r_bdi;
-    for (const auto &spec : trace::spec2006()) {
-        trace::ValueModel vm(spec.data);
-        Rng rng(77);
-        const std::uint64_t ws_lines = spec.access.wsBytes / kLineSize;
-
-        comp::LbeEncoder lbe;
-        comp::LzssEncoder lz;
-        comp::CpackEncoder cpack_stream(512); // same dictionary budget
-        std::uint64_t b_lbe = 0, b_lz = 0, b_cp = 0, b_fpc = 0,
-                      b_bdi = 0;
-        std::uint64_t log_lbe = 0, log_lz = 0, log_cp = 0;
-        int n = 0;
-        for (int burst = 0; burst < 120; burst++) {
-            const std::uint64_t base = rng.below(ws_lines) & ~15ull;
-            for (int i = 0; i < 16; i++) {
-                const CacheLine l = vm.line(base + i, 0);
-                const auto add = [&](std::uint64_t &total,
-                                     std::uint64_t &log,
-                                     std::uint32_t bits, auto &enc) {
-                    total += bits;
-                    log += bits;
-                    if (log > 4096) { // 512B log flush
-                        enc.reset();
-                        log = 0;
-                    }
-                };
-                add(b_lbe, log_lbe, lbe.append(l), lbe);
-                add(b_lz, log_lz, lz.append(l), lz);
-                add(b_cp, log_cp, cpack_stream.append(l), cpack_stream);
-                b_fpc += comp::Fpc::lineBits(l);
-                b_bdi += comp::Bdi::lineBits(l);
-                n++;
-            }
-        }
-        const double raw = 512.0 * n;
-        std::printf("%-10s %7.2f %7.2f %8.2f %7.2f %7.2f\n",
-                    spec.name.c_str(), raw / b_lbe, raw / b_lz,
-                    raw / b_cp, raw / b_fpc, raw / b_bdi);
-        r_lbe.push_back(raw / b_lbe);
-        r_lz.push_back(raw / b_lz);
-        r_cp.push_back(raw / b_cp);
-        r_fpc.push_back(raw / b_fpc);
-        r_bdi.push_back(raw / b_bdi);
-        std::fflush(stdout);
-    }
-    printMeans("LBE", r_lbe);
-    printMeans("LZSS", r_lz);
-    printMeans("C-Pack", r_cp);
-    printMeans("FPC", r_fpc);
-    printMeans("BDI", r_bdi);
-
-    // Tag codec base-count ablation on a two-chain fill stream.
-    std::printf("\nTag codec: interleaved fill + write-back chains\n");
-    for (unsigned bases : {1u, 2u}) {
-        comp::TagCodec codec(bases);
-        Rng rng(5);
-        std::uint64_t bits = 0;
-        std::uint64_t chain_a = 1'000'000, chain_b = 9'000'000;
-        const int n = 20000;
-        for (int i = 0; i < n; i++) {
-            if (i & 1)
-                bits += codec.append(chain_a += 1 + rng.below(3));
-            else
-                bits += codec.append(chain_b += 1 + rng.below(3));
-        }
-        std::printf("  %u base(s): %.1f bits/tag (vs %u raw)\n", bases,
-                    static_cast<double>(bits) / n,
-                    comp::TagCodec::kFullTagBits + 2);
-    }
-    return 0;
+    return morc::bench::sweepMain(argc, argv, "ablation");
 }

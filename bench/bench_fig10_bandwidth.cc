@@ -1,56 +1,13 @@
 /**
  * @file
- * Figure 10: normalized IPC and throughput at other per-thread
- * bandwidth availabilities (1600/400/100/12.5 MB/s). MORC should lose
- * single-stream IPC when bandwidth is abundant but win throughput under
- * starvation.
+ * Thin wrapper: runs the "fig10" sweep from the shared figure registry
+ * (see common/figures.cc). Accepts --jobs N and --out DIR.
  */
 
-#include <cstdio>
-
-#include "common/bench_common.hh"
+#include "common/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace morc;
-    using namespace morc::bench;
-    banner("Figure 10: sensitivity to per-thread bandwidth",
-           "at 1600MB/s MORC costs ~7% IPC, no throughput loss; at "
-           "12.5MB/s MORC +63% throughput");
-
-    const double bandwidths[] = {1600e6, 400e6, 100e6, 12.5e6};
-    const sim::Scheme schemes[] = {
-        sim::Scheme::Uncompressed, sim::Scheme::Adaptive,
-        sim::Scheme::Decoupled, sim::Scheme::Sc2, sim::Scheme::Morc};
-    constexpr int kN = 5;
-
-    std::printf("%-10s | normalized IPC: %-23s | normalized throughput: "
-                "%s\n",
-                "BW/thread", "A     D     S     M", "A     D     S     M");
-    for (double bw : bandwidths) {
-        std::vector<double> ipc[kN], thr[kN];
-        for (const auto &spec : trace::spec2006()) {
-            sim::RunResult r[kN];
-            for (int i = 0; i < kN; i++)
-                r[i] = runSingle(schemes[i], spec, bw);
-            for (int i = 0; i < kN; i++) {
-                ipc[i].push_back(r[i].cores[0].ipc() /
-                                 r[0].cores[0].ipc());
-                thr[i].push_back(r[i].cores[0].throughput() /
-                                 r[0].cores[0].throughput());
-            }
-        }
-        char label[32];
-        std::snprintf(label, sizeof(label), "%.1fMB/s", bw / 1e6);
-        std::printf("%-10s |", label);
-        for (int i = 1; i < kN; i++)
-            std::printf(" %5.2f", stats::gmean(ipc[i]));
-        std::printf(" |");
-        for (int i = 1; i < kN; i++)
-            std::printf(" %5.2f", stats::gmean(thr[i]));
-        std::printf("\n");
-        std::fflush(stdout);
-    }
-    return 0;
+    return morc::bench::sweepMain(argc, argv, "fig10");
 }

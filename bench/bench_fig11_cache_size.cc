@@ -1,65 +1,13 @@
 /**
  * @file
- * Figure 11: MORC across LLC capacities (64 KB - 4 MB per core):
- * compression ratio, bandwidth normalized to the same-size uncompressed
- * cache, and normalized throughput.
+ * Thin wrapper: runs the "fig11" sweep from the shared figure registry
+ * (see common/figures.cc). Accepts --jobs N and --out DIR.
  */
 
-#include <cstdio>
-
-#include "common/bench_common.hh"
+#include "common/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace morc;
-    using namespace morc::bench;
-    banner("Figure 11: MORC at other cache sizes",
-           "BW savings 33-37% and throughput +35-46% from 64KB to 1MB; "
-           "benefits fade by 4MB");
-
-    const std::uint64_t sizes[] = {64ull << 10, 128ull << 10,
-                                   256ull << 10, 1024ull << 10,
-                                   4096ull << 10};
-    std::printf("%-10s %14s %16s %22s\n", "LLC size", "MORC ratio",
-                "norm. bandwidth", "norm. throughput");
-    for (std::uint64_t size : sizes) {
-        std::vector<double> ratio, thr;
-        double gb_base = 0, gb_morc = 0;
-        // Caveat: caches much larger than 128KB need proportionally
-        // longer warm-up to fill; at short MORC_BENCH_WARMUP budgets
-        // their sampled compression ratios read low. Scale the budgets
-        // up (bounded here to keep the default sweep affordable).
-        const std::uint64_t scale = std::min<std::uint64_t>(
-            std::max<std::uint64_t>(size / (128 * 1024), 1), 2);
-        for (const auto &spec : trace::spec2006()) {
-            sim::SystemConfig cfg;
-            cfg.scheme = sim::Scheme::Uncompressed;
-            cfg.bandwidthPerCore = 100e6;
-            cfg.llcBytesPerCore = size;
-            cfg.ratioSampleInterval =
-                std::max<std::uint64_t>(instrBudget() / 8, 50'000);
-            sim::System base_sys(cfg, {spec});
-            const auto base =
-                base_sys.run(instrBudget(), warmupBudget() * scale);
-            cfg.scheme = sim::Scheme::Morc;
-            sim::System morc_sys(cfg, {spec});
-            const auto m =
-                morc_sys.run(instrBudget(), warmupBudget() * scale);
-            ratio.push_back(m.compressionRatio);
-            // Aggregate traffic, not a mean of per-benchmark ratios:
-            // workloads that fit in-cache have near-zero baselines and
-            // would dominate a ratio mean with noise.
-            gb_base += base.gbPerBillionInstr();
-            gb_morc += m.gbPerBillionInstr();
-            thr.push_back(m.cores[0].throughput() /
-                          base.cores[0].throughput());
-        }
-        std::printf("%7lluKB %14.2f %16.2f %22.2f\n",
-                    static_cast<unsigned long long>(size >> 10),
-                    stats::amean(ratio), gb_morc / gb_base,
-                    stats::gmean(thr));
-        std::fflush(stdout);
-    }
-    return 0;
+    return morc::bench::sweepMain(argc, argv, "fig11");
 }

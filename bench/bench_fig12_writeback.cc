@@ -1,55 +1,13 @@
 /**
  * @file
- * Figure 12: write-back-induced invalid-line fraction in MORC's logs,
- * inclusive vs. non-inclusive fill policy. Compression is disabled to
- * accentuate invalidations, per the paper's methodology.
+ * Thin wrapper: runs the "fig12" sweep from the shared figure registry
+ * (see common/figures.cc). Accepts --jobs N and --out DIR.
  */
 
-#include <cstdio>
-
-#include "common/bench_common.hh"
-
-namespace {
-
-double
-invalidFraction(const morc::trace::BenchmarkSpec &spec, bool inclusive)
-{
-    using namespace morc;
-    using namespace morc::bench;
-    sim::SystemConfig cfg;
-    cfg.scheme = sim::Scheme::Morc;
-    cfg.useMorcOverride = true;
-    cfg.morc.compressionEnabled = false;
-    cfg.inclusiveWriteFills = inclusive;
-    cfg.ratioSampleInterval = instrBudget();
-    sim::System sys(cfg, {spec});
-    return sys.run(instrBudget(), warmupBudget()).invalidLineFraction;
-}
-
-} // namespace
+#include "common/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace morc;
-    using namespace morc::bench;
-    banner("Figure 12: write-back-induced invalid lines "
-           "(compression disabled)",
-           "non-inclusive significantly reduces invalid fraction vs "
-           "inclusive");
-
-    std::vector<double> inc, non;
-    std::printf("%-10s %12s %14s\n", "bench", "inclusive%",
-                "non-inclusive%");
-    for (const auto &spec : trace::spec2006()) {
-        const double i = 100.0 * invalidFraction(spec, true);
-        const double n = 100.0 * invalidFraction(spec, false);
-        inc.push_back(i);
-        non.push_back(n);
-        std::printf("%-10s %11.1f%% %13.1f%%\n", spec.name.c_str(), i, n);
-        std::fflush(stdout);
-    }
-    std::printf("%-10s %11.1f%% %13.1f%%\n", "AMean", stats::amean(inc),
-                stats::amean(non));
-    return 0;
+    return morc::bench::sweepMain(argc, argv, "fig12");
 }

@@ -1,74 +1,13 @@
 /**
  * @file
- * Figure 13: MORC compression ratio across log sizes (64 B - 4 KB, with
- * 8 active logs) and across active-log counts (1-64, with 512 B logs),
- * assuming unlimited tags and LMT entries (the paper's limit-study
- * setting).
+ * Thin wrapper: runs the "fig13" sweep from the shared figure registry
+ * (see common/figures.cc). Accepts --jobs N and --out DIR.
  */
 
-#include <cstdio>
-
-#include "common/bench_common.hh"
-
-namespace {
-
-double
-morcRatio(const morc::trace::BenchmarkSpec &spec, unsigned log_bytes,
-          unsigned active_logs)
-{
-    using namespace morc;
-    using namespace morc::bench;
-    core::MorcConfig morc;
-    morc.logBytes = log_bytes;
-    morc.activeLogs = active_logs;
-    morc.unlimitedMeta = true;
-    return runSingle(sim::Scheme::Morc, spec, 100e6, 128 * 1024, &morc)
-        .compressionRatio;
-}
-
-} // namespace
+#include "common/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace morc;
-    using namespace morc::bench;
-    banner("Figure 13: log size and active-log count sweeps "
-           "(unlimited tags/LMT)",
-           "512-byte logs with 8 active logs are near-optimal");
-
-    const unsigned log_sizes[] = {64, 256, 512, 1024, 2048, 4096};
-    const unsigned log_counts[] = {1, 4, 8, 16, 32, 64};
-
-    // A representative subset keeps the sweep affordable; add more rows
-    // by raising MORC_BENCH_INSTR and editing this list.
-    const char *subset[] = {"astar", "gcc",     "mcf",   "omnetpp",
-                            "soplex", "zeusmp", "gamess", "cactusADM"};
-
-    std::printf("(a) log size sweep, 8 active logs\n%-10s", "bench");
-    for (unsigned s : log_sizes)
-        std::printf(" %6uB", s);
-    std::printf("\n");
-    for (const char *name : subset) {
-        const auto spec = trace::resolveWorkload(name);
-        std::printf("%-10s", name);
-        for (unsigned s : log_sizes)
-            std::printf(" %7.2f", morcRatio(spec, s, 8));
-        std::printf("\n");
-        std::fflush(stdout);
-    }
-
-    std::printf("\n(b) active-log sweep, 512B logs\n%-10s", "bench");
-    for (unsigned c : log_counts)
-        std::printf(" %6u", c);
-    std::printf("\n");
-    for (const char *name : subset) {
-        const auto spec = trace::resolveWorkload(name);
-        std::printf("%-10s", name);
-        for (unsigned c : log_counts)
-            std::printf(" %6.2f", morcRatio(spec, 512, c));
-        std::printf("\n");
-        std::fflush(stdout);
-    }
-    return 0;
+    return morc::bench::sweepMain(argc, argv, "fig13");
 }

@@ -1,45 +1,13 @@
 /**
  * @file
- * Figure 14: distribution of MORC access (decompression) positions,
- * bucketed by bytes decoded from the log head (16 B/cycle output). An
- * even spread means a line's usefulness is position-independent.
+ * Thin wrapper: runs the "fig14" sweep from the shared figure registry
+ * (see common/figures.cc). Accepts --jobs N and --out DIR.
  */
 
-#include <cstdio>
-
-#include "common/bench_common.hh"
+#include "common/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace morc;
-    using namespace morc::bench;
-    banner("Figure 14: MORC access latency (log position) distribution",
-           "fairly even distribution across log positions");
-
-    const std::vector<std::uint64_t> bounds = {64,  128, 196, 256, 320,
-                                               384, 448, 512};
-    {
-        stats::Histogram proto(bounds);
-        std::printf("%-10s", "bench");
-        for (std::size_t i = 0; i < proto.numBuckets(); i++)
-            std::printf(" %8s", proto.label(i).c_str());
-        std::printf("\n");
-    }
-
-    for (const auto &spec : trace::spec2006()) {
-        stats::Histogram hist(bounds);
-        sim::SystemConfig cfg;
-        cfg.scheme = sim::Scheme::Morc;
-        cfg.latencyHistogram = &hist;
-        cfg.ratioSampleInterval = instrBudget();
-        sim::System sys(cfg, {spec});
-        sys.run(instrBudget(), warmupBudget());
-        std::printf("%-10s", spec.name.c_str());
-        for (std::size_t i = 0; i < hist.numBuckets(); i++)
-            std::printf("   %5.1f%%", 100.0 * hist.fraction(i));
-        std::printf("\n");
-        std::fflush(stdout);
-    }
-    return 0;
+    return morc::bench::sweepMain(argc, argv, "fig14");
 }

@@ -1,34 +1,13 @@
 /**
  * @file
- * Figure 15: MORC vs MORCMerged (tags co-located with data, no separate
- * tag store). Merged should sacrifice little compression — and can win
- * when tags are the binding constraint.
+ * Thin wrapper: runs the "fig15" sweep from the shared figure registry
+ * (see common/figures.cc). Accepts --jobs N and --out DIR.
  */
 
-#include <cstdio>
-
-#include "common/bench_common.hh"
+#include "common/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace morc;
-    using namespace morc::bench;
-    banner("Figure 15: separate vs merged tag/data logs",
-           "MORCMerged within ~0.5x of MORC on most workloads");
-
-    std::vector<double> base, merged;
-    std::printf("%-10s %10s %12s\n", "bench", "MORC", "MORCMerged");
-    for (const auto &spec : trace::spec2006()) {
-        const auto r0 = runSingle(sim::Scheme::Morc, spec);
-        const auto r1 = runSingle(sim::Scheme::MorcMerged, spec);
-        base.push_back(r0.compressionRatio);
-        merged.push_back(r1.compressionRatio);
-        std::printf("%-10s %10.2f %12.2f\n", spec.name.c_str(),
-                    r0.compressionRatio, r1.compressionRatio);
-        std::fflush(stdout);
-    }
-    printMeans("MORC", base);
-    printMeans("MORCMerged", merged);
-    return 0;
+    return morc::bench::sweepMain(argc, argv, "fig15");
 }

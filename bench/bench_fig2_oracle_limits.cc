@@ -1,44 +1,13 @@
 /**
  * @file
- * Figure 2: compression ratios and bandwidth reductions of ideal
- * intra-line vs. inter-line compression (the motivation limit study).
+ * Thin wrapper: runs the "fig2" sweep from the shared figure registry
+ * (see common/figures.cc). Accepts --jobs N and --out DIR.
  */
 
-#include <cstdio>
-
-#include "common/bench_common.hh"
+#include "common/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace morc;
-    using namespace morc::bench;
-    banner("Figure 2: Oracle intra-line vs inter-line compression",
-           "intra ~2x ratio / ~20% BW reduction; inter ~24x / ~80%");
-
-    std::vector<double> intra_r, inter_r, intra_bw, inter_bw;
-    std::printf("%-10s %12s %12s %10s %10s\n", "bench", "intra-ratio",
-                "inter-ratio", "intra-BW%", "inter-BW%");
-    for (const auto &spec : trace::spec2006()) {
-        const auto base = runSingle(sim::Scheme::Uncompressed, spec);
-        const auto intra = runSingle(sim::Scheme::OracleIntra, spec);
-        const auto inter = runSingle(sim::Scheme::OracleInter, spec);
-        const double bw0 = base.gbPerBillionInstr();
-        const double bw_intra =
-            100.0 * (1.0 - intra.gbPerBillionInstr() / bw0);
-        const double bw_inter =
-            100.0 * (1.0 - inter.gbPerBillionInstr() / bw0);
-        intra_r.push_back(intra.compressionRatio);
-        inter_r.push_back(inter.compressionRatio);
-        intra_bw.push_back(bw_intra);
-        inter_bw.push_back(bw_inter);
-        std::printf("%-10s %12.2f %12.2f %9.1f%% %9.1f%%\n",
-                    spec.name.c_str(), intra.compressionRatio,
-                    inter.compressionRatio, bw_intra, bw_inter);
-    }
-    printMeans("intra ratio", intra_r);
-    printMeans("inter ratio", inter_r);
-    printMeans("intra BW%", intra_bw);
-    printMeans("inter BW%", inter_bw);
-    return 0;
+    return morc::bench::sweepMain(argc, argv, "fig2");
 }

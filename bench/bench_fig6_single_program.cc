@@ -1,83 +1,13 @@
 /**
  * @file
- * Figure 6: single-program evaluation over the 54 SPEC2006 workloads —
- * (a) compression ratio, (b) off-chip GB per billion instructions,
- * (c) IPC improvement, (d) 4-thread CGMT throughput improvement.
- * Each program is statically allocated 100 MB/s of bandwidth.
+ * Thin wrapper: runs the "fig6" sweep from the shared figure registry
+ * (see common/figures.cc). Accepts --jobs N and --out DIR.
  */
 
-#include <cstdio>
-
-#include "common/bench_common.hh"
+#include "common/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace morc;
-    using namespace morc::bench;
-    banner("Figure 6: single-program compression / bandwidth / IPC / "
-           "throughput",
-           "MORC ~2.9x ratio (next best 1.9x); MORC -27% BW (next "
-           "-10.8%); IPC +22%; throughput +37% (next +20%)");
-
-    const sim::Scheme schemes[] = {
-        sim::Scheme::Uncompressed, sim::Scheme::Adaptive,
-        sim::Scheme::Decoupled, sim::Scheme::Sc2, sim::Scheme::Morc};
-    constexpr int kN = 5;
-
-    std::vector<double> ratio[kN], gb[kN], ipc_imp[kN], thr_imp[kN];
-
-    std::printf("%-12s | ratio: %-26s | GB/Binstr: %-32s | IPC+%% (A/D/S/M) "
-                "| THR+%%\n",
-                "workload", "A     D     S     M", "U     A     D     S "
-                "    M");
-    for (const auto &spec : trace::figure6Workloads()) {
-        sim::RunResult r[kN];
-        for (int i = 0; i < kN; i++)
-            r[i] = runSingle(schemes[i], spec);
-        const double base_ipc = r[0].cores[0].ipc();
-        const double base_thr = r[0].cores[0].throughput();
-        std::printf("%-12s |", spec.name.c_str());
-        for (int i = 1; i < kN; i++)
-            std::printf(" %5.2f", r[i].compressionRatio);
-        std::printf(" |");
-        for (int i = 0; i < kN; i++)
-            std::printf(" %5.2f", r[i].gbPerBillionInstr());
-        std::printf(" |");
-        for (int i = 1; i < kN; i++) {
-            std::printf(" %+5.0f",
-                        100.0 * (r[i].cores[0].ipc() / base_ipc - 1.0));
-        }
-        std::printf(" |");
-        for (int i = 1; i < kN; i++) {
-            std::printf(" %+5.0f",
-                        100.0 * (r[i].cores[0].throughput() / base_thr -
-                                 1.0));
-        }
-        std::printf("\n");
-        std::fflush(stdout);
-        for (int i = 0; i < kN; i++) {
-            ratio[i].push_back(r[i].compressionRatio);
-            gb[i].push_back(r[i].gbPerBillionInstr());
-            ipc_imp[i].push_back(r[i].cores[0].ipc() / base_ipc);
-            thr_imp[i].push_back(r[i].cores[0].throughput() / base_thr);
-        }
-    }
-
-    std::printf("\nSummary (54 workloads):\n");
-    for (int i = 0; i < kN; i++) {
-        double gb_sum = 0, gb_base = 0;
-        for (std::size_t k = 0; k < gb[i].size(); k++) {
-            gb_sum += gb[i][k];
-            gb_base += gb[0][k];
-        }
-        std::printf("%-14s ratio AMean %5.2f GMean %5.2f | BW reduction "
-                    "%+6.1f%% | IPC %+6.1f%% | throughput %+6.1f%%\n",
-                    schemeName(schemes[i]), stats::amean(ratio[i]),
-                    stats::gmean(ratio[i]),
-                    100.0 * (1.0 - gb_sum / gb_base),
-                    100.0 * (stats::gmean(ipc_imp[i]) - 1.0),
-                    100.0 * (stats::gmean(thr_imp[i]) - 1.0));
-    }
-    return 0;
+    return morc::bench::sweepMain(argc, argv, "fig6");
 }

@@ -1,57 +1,13 @@
 /**
  * @file
- * Figure 7: normalized LBE encoding-symbol usage distribution, weighted
- * by the data size each symbol represents; the right-hand portion of
- * each paper bar (all-zero data) is reported as "zero%".
+ * Thin wrapper: runs the "fig7" sweep from the shared figure registry
+ * (see common/figures.cc). Accepts --jobs N and --out DIR.
  */
 
-#include <cstdio>
-
-#include "common/bench_common.hh"
-#include "core/morc.hh"
+#include "common/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace morc;
-    using namespace morc::bench;
-    banner("Figure 7: LBE symbol usage distribution (data-weighted)",
-           "m256 significant for cactusADM/gamess/leslie3d/povray; gcc "
-           "mostly zeros; h264ref u8/u16-heavy");
-
-    std::printf("%-10s", "bench");
-    for (int s = 0; s < static_cast<int>(comp::LbeSymbol::NumSymbols); s++)
-        std::printf(" %6s",
-                    comp::LbeStats::name(static_cast<comp::LbeSymbol>(s)));
-    std::printf("   zero%%\n");
-
-    for (const auto &spec : trace::spec2006()) {
-        sim::SystemConfig cfg;
-        cfg.scheme = sim::Scheme::Morc;
-        cfg.ratioSampleInterval = instrBudget();
-        sim::System sys(cfg, {spec});
-        sys.run(instrBudget(), warmupBudget());
-        auto *lc = dynamic_cast<core::LogCache *>(&sys.llc());
-        const comp::LbeStats st = lc->lbeStats();
-
-        double total = 0, zero = 0;
-        double weighted[static_cast<int>(comp::LbeSymbol::NumSymbols)];
-        for (int s = 0; s < static_cast<int>(comp::LbeSymbol::NumSymbols);
-             s++) {
-            const auto sym = static_cast<comp::LbeSymbol>(s);
-            weighted[s] = static_cast<double>(st.count[s]) *
-                          comp::LbeStats::dataBytes(sym);
-            total += weighted[s];
-            zero += static_cast<double>(st.zeroCount[s]) *
-                    comp::LbeStats::dataBytes(sym);
-        }
-        std::printf("%-10s", spec.name.c_str());
-        for (int s = 0; s < static_cast<int>(comp::LbeSymbol::NumSymbols);
-             s++) {
-            std::printf(" %5.1f%%", 100.0 * weighted[s] / total);
-        }
-        std::printf("  %5.1f%%\n", 100.0 * zero / total);
-        std::fflush(stdout);
-    }
-    return 0;
+    return morc::bench::sweepMain(argc, argv, "fig7");
 }

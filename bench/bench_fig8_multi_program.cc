@@ -1,100 +1,13 @@
 /**
  * @file
- * Figure 8: multi-program evaluation of the Table 6 mixes (M0-M3 mixed,
- * S0-S7 replicated) on 16 cores sharing a 2 MB LLC and 1600 MB/s —
- * (a) compression ratio, (b) bandwidth reduction, (c) gmean IPC
- * improvement, (d) completion-time improvement.
+ * Thin wrapper: runs the "fig8" sweep from the shared figure registry
+ * (see common/figures.cc). Accepts --jobs N and --out DIR.
  */
 
-#include <cstdio>
-
-#include "common/bench_common.hh"
-
-namespace {
-
-morc::sim::RunResult
-runMix(morc::sim::Scheme scheme,
-       const morc::trace::MultiProgramSpec &mix, std::uint64_t instr,
-       std::uint64_t warmup)
-{
-    using namespace morc;
-    sim::SystemConfig cfg;
-    cfg.scheme = scheme;
-    cfg.numCores = 16;
-    cfg.bandwidthPerCore = 100e6; // 1600 MB/s total
-    // Interleaving granularity matters for MORC: PriME-style lockstep
-    // quanta (e.g. interleaveQuantum = 64) preserve per-core fill-burst
-    // locality and raise MORC's multi-program ratio and bandwidth
-    // savings, at the cost of coarser timing. The default here is
-    // cycle-order interleaving; see EXPERIMENTS.md Figure 8 for both.
-    cfg.interleaveQuantum = 1;
-    cfg.ratioSampleInterval = std::max<std::uint64_t>(instr, 100'000);
-    std::vector<trace::BenchmarkSpec> programs;
-    for (const auto &name : mix.programs)
-        programs.push_back(trace::resolveWorkload(name));
-    sim::System sys(cfg, programs);
-    return sys.run(instr, warmup);
-}
-
-} // namespace
+#include "common/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace morc;
-    using namespace morc::bench;
-    banner("Figure 8: multi-program (16 threads, shared LLC, 1600MB/s)",
-           "MORC ~4x ratio avg, up to 7x (next best 1.75x); BW -20%; "
-           "IPC up to +60% (S5); completion M3 +35%");
-
-    // Multi-program runs cost 16x per instruction budget; scale down.
-    const std::uint64_t instr = instrBudget() / 4;
-    const std::uint64_t warmup = warmupBudget() / 4;
-
-    const sim::Scheme schemes[] = {
-        sim::Scheme::Uncompressed, sim::Scheme::Adaptive,
-        sim::Scheme::Decoupled, sim::Scheme::Sc2, sim::Scheme::Morc};
-    constexpr int kN = 5;
-
-    std::printf("%-4s | ratio: %-23s | BW-red%%: %-23s | IPC+%%: %-23s | "
-                "completion+%%\n",
-                "mix", "A     D     S     M", "A     D     S     M",
-                "A     D     S     M");
-    std::vector<double> ratios[kN];
-    for (const auto &mix : trace::table6Workloads()) {
-        sim::RunResult r[kN];
-        for (int i = 0; i < kN; i++)
-            r[i] = runMix(schemes[i], mix, instr, warmup);
-        std::printf("%-4s |", mix.name.c_str());
-        for (int i = 1; i < kN; i++)
-            std::printf(" %5.2f", r[i].compressionRatio);
-        std::printf(" |");
-        for (int i = 1; i < kN; i++) {
-            std::printf(" %5.1f",
-                        100.0 * (1.0 - r[i].gbPerBillionInstr() /
-                                           r[0].gbPerBillionInstr()));
-        }
-        std::printf(" |");
-        for (int i = 1; i < kN; i++) {
-            std::printf(" %+5.1f",
-                        100.0 * (r[i].gmeanIpc() / r[0].gmeanIpc() - 1.0));
-        }
-        std::printf(" |");
-        for (int i = 1; i < kN; i++) {
-            std::printf(" %+5.1f",
-                        100.0 * (static_cast<double>(
-                                     r[0].completionCycles) /
-                                     static_cast<double>(
-                                         r[i].completionCycles) -
-                                 1.0));
-        }
-        std::printf("\n");
-        std::fflush(stdout);
-        for (int i = 0; i < kN; i++)
-            ratios[i].push_back(r[i].compressionRatio);
-    }
-    std::printf("\n");
-    for (int i = 1; i < kN; i++)
-        printMeans(schemeName(schemes[i]), ratios[i]);
-    return 0;
+    return morc::bench::sweepMain(argc, argv, "fig8");
 }

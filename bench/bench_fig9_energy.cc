@@ -1,54 +1,13 @@
 /**
  * @file
- * Figure 9: memory-subsystem energy (compression engines included, CPU
- * cores excluded) — absolute Joules per scheme plus MORC's normalized
- * breakdown against the uncompressed baseline.
+ * Thin wrapper: runs the "fig9" sweep from the shared figure registry
+ * (see common/figures.cc). Accepts --jobs N and --out DIR.
  */
 
-#include <cstdio>
-
-#include "common/bench_common.hh"
+#include "common/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace morc;
-    using namespace morc::bench;
-    banner("Figure 9: memory subsystem energy",
-           "MORC -17% vs uncompressed; beats the 1MB Uncompressed8x "
-           "baseline; decompression energy visible but small vs DRAM");
-
-    const sim::Scheme schemes[] = {
-        sim::Scheme::Uncompressed, sim::Scheme::Uncompressed8x,
-        sim::Scheme::Adaptive, sim::Scheme::Decoupled, sim::Scheme::Sc2,
-        sim::Scheme::Morc};
-    constexpr int kN = 6;
-
-    std::printf("%-10s | energy (mJ): %-41s | MORC breakdown (norm. to "
-                "baseline total)\n",
-                "bench", "Unc   Unc8x Adapt Decpl SC2   MORC");
-    std::vector<double> norm[kN];
-    for (const auto &spec : trace::spec2006()) {
-        sim::RunResult r[kN];
-        for (int i = 0; i < kN; i++)
-            r[i] = runSingle(schemes[i], spec);
-        const double base = r[0].energyBreakdown.total();
-        std::printf("%-10s |", spec.name.c_str());
-        for (int i = 0; i < kN; i++) {
-            std::printf(" %5.2f", 1e3 * r[i].energyBreakdown.total());
-            norm[i].push_back(r[i].energyBreakdown.total() / base);
-        }
-        const auto &b = r[5].energyBreakdown;
-        std::printf(" | static %.2f dram %.2f sram %.2f comp %.3f "
-                    "decomp %.3f\n",
-                    b.staticJ / base, b.dramJ / base, b.sramJ / base,
-                    b.compJ / base, b.decompJ / base);
-        std::fflush(stdout);
-    }
-    std::printf("\nNormalized energy vs uncompressed (GMean):\n");
-    for (int i = 0; i < kN; i++) {
-        std::printf("%-14s %+6.1f%%\n", schemeName(schemes[i]),
-                    100.0 * (stats::gmean(norm[i]) - 1.0));
-    }
-    return 0;
+    return morc::bench::sweepMain(argc, argv, "fig9");
 }

@@ -1,33 +1,13 @@
 /**
  * @file
- * Table 1: energy of on-chip and off-chip operations on 64 b of data.
- * These are the published constants the energy model embeds; the bench
- * prints them with the paper's "Scale" column recomputed.
+ * Thin wrapper: runs the "table1" sweep from the shared figure registry
+ * (see common/figures.cc). Accepts --jobs N and --out DIR.
  */
 
-#include <cstdio>
-
-#include "energy/energy.hh"
+#include "common/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace morc;
-    std::printf("Table 1: Energy of on-chip and off-chip operations "
-                "(64b of data)\n");
-    std::printf("%-40s %12s %10s\n", "Operation", "Energy", "Scale");
-    const auto &rows = energy::table1();
-    const double base = rows.front().joules;
-    for (const auto &r : rows) {
-        char buf[32];
-        if (r.joules < 1e-9)
-            std::snprintf(buf, sizeof(buf), "%.2fpJ", r.joules * 1e12);
-        else
-            std::snprintf(buf, sizeof(buf), "%.2fnJ", r.joules * 1e9);
-        std::printf("%-40s %12s %9.0fx\n", r.operation, buf,
-                    r.joules / base);
-    }
-    std::printf("\nPaper scale column: 1x / 2x / 22.5x / 185x / 1250x / "
-                "4675x\n");
-    return 0;
+    return morc::bench::sweepMain(argc, argv, "table1");
 }

@@ -1,41 +1,13 @@
 /**
  * @file
- * Table 4: storage overheads of the compared schemes, normalized to
- * cache capacity (Section 3.3 analytical model).
+ * Thin wrapper: runs the "table4" sweep from the shared figure registry
+ * (see common/figures.cc). Accepts --jobs N and --out DIR.
  */
 
-#include <cstdio>
-
-#include "cache/overheads.hh"
+#include "common/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace morc::cache;
-    std::printf("Table 4: Overheads of compression schemes, normalized "
-                "to cache capacity\n");
-    std::printf("(128KB cache, 40b tags, 16-way sets for prior work, "
-                "512B logs, 8x LMT)\n\n");
-    std::printf("%-12s %9s %9s %11s %9s %9s\n", "Scheme", "Tags",
-                "Metadata", "Tags+Meta", "Engine", "Dict");
-    for (const auto &r : table4Overheads()) {
-        char engine[16];
-        if (r.compEngineMm2 > 0)
-            std::snprintf(engine, sizeof(engine), "%.2fmm2",
-                          r.compEngineMm2);
-        else
-            std::snprintf(engine, sizeof(engine), "NoData");
-        char dict[16];
-        if (r.dictBytes >= 1024)
-            std::snprintf(dict, sizeof(dict), "%uKB", r.dictBytes / 1024);
-        else
-            std::snprintf(dict, sizeof(dict), "%uB", r.dictBytes);
-        std::printf("%-12s %8.2f%% %8.2f%% %10.2f%% %9s %9s\n",
-                    r.scheme.c_str(), 100 * r.extraTagsFrac,
-                    100 * r.metadataFrac, 100 * r.totalFrac, engine,
-                    dict);
-    }
-    std::printf("\nPaper row 'Tags+Meta': 18.74%% / 8.59%% / 33.58%% / "
-                "25.00%% / 17.18%%\n");
-    return 0;
+    return morc::bench::sweepMain(argc, argv, "table4");
 }

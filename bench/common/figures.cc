@@ -1,0 +1,1223 @@
+#include "common/figures.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "cache/overheads.hh"
+#include "common/bench_common.hh"
+#include "compress/bdi.hh"
+#include "compress/cpack.hh"
+#include "compress/fpc.hh"
+#include "compress/lbe.hh"
+#include "compress/lzss.hh"
+#include "compress/tagcodec.hh"
+#include "core/morc.hh"
+#include "energy/energy.hh"
+#include "util/rng.hh"
+
+namespace morc {
+namespace bench {
+
+namespace {
+
+using stats::Report;
+using stats::RunRecord;
+using sweep::Task;
+
+// ------------------------------------------------------------------
+// Shared task plumbing
+// ------------------------------------------------------------------
+
+/** Join key parts with '/'. */
+std::string
+k(std::initializer_list<std::string> parts)
+{
+    std::string out;
+    for (const auto &p : parts) {
+        if (!out.empty())
+            out += '/';
+        out += p;
+    }
+    return out;
+}
+
+/** Run one System and flatten the RunResult into the standard metrics. */
+RunRecord
+simRecord(const sim::SystemConfig &cfg,
+          const std::vector<trace::BenchmarkSpec> &programs,
+          std::uint64_t instr, std::uint64_t warmup)
+{
+    sim::System sys(cfg, programs);
+    const sim::RunResult r = sys.run(instr, warmup);
+    RunRecord rec;
+    rec.metric("ratio", r.compressionRatio);
+    rec.metric("gb_per_binstr", r.gbPerBillionInstr());
+    rec.metric("ipc", r.cores[0].ipc());
+    rec.metric("throughput", r.cores[0].throughput());
+    rec.metric("mean_ipc", r.meanIpc());
+    rec.metric("gmean_ipc", r.gmeanIpc());
+    rec.metric("mean_throughput", r.meanThroughput());
+    rec.metric("completion_cycles",
+               static_cast<double>(r.completionCycles));
+    rec.metric("mem_reads", static_cast<double>(r.memReads));
+    rec.metric("mem_writes", static_cast<double>(r.memWrites));
+    rec.metric("instructions",
+               static_cast<double>(r.totalInstructions));
+    rec.metric("invalid_frac", r.invalidLineFraction);
+    const auto &e = r.energyBreakdown;
+    rec.metric("energy_total", e.total());
+    rec.metric("energy_static", e.staticJ);
+    rec.metric("energy_dram", e.dramJ);
+    rec.metric("energy_sram", e.sramJ);
+    rec.metric("energy_comp", e.compJ);
+    rec.metric("energy_decomp", e.decompJ);
+    return rec;
+}
+
+/** Single-program task with the Figure 6 defaults. */
+Task
+singleTask(std::string key, sim::Scheme scheme, trace::BenchmarkSpec spec,
+           double bw_per_core = 100e6,
+           std::uint64_t llc_bytes = 128 * 1024,
+           core::MorcConfig *morc = nullptr, unsigned warmup_scale = 1)
+{
+    core::MorcConfig morcCopy;
+    const bool haveMorc = morc != nullptr;
+    if (haveMorc)
+        morcCopy = *morc;
+    return Task{std::move(key),
+                [=](std::uint64_t) -> RunRecord {
+                    sim::SystemConfig cfg;
+                    cfg.scheme = scheme;
+                    cfg.bandwidthPerCore = bw_per_core;
+                    cfg.llcBytesPerCore = llc_bytes;
+                    cfg.ratioSampleInterval = std::max<std::uint64_t>(
+                        instrBudget() / 8, 50'000);
+                    if (haveMorc) {
+                        cfg.morc = morcCopy;
+                        cfg.useMorcOverride = true;
+                    }
+                    RunRecord rec =
+                        simRecord(cfg, {spec}, instrBudget(),
+                                  warmupBudget() * warmup_scale);
+                    rec.label("workload", spec.name);
+                    rec.label("scheme", schemeName(scheme));
+                    return rec;
+                }};
+}
+
+const sim::Scheme kCompared[] = {
+    sim::Scheme::Uncompressed, sim::Scheme::Adaptive,
+    sim::Scheme::Decoupled, sim::Scheme::Sc2, sim::Scheme::Morc};
+
+void
+banner(const Figure &fig)
+{
+    std::printf("==================================================="
+                "=====================\n");
+    std::printf("%s\n", fig.title);
+    std::printf("Paper reports: %s\n", fig.paperClaim);
+    std::printf("==================================================="
+                "=====================\n");
+}
+
+// ------------------------------------------------------------------
+// Figure 2: oracle intra- vs inter-line compression limits
+// ------------------------------------------------------------------
+
+std::vector<Task>
+fig2Tasks()
+{
+    std::vector<Task> tasks;
+    for (const auto &spec : trace::spec2006()) {
+        for (sim::Scheme s :
+             {sim::Scheme::Uncompressed, sim::Scheme::OracleIntra,
+              sim::Scheme::OracleInter}) {
+            tasks.push_back(
+                singleTask(k({"fig2", spec.name, schemeName(s)}), s,
+                           spec));
+        }
+    }
+    return tasks;
+}
+
+void
+fig2Present(const Report &rep)
+{
+    std::vector<double> intra_r, inter_r, intra_bw, inter_bw;
+    std::printf("%-10s %12s %12s %10s %10s\n", "bench", "intra-ratio",
+                "inter-ratio", "intra-BW%", "inter-BW%");
+    for (const auto &spec : trace::spec2006()) {
+        const double bw0 = rep.metric(
+            k({"fig2", spec.name, "Uncompressed"}), "gb_per_binstr");
+        const auto *intra =
+            rep.find(k({"fig2", spec.name, "Oracle-Intra"}));
+        const auto *inter =
+            rep.find(k({"fig2", spec.name, "Oracle-Inter"}));
+        const double bw_intra =
+            100.0 * (1.0 - intra->get("gb_per_binstr") / bw0);
+        const double bw_inter =
+            100.0 * (1.0 - inter->get("gb_per_binstr") / bw0);
+        intra_r.push_back(intra->get("ratio"));
+        inter_r.push_back(inter->get("ratio"));
+        intra_bw.push_back(bw_intra);
+        inter_bw.push_back(bw_inter);
+        std::printf("%-10s %12.2f %12.2f %9.1f%% %9.1f%%\n",
+                    spec.name.c_str(), intra->get("ratio"),
+                    inter->get("ratio"), bw_intra, bw_inter);
+    }
+    printMeans("intra ratio", intra_r);
+    printMeans("inter ratio", inter_r);
+    printMeans("intra BW%", intra_bw);
+    printMeans("inter BW%", inter_bw);
+}
+
+// ------------------------------------------------------------------
+// Figure 6: single-program evaluation over the 54 workloads
+// ------------------------------------------------------------------
+
+std::vector<Task>
+fig6Tasks()
+{
+    std::vector<Task> tasks;
+    for (const auto &spec : trace::figure6Workloads())
+        for (sim::Scheme s : kCompared)
+            tasks.push_back(singleTask(
+                k({"fig6", spec.name, schemeName(s)}), s, spec));
+    return tasks;
+}
+
+void
+fig6Present(const Report &rep)
+{
+    constexpr int kN = 5;
+    std::vector<double> ratio[kN], gb[kN], ipc_imp[kN], thr_imp[kN];
+    std::printf("%-12s | ratio: %-26s | GB/Binstr: %-32s | IPC+%% (A/D/S/M) "
+                "| THR+%%\n",
+                "workload", "A     D     S     M", "U     A     D     S "
+                "    M");
+    for (const auto &spec : trace::figure6Workloads()) {
+        const RunRecord *r[kN];
+        for (int i = 0; i < kN; i++)
+            r[i] = rep.find(
+                k({"fig6", spec.name, schemeName(kCompared[i])}));
+        const double base_ipc = r[0]->get("ipc");
+        const double base_thr = r[0]->get("throughput");
+        std::printf("%-12s |", spec.name.c_str());
+        for (int i = 1; i < kN; i++)
+            std::printf(" %5.2f", r[i]->get("ratio"));
+        std::printf(" |");
+        for (int i = 0; i < kN; i++)
+            std::printf(" %5.2f", r[i]->get("gb_per_binstr"));
+        std::printf(" |");
+        for (int i = 1; i < kN; i++)
+            std::printf(" %+5.0f",
+                        100.0 * (r[i]->get("ipc") / base_ipc - 1.0));
+        std::printf(" |");
+        for (int i = 1; i < kN; i++)
+            std::printf(" %+5.0f",
+                        100.0 *
+                            (r[i]->get("throughput") / base_thr - 1.0));
+        std::printf("\n");
+        for (int i = 0; i < kN; i++) {
+            ratio[i].push_back(r[i]->get("ratio"));
+            gb[i].push_back(r[i]->get("gb_per_binstr"));
+            ipc_imp[i].push_back(r[i]->get("ipc") / base_ipc);
+            thr_imp[i].push_back(r[i]->get("throughput") / base_thr);
+        }
+    }
+    std::printf("\nSummary (54 workloads):\n");
+    for (int i = 0; i < kN; i++) {
+        double gb_sum = 0, gb_base = 0;
+        for (std::size_t j = 0; j < gb[i].size(); j++) {
+            gb_sum += gb[i][j];
+            gb_base += gb[0][j];
+        }
+        std::printf("%-14s ratio AMean %5.2f GMean %5.2f | BW reduction "
+                    "%+6.1f%% | IPC %+6.1f%% | throughput %+6.1f%%\n",
+                    schemeName(kCompared[i]), stats::amean(ratio[i]),
+                    stats::gmean(ratio[i]),
+                    100.0 * (1.0 - gb_sum / gb_base),
+                    100.0 * (stats::gmean(ipc_imp[i]) - 1.0),
+                    100.0 * (stats::gmean(thr_imp[i]) - 1.0));
+    }
+}
+
+// ------------------------------------------------------------------
+// Figure 7: LBE symbol usage distribution
+// ------------------------------------------------------------------
+
+std::vector<Task>
+fig7Tasks()
+{
+    std::vector<Task> tasks;
+    for (const auto &spec : trace::spec2006()) {
+        tasks.push_back(Task{
+            k({"fig7", spec.name}), [spec](std::uint64_t) -> RunRecord {
+                sim::SystemConfig cfg;
+                cfg.scheme = sim::Scheme::Morc;
+                cfg.ratioSampleInterval = instrBudget();
+                sim::System sys(cfg, {spec});
+                sys.run(instrBudget(), warmupBudget());
+                auto *lc = dynamic_cast<core::LogCache *>(&sys.llc());
+                const comp::LbeStats st = lc->lbeStats();
+
+                constexpr int n =
+                    static_cast<int>(comp::LbeSymbol::NumSymbols);
+                double total = 0, zero = 0, weighted[n];
+                for (int s = 0; s < n; s++) {
+                    const auto sym = static_cast<comp::LbeSymbol>(s);
+                    weighted[s] = static_cast<double>(st.count[s]) *
+                                  comp::LbeStats::dataBytes(sym);
+                    total += weighted[s];
+                    zero += static_cast<double>(st.zeroCount[s]) *
+                            comp::LbeStats::dataBytes(sym);
+                }
+                RunRecord rec;
+                rec.label("workload", spec.name);
+                for (int s = 0; s < n; s++) {
+                    const auto sym = static_cast<comp::LbeSymbol>(s);
+                    rec.metric(std::string("sym_") +
+                                   comp::LbeStats::name(sym),
+                               total == 0 ? 0.0 : weighted[s] / total);
+                }
+                rec.metric("zero_frac",
+                           total == 0 ? 0.0 : zero / total);
+                return rec;
+            }});
+    }
+    return tasks;
+}
+
+void
+fig7Present(const Report &rep)
+{
+    constexpr int n = static_cast<int>(comp::LbeSymbol::NumSymbols);
+    std::printf("%-10s", "bench");
+    for (int s = 0; s < n; s++)
+        std::printf(" %6s",
+                    comp::LbeStats::name(static_cast<comp::LbeSymbol>(s)));
+    std::printf("   zero%%\n");
+    for (const auto &spec : trace::spec2006()) {
+        const auto *r = rep.find(k({"fig7", spec.name}));
+        std::printf("%-10s", spec.name.c_str());
+        for (int s = 0; s < n; s++) {
+            std::printf(" %5.1f%%",
+                        100.0 * r->get(std::string("sym_") +
+                                       comp::LbeStats::name(
+                                           static_cast<comp::LbeSymbol>(
+                                               s))));
+        }
+        std::printf("  %5.1f%%\n", 100.0 * r->get("zero_frac"));
+    }
+}
+
+// ------------------------------------------------------------------
+// Figure 8: multi-program mixes
+// ------------------------------------------------------------------
+
+std::vector<Task>
+fig8Tasks()
+{
+    std::vector<Task> tasks;
+    for (const auto &mix : trace::table6Workloads()) {
+        for (sim::Scheme s : kCompared) {
+            tasks.push_back(Task{
+                k({"fig8", mix.name, schemeName(s)}),
+                [mix, s](std::uint64_t) -> RunRecord {
+                    // Multi-program runs cost 16x per instruction
+                    // budget; scale down as the serial bench did.
+                    const std::uint64_t instr = instrBudget() / 4;
+                    const std::uint64_t warmup = warmupBudget() / 4;
+                    sim::SystemConfig cfg;
+                    cfg.scheme = s;
+                    cfg.numCores = 16;
+                    cfg.bandwidthPerCore = 100e6; // 1600 MB/s total
+                    cfg.interleaveQuantum = 1;
+                    cfg.ratioSampleInterval =
+                        std::max<std::uint64_t>(instr, 100'000);
+                    std::vector<trace::BenchmarkSpec> programs;
+                    for (const auto &name : mix.programs)
+                        programs.push_back(
+                            trace::resolveWorkload(name));
+                    RunRecord rec =
+                        simRecord(cfg, programs, instr, warmup);
+                    rec.label("mix", mix.name);
+                    rec.label("scheme", schemeName(s));
+                    return rec;
+                }});
+        }
+    }
+    return tasks;
+}
+
+void
+fig8Present(const Report &rep)
+{
+    constexpr int kN = 5;
+    std::printf("%-4s | ratio: %-23s | BW-red%%: %-23s | IPC+%%: %-23s | "
+                "completion+%%\n",
+                "mix", "A     D     S     M", "A     D     S     M",
+                "A     D     S     M");
+    std::vector<double> ratios[kN];
+    for (const auto &mix : trace::table6Workloads()) {
+        const RunRecord *r[kN];
+        for (int i = 0; i < kN; i++)
+            r[i] = rep.find(
+                k({"fig8", mix.name, schemeName(kCompared[i])}));
+        std::printf("%-4s |", mix.name.c_str());
+        for (int i = 1; i < kN; i++)
+            std::printf(" %5.2f", r[i]->get("ratio"));
+        std::printf(" |");
+        for (int i = 1; i < kN; i++)
+            std::printf(" %5.1f",
+                        100.0 * (1.0 - r[i]->get("gb_per_binstr") /
+                                           r[0]->get("gb_per_binstr")));
+        std::printf(" |");
+        for (int i = 1; i < kN; i++)
+            std::printf(" %+5.1f",
+                        100.0 * (r[i]->get("gmean_ipc") /
+                                     r[0]->get("gmean_ipc") -
+                                 1.0));
+        std::printf(" |");
+        for (int i = 1; i < kN; i++)
+            std::printf(" %+5.1f",
+                        100.0 * (r[0]->get("completion_cycles") /
+                                     r[i]->get("completion_cycles") -
+                                 1.0));
+        std::printf("\n");
+        for (int i = 0; i < kN; i++)
+            ratios[i].push_back(r[i]->get("ratio"));
+    }
+    std::printf("\n");
+    for (int i = 1; i < kN; i++)
+        printMeans(schemeName(kCompared[i]), ratios[i]);
+}
+
+// ------------------------------------------------------------------
+// Figure 9: memory-subsystem energy
+// ------------------------------------------------------------------
+
+const sim::Scheme kEnergySchemes[] = {
+    sim::Scheme::Uncompressed, sim::Scheme::Uncompressed8x,
+    sim::Scheme::Adaptive, sim::Scheme::Decoupled, sim::Scheme::Sc2,
+    sim::Scheme::Morc};
+
+std::vector<Task>
+fig9Tasks()
+{
+    std::vector<Task> tasks;
+    for (const auto &spec : trace::spec2006())
+        for (sim::Scheme s : kEnergySchemes)
+            tasks.push_back(singleTask(
+                k({"fig9", spec.name, schemeName(s)}), s, spec));
+    return tasks;
+}
+
+void
+fig9Present(const Report &rep)
+{
+    constexpr int kN = 6;
+    std::printf("%-10s | energy (mJ): %-41s | MORC breakdown (norm. to "
+                "baseline total)\n",
+                "bench", "Unc   Unc8x Adapt Decpl SC2   MORC");
+    std::vector<double> norm[kN];
+    for (const auto &spec : trace::spec2006()) {
+        const RunRecord *r[kN];
+        for (int i = 0; i < kN; i++)
+            r[i] = rep.find(
+                k({"fig9", spec.name, schemeName(kEnergySchemes[i])}));
+        const double base = r[0]->get("energy_total");
+        std::printf("%-10s |", spec.name.c_str());
+        for (int i = 0; i < kN; i++) {
+            std::printf(" %5.2f", 1e3 * r[i]->get("energy_total"));
+            norm[i].push_back(r[i]->get("energy_total") / base);
+        }
+        const RunRecord *m = r[5];
+        std::printf(" | static %.2f dram %.2f sram %.2f comp %.3f "
+                    "decomp %.3f\n",
+                    m->get("energy_static") / base,
+                    m->get("energy_dram") / base,
+                    m->get("energy_sram") / base,
+                    m->get("energy_comp") / base,
+                    m->get("energy_decomp") / base);
+    }
+    std::printf("\nNormalized energy vs uncompressed (GMean):\n");
+    for (int i = 0; i < kN; i++)
+        std::printf("%-14s %+6.1f%%\n", schemeName(kEnergySchemes[i]),
+                    100.0 * (stats::gmean(norm[i]) - 1.0));
+}
+
+// ------------------------------------------------------------------
+// Figure 10: per-thread bandwidth sensitivity
+// ------------------------------------------------------------------
+
+const double kBandwidths[] = {1600e6, 400e6, 100e6, 12.5e6};
+
+std::string
+bwLabel(double bw)
+{
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1fMB/s", bw / 1e6);
+    return label;
+}
+
+std::vector<Task>
+fig10Tasks()
+{
+    std::vector<Task> tasks;
+    for (double bw : kBandwidths)
+        for (const auto &spec : trace::spec2006())
+            for (sim::Scheme s : kCompared)
+                tasks.push_back(singleTask(
+                    k({"fig10", bwLabel(bw), spec.name, schemeName(s)}),
+                    s, spec, bw));
+    return tasks;
+}
+
+void
+fig10Present(const Report &rep)
+{
+    constexpr int kN = 5;
+    std::printf("%-10s | normalized IPC: %-23s | normalized throughput: "
+                "%s\n",
+                "BW/thread", "A     D     S     M", "A     D     S     M");
+    for (double bw : kBandwidths) {
+        std::vector<double> ipc[kN], thr[kN];
+        for (const auto &spec : trace::spec2006()) {
+            const RunRecord *r[kN];
+            for (int i = 0; i < kN; i++)
+                r[i] = rep.find(k({"fig10", bwLabel(bw), spec.name,
+                                   schemeName(kCompared[i])}));
+            for (int i = 0; i < kN; i++) {
+                ipc[i].push_back(r[i]->get("ipc") / r[0]->get("ipc"));
+                thr[i].push_back(r[i]->get("throughput") /
+                                 r[0]->get("throughput"));
+            }
+        }
+        std::printf("%-10s |", bwLabel(bw).c_str());
+        for (int i = 1; i < kN; i++)
+            std::printf(" %5.2f", stats::gmean(ipc[i]));
+        std::printf(" |");
+        for (int i = 1; i < kN; i++)
+            std::printf(" %5.2f", stats::gmean(thr[i]));
+        std::printf("\n");
+    }
+}
+
+// ------------------------------------------------------------------
+// Figure 11: LLC capacity sweep
+// ------------------------------------------------------------------
+
+const std::uint64_t kLlcSizes[] = {64ull << 10, 128ull << 10,
+                                   256ull << 10, 1024ull << 10,
+                                   4096ull << 10};
+
+std::vector<Task>
+fig11Tasks()
+{
+    std::vector<Task> tasks;
+    for (std::uint64_t size : kLlcSizes) {
+        // Caches much larger than 128KB need proportionally longer
+        // warm-up to fill; bounded to keep the default sweep affordable.
+        const unsigned scale = static_cast<unsigned>(
+            std::min<std::uint64_t>(
+                std::max<std::uint64_t>(size / (128 * 1024), 1), 2));
+        for (const auto &spec : trace::spec2006()) {
+            for (sim::Scheme s :
+                 {sim::Scheme::Uncompressed, sim::Scheme::Morc}) {
+                tasks.push_back(singleTask(
+                    k({"fig11", std::to_string(size >> 10) + "KB",
+                       spec.name, schemeName(s)}),
+                    s, spec, 100e6, size, nullptr, scale));
+            }
+        }
+    }
+    return tasks;
+}
+
+void
+fig11Present(const Report &rep)
+{
+    std::printf("%-10s %14s %16s %22s\n", "LLC size", "MORC ratio",
+                "norm. bandwidth", "norm. throughput");
+    for (std::uint64_t size : kLlcSizes) {
+        std::vector<double> ratio, thr;
+        double gb_base = 0, gb_morc = 0;
+        const std::string sz = std::to_string(size >> 10) + "KB";
+        for (const auto &spec : trace::spec2006()) {
+            const auto *base =
+                rep.find(k({"fig11", sz, spec.name, "Uncompressed"}));
+            const auto *m = rep.find(k({"fig11", sz, spec.name, "MORC"}));
+            ratio.push_back(m->get("ratio"));
+            // Aggregate traffic, not a mean of per-benchmark ratios:
+            // workloads that fit in-cache have near-zero baselines and
+            // would dominate a ratio mean with noise.
+            gb_base += base->get("gb_per_binstr");
+            gb_morc += m->get("gb_per_binstr");
+            thr.push_back(m->get("throughput") /
+                          base->get("throughput"));
+        }
+        std::printf("%7lluKB %14.2f %16.2f %22.2f\n",
+                    static_cast<unsigned long long>(size >> 10),
+                    stats::amean(ratio), gb_morc / gb_base,
+                    stats::gmean(thr));
+    }
+}
+
+// ------------------------------------------------------------------
+// Figure 12: write-back-induced invalid lines
+// ------------------------------------------------------------------
+
+std::vector<Task>
+fig12Tasks()
+{
+    std::vector<Task> tasks;
+    for (const auto &spec : trace::spec2006()) {
+        for (bool inclusive : {true, false}) {
+            tasks.push_back(Task{
+                k({"fig12", spec.name,
+                   inclusive ? "inclusive" : "non-inclusive"}),
+                [spec, inclusive](std::uint64_t) -> RunRecord {
+                    sim::SystemConfig cfg;
+                    cfg.scheme = sim::Scheme::Morc;
+                    cfg.useMorcOverride = true;
+                    cfg.morc.compressionEnabled = false;
+                    cfg.inclusiveWriteFills = inclusive;
+                    cfg.ratioSampleInterval = instrBudget();
+                    RunRecord rec = simRecord(
+                        cfg, {spec}, instrBudget(), warmupBudget());
+                    rec.label("workload", spec.name);
+                    rec.label("fill_policy", inclusive
+                                                 ? "inclusive"
+                                                 : "non-inclusive");
+                    return rec;
+                }});
+        }
+    }
+    return tasks;
+}
+
+void
+fig12Present(const Report &rep)
+{
+    std::vector<double> inc, non;
+    std::printf("%-10s %12s %14s\n", "bench", "inclusive%",
+                "non-inclusive%");
+    for (const auto &spec : trace::spec2006()) {
+        const double i =
+            100.0 * rep.metric(k({"fig12", spec.name, "inclusive"}),
+                               "invalid_frac");
+        const double n =
+            100.0 * rep.metric(k({"fig12", spec.name, "non-inclusive"}),
+                               "invalid_frac");
+        inc.push_back(i);
+        non.push_back(n);
+        std::printf("%-10s %11.1f%% %13.1f%%\n", spec.name.c_str(), i, n);
+    }
+    std::printf("%-10s %11.1f%% %13.1f%%\n", "AMean", stats::amean(inc),
+                stats::amean(non));
+}
+
+// ------------------------------------------------------------------
+// Figure 13: log size / active-log count sweeps
+// ------------------------------------------------------------------
+
+const unsigned kLogSizes[] = {64, 256, 512, 1024, 2048, 4096};
+const unsigned kLogCounts[] = {1, 4, 8, 16, 32, 64};
+// A representative subset keeps the sweep affordable.
+const char *kFig13Subset[] = {"astar",  "gcc",    "mcf",    "omnetpp",
+                              "soplex", "zeusmp", "gamess", "cactusADM"};
+
+Task
+fig13Task(std::string key, const trace::BenchmarkSpec &spec,
+          unsigned log_bytes, unsigned active_logs)
+{
+    core::MorcConfig morc;
+    morc.logBytes = log_bytes;
+    morc.activeLogs = active_logs;
+    morc.unlimitedMeta = true;
+    return singleTask(std::move(key), sim::Scheme::Morc, spec, 100e6,
+                      128 * 1024, &morc);
+}
+
+std::vector<Task>
+fig13Tasks()
+{
+    std::vector<Task> tasks;
+    for (const char *name : kFig13Subset) {
+        const auto spec = trace::resolveWorkload(name);
+        for (unsigned s : kLogSizes)
+            tasks.push_back(fig13Task(
+                k({"fig13", name, "logbytes" + std::to_string(s)}),
+                spec, s, 8));
+        for (unsigned c : kLogCounts)
+            tasks.push_back(fig13Task(
+                k({"fig13", name, "logs" + std::to_string(c)}), spec,
+                512, c));
+    }
+    return tasks;
+}
+
+void
+fig13Present(const Report &rep)
+{
+    std::printf("(a) log size sweep, 8 active logs\n%-10s", "bench");
+    for (unsigned s : kLogSizes)
+        std::printf(" %6uB", s);
+    std::printf("\n");
+    for (const char *name : kFig13Subset) {
+        std::printf("%-10s", name);
+        for (unsigned s : kLogSizes)
+            std::printf(" %7.2f",
+                        rep.metric(k({"fig13", name,
+                                      "logbytes" + std::to_string(s)}),
+                                   "ratio"));
+        std::printf("\n");
+    }
+    std::printf("\n(b) active-log sweep, 512B logs\n%-10s", "bench");
+    for (unsigned c : kLogCounts)
+        std::printf(" %6u", c);
+    std::printf("\n");
+    for (const char *name : kFig13Subset) {
+        std::printf("%-10s", name);
+        for (unsigned c : kLogCounts)
+            std::printf(" %6.2f",
+                        rep.metric(k({"fig13", name,
+                                      "logs" + std::to_string(c)}),
+                                   "ratio"));
+        std::printf("\n");
+    }
+}
+
+// ------------------------------------------------------------------
+// Figure 14: access latency (log position) distribution
+// ------------------------------------------------------------------
+
+const std::vector<std::uint64_t> kFig14Bounds = {64,  128, 196, 256,
+                                                 320, 384, 448, 512};
+
+std::vector<Task>
+fig14Tasks()
+{
+    std::vector<Task> tasks;
+    for (const auto &spec : trace::spec2006()) {
+        tasks.push_back(Task{
+            k({"fig14", spec.name}),
+            [spec](std::uint64_t) -> RunRecord {
+                stats::Histogram hist(kFig14Bounds);
+                sim::SystemConfig cfg;
+                cfg.scheme = sim::Scheme::Morc;
+                cfg.latencyHistogram = &hist;
+                cfg.ratioSampleInterval = instrBudget();
+                sim::System sys(cfg, {spec});
+                sys.run(instrBudget(), warmupBudget());
+                RunRecord rec;
+                rec.label("workload", spec.name);
+                rec.histograms.emplace_back("log_position_bytes", hist);
+                return rec;
+            }});
+    }
+    return tasks;
+}
+
+void
+fig14Present(const Report &rep)
+{
+    {
+        stats::Histogram proto(kFig14Bounds);
+        std::printf("%-10s", "bench");
+        for (std::size_t i = 0; i < proto.numBuckets(); i++)
+            std::printf(" %8s", proto.label(i).c_str());
+        std::printf("\n");
+    }
+    for (const auto &spec : trace::spec2006()) {
+        const auto *r = rep.find(k({"fig14", spec.name}));
+        const stats::Histogram &hist = r->histograms.front().second;
+        std::printf("%-10s", spec.name.c_str());
+        for (std::size_t i = 0; i < hist.numBuckets(); i++)
+            std::printf("   %5.1f%%", 100.0 * hist.fraction(i));
+        std::printf("\n");
+    }
+}
+
+// ------------------------------------------------------------------
+// Figure 15: separate vs merged tag/data logs
+// ------------------------------------------------------------------
+
+std::vector<Task>
+fig15Tasks()
+{
+    std::vector<Task> tasks;
+    for (const auto &spec : trace::spec2006())
+        for (sim::Scheme s :
+             {sim::Scheme::Morc, sim::Scheme::MorcMerged})
+            tasks.push_back(singleTask(
+                k({"fig15", spec.name, schemeName(s)}), s, spec));
+    return tasks;
+}
+
+void
+fig15Present(const Report &rep)
+{
+    std::vector<double> base, merged;
+    std::printf("%-10s %10s %12s\n", "bench", "MORC", "MORCMerged");
+    for (const auto &spec : trace::spec2006()) {
+        const double r0 =
+            rep.metric(k({"fig15", spec.name, "MORC"}), "ratio");
+        const double r1 =
+            rep.metric(k({"fig15", spec.name, "MORCMerged"}), "ratio");
+        base.push_back(r0);
+        merged.push_back(r1);
+        std::printf("%-10s %10.2f %12.2f\n", spec.name.c_str(), r0, r1);
+    }
+    printMeans("MORC", base);
+    printMeans("MORCMerged", merged);
+}
+
+// ------------------------------------------------------------------
+// Table 1: energy constants
+// ------------------------------------------------------------------
+
+std::vector<Task>
+table1Tasks()
+{
+    return {Task{"table1/constants", [](std::uint64_t) -> RunRecord {
+                     RunRecord rec;
+                     for (const auto &row : energy::table1())
+                         rec.metric(row.operation, row.joules);
+                     return rec;
+                 }}};
+}
+
+void
+table1Present(const Report &rep)
+{
+    const auto *rec = rep.find("table1/constants");
+    std::printf("%-40s %12s %10s\n", "Operation", "Energy", "Scale");
+    const double base = rec->metrics.front().second;
+    for (const auto &[op, joules] : rec->metrics) {
+        char buf[32];
+        if (joules < 1e-9)
+            std::snprintf(buf, sizeof(buf), "%.2fpJ", joules * 1e12);
+        else
+            std::snprintf(buf, sizeof(buf), "%.2fnJ", joules * 1e9);
+        std::printf("%-40s %12s %9.0fx\n", op.c_str(), buf,
+                    joules / base);
+    }
+    std::printf("\nPaper scale column: 1x / 2x / 22.5x / 185x / 1250x / "
+                "4675x\n");
+}
+
+// ------------------------------------------------------------------
+// Table 4: storage overheads
+// ------------------------------------------------------------------
+
+std::vector<Task>
+table4Tasks()
+{
+    std::vector<Task> tasks;
+    for (const auto &row : cache::table4Overheads()) {
+        tasks.push_back(Task{
+            k({"table4", row.scheme}), [row](std::uint64_t) -> RunRecord {
+                RunRecord rec;
+                rec.label("scheme", row.scheme);
+                rec.metric("extra_tags_frac", row.extraTagsFrac);
+                rec.metric("metadata_frac", row.metadataFrac);
+                rec.metric("total_frac", row.totalFrac);
+                rec.metric("comp_engine_mm2", row.compEngineMm2);
+                rec.metric("dict_bytes",
+                           static_cast<double>(row.dictBytes));
+                return rec;
+            }});
+    }
+    return tasks;
+}
+
+void
+table4Present(const Report &rep)
+{
+    std::printf("(128KB cache, 40b tags, 16-way sets for prior work, "
+                "512B logs, 8x LMT)\n\n");
+    std::printf("%-12s %9s %9s %11s %9s %9s\n", "Scheme", "Tags",
+                "Metadata", "Tags+Meta", "Engine", "Dict");
+    for (const auto &row : cache::table4Overheads()) {
+        const auto *r = rep.find(k({"table4", row.scheme}));
+        const double engineMm2 = r->get("comp_engine_mm2");
+        const unsigned dictBytes =
+            static_cast<unsigned>(r->get("dict_bytes"));
+        char engine[16];
+        if (engineMm2 > 0)
+            std::snprintf(engine, sizeof(engine), "%.2fmm2", engineMm2);
+        else
+            std::snprintf(engine, sizeof(engine), "NoData");
+        char dict[16];
+        if (dictBytes >= 1024)
+            std::snprintf(dict, sizeof(dict), "%uKB", dictBytes / 1024);
+        else
+            std::snprintf(dict, sizeof(dict), "%uB", dictBytes);
+        std::printf("%-12s %8.2f%% %8.2f%% %10.2f%% %9s %9s\n",
+                    row.scheme.c_str(), 100 * r->get("extra_tags_frac"),
+                    100 * r->get("metadata_frac"),
+                    100 * r->get("total_frac"), engine, dict);
+    }
+    std::printf("\nPaper row 'Tags+Meta': 18.74%% / 8.59%% / 33.58%% / "
+                "25.00%% / 17.18%%\n");
+}
+
+// ------------------------------------------------------------------
+// Ablation: stream/line codecs on identical fill streams
+// ------------------------------------------------------------------
+
+std::vector<Task>
+ablationTasks()
+{
+    std::vector<Task> tasks;
+    for (const auto &spec : trace::spec2006()) {
+        tasks.push_back(Task{
+            k({"ablation", spec.name}),
+            [spec](std::uint64_t seed) -> RunRecord {
+                trace::ValueModel vm(spec.data);
+                Rng rng(seed);
+                const std::uint64_t ws_lines =
+                    spec.access.wsBytes / kLineSize;
+                comp::LbeEncoder lbe;
+                comp::LzssEncoder lz;
+                comp::CpackEncoder cpack_stream(512); // same dict budget
+                std::uint64_t b_lbe = 0, b_lz = 0, b_cp = 0, b_fpc = 0,
+                              b_bdi = 0;
+                std::uint64_t log_lbe = 0, log_lz = 0, log_cp = 0;
+                int n = 0;
+                for (int burst = 0; burst < 120; burst++) {
+                    const std::uint64_t base =
+                        rng.below(ws_lines) & ~15ull;
+                    for (int i = 0; i < 16; i++) {
+                        const CacheLine l = vm.line(base + i, 0);
+                        const auto add = [&](std::uint64_t &total,
+                                             std::uint64_t &log,
+                                             std::uint32_t bits,
+                                             auto &enc) {
+                            total += bits;
+                            log += bits;
+                            if (log > 4096) { // 512B log flush
+                                enc.reset();
+                                log = 0;
+                            }
+                        };
+                        add(b_lbe, log_lbe, lbe.append(l), lbe);
+                        add(b_lz, log_lz, lz.append(l), lz);
+                        add(b_cp, log_cp, cpack_stream.append(l),
+                            cpack_stream);
+                        b_fpc += comp::Fpc::lineBits(l);
+                        b_bdi += comp::Bdi::lineBits(l);
+                        n++;
+                    }
+                }
+                const double raw = 512.0 * n;
+                RunRecord rec;
+                rec.label("workload", spec.name);
+                rec.metric("lbe", raw / b_lbe);
+                rec.metric("lzss", raw / b_lz);
+                rec.metric("cpack", raw / b_cp);
+                rec.metric("fpc", raw / b_fpc);
+                rec.metric("bdi", raw / b_bdi);
+                return rec;
+            }});
+    }
+    for (unsigned bases : {1u, 2u}) {
+        tasks.push_back(Task{
+            k({"ablation", "tagcodec",
+               std::to_string(bases) + "base"}),
+            [bases](std::uint64_t seed) -> RunRecord {
+                comp::TagCodec codec(bases);
+                Rng rng(seed);
+                std::uint64_t bits = 0;
+                std::uint64_t chain_a = 1'000'000,
+                              chain_b = 9'000'000;
+                const int n = 20000;
+                for (int i = 0; i < n; i++) {
+                    if (i & 1)
+                        bits += codec.append(chain_a +=
+                                             1 + rng.below(3));
+                    else
+                        bits += codec.append(chain_b +=
+                                             1 + rng.below(3));
+                }
+                RunRecord rec;
+                rec.label("bases", std::to_string(bases));
+                rec.metric("bits_per_tag",
+                           static_cast<double>(bits) / n);
+                return rec;
+            }});
+    }
+    return tasks;
+}
+
+void
+ablationPresent(const Report &rep)
+{
+    std::printf("%-10s %7s %7s %8s %7s %7s\n", "bench", "LBE", "LZSS",
+                "C-Packs", "FPC", "BDI");
+    std::vector<double> r_lbe, r_lz, r_cp, r_fpc, r_bdi;
+    for (const auto &spec : trace::spec2006()) {
+        const auto *r = rep.find(k({"ablation", spec.name}));
+        std::printf("%-10s %7.2f %7.2f %8.2f %7.2f %7.2f\n",
+                    spec.name.c_str(), r->get("lbe"), r->get("lzss"),
+                    r->get("cpack"), r->get("fpc"), r->get("bdi"));
+        r_lbe.push_back(r->get("lbe"));
+        r_lz.push_back(r->get("lzss"));
+        r_cp.push_back(r->get("cpack"));
+        r_fpc.push_back(r->get("fpc"));
+        r_bdi.push_back(r->get("bdi"));
+    }
+    printMeans("LBE", r_lbe);
+    printMeans("LZSS", r_lz);
+    printMeans("C-Pack", r_cp);
+    printMeans("FPC", r_fpc);
+    printMeans("BDI", r_bdi);
+
+    std::printf("\nTag codec: interleaved fill + write-back chains\n");
+    for (unsigned bases : {1u, 2u}) {
+        std::printf("  %u base(s): %.1f bits/tag (vs %u raw)\n", bases,
+                    rep.metric(k({"ablation", "tagcodec",
+                                  std::to_string(bases) + "base"}),
+                               "bits_per_tag"),
+                    comp::TagCodec::kFullTagBits + 2);
+    }
+}
+
+} // namespace
+
+// ------------------------------------------------------------------
+// Registry and drivers
+// ------------------------------------------------------------------
+
+const std::vector<Figure> &
+figures()
+{
+    static const std::vector<Figure> kFigures = {
+        {"table1", "Table 1: Energy of on-chip and off-chip operations "
+                   "(64b of data)",
+         "1x / 2x / 22.5x / 185x / 1250x / 4675x scale column",
+         table1Tasks, table1Present},
+        {"table4", "Table 4: Overheads of compression schemes, "
+                   "normalized to cache capacity",
+         "Tags+Meta 18.74% / 8.59% / 33.58% / 25.00% / 17.18%",
+         table4Tasks, table4Present},
+        {"fig2", "Figure 2: Oracle intra-line vs inter-line compression",
+         "intra ~2x ratio / ~20% BW reduction; inter ~24x / ~80%",
+         fig2Tasks, fig2Present},
+        {"fig6", "Figure 6: single-program compression / bandwidth / "
+                 "IPC / throughput",
+         "MORC ~2.9x ratio (next best 1.9x); MORC -27% BW (next "
+         "-10.8%); IPC +22%; throughput +37% (next +20%)",
+         fig6Tasks, fig6Present},
+        {"fig7", "Figure 7: LBE symbol usage distribution "
+                 "(data-weighted)",
+         "m256 significant for cactusADM/gamess/leslie3d/povray; gcc "
+         "mostly zeros; h264ref u8/u16-heavy",
+         fig7Tasks, fig7Present},
+        {"fig8", "Figure 8: multi-program (16 threads, shared LLC, "
+                 "1600MB/s)",
+         "MORC ~4x ratio avg, up to 7x (next best 1.75x); BW -20%; "
+         "IPC up to +60% (S5); completion M3 +35%",
+         fig8Tasks, fig8Present},
+        {"fig9", "Figure 9: memory subsystem energy",
+         "MORC -17% vs uncompressed; beats the 1MB Uncompressed8x "
+         "baseline; decompression energy visible but small vs DRAM",
+         fig9Tasks, fig9Present},
+        {"fig10", "Figure 10: sensitivity to per-thread bandwidth",
+         "at 1600MB/s MORC costs ~7% IPC, no throughput loss; at "
+         "12.5MB/s MORC +63% throughput",
+         fig10Tasks, fig10Present},
+        {"fig11", "Figure 11: MORC at other cache sizes",
+         "BW savings 33-37% and throughput +35-46% from 64KB to 1MB; "
+         "benefits fade by 4MB",
+         fig11Tasks, fig11Present},
+        {"fig12", "Figure 12: write-back-induced invalid lines "
+                  "(compression disabled)",
+         "non-inclusive significantly reduces invalid fraction vs "
+         "inclusive",
+         fig12Tasks, fig12Present},
+        {"fig13", "Figure 13: log size and active-log count sweeps "
+                  "(unlimited tags/LMT)",
+         "512-byte logs with 8 active logs are near-optimal",
+         fig13Tasks, fig13Present},
+        {"fig14", "Figure 14: MORC access latency (log position) "
+                  "distribution",
+         "fairly even distribution across log positions", fig14Tasks,
+         fig14Present},
+        {"fig15", "Figure 15: separate vs merged tag/data logs",
+         "MORCMerged within ~0.5x of MORC on most workloads",
+         fig15Tasks, fig15Present},
+        {"ablation", "Ablation: stream/line codecs on identical fill "
+                     "streams",
+         "LZ ~ LBE (Section 6); C-Pack capped by per-word pointers; "
+         "intra-line codecs (FPC/BDI) trail inter-line ones",
+         ablationTasks, ablationPresent},
+    };
+    return kFigures;
+}
+
+const Figure *
+findFigure(const std::string &name)
+{
+    for (const auto &f : figures()) {
+        if (name == f.name)
+            return &f;
+    }
+    return nullptr;
+}
+
+stats::Report
+runFigure(const Figure &fig, unsigned jobs)
+{
+    stats::Report rep;
+    rep.figure = fig.name;
+    rep.title = fig.title;
+    rep.instrBudget = instrBudget();
+    rep.warmupBudget = warmupBudget();
+    sweep::Engine engine(jobs);
+    rep.runs = engine.run(fig.tasks());
+    return rep;
+}
+
+int
+sweepMain(int argc, char **argv, const char *only)
+{
+    unsigned jobs = 0; // hardware_concurrency
+    std::string outDir;
+    std::vector<std::string> names;
+    const auto parseJobs = [&jobs](const char *s) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(s, &end, 10);
+        if (end == s || *end != '\0' || v > 4096) {
+            std::fprintf(stderr, "--jobs: bad value '%s'\n", s);
+            return false;
+        }
+        jobs = static_cast<unsigned>(v);
+        return true;
+    };
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" || arg == "-j") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                return 1;
+            }
+            if (!parseJobs(argv[++i]))
+                return 1;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            if (!parseJobs(arg.c_str() + 7))
+                return 1;
+        } else if (arg == "--out" || arg == "-o") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                return 1;
+            }
+            outDir = argv[++i];
+        } else if (arg.rfind("--out=", 0) == 0) {
+            outDir = arg.substr(6);
+        } else if (arg == "--list") {
+            for (const auto &f : figures())
+                std::printf("%-10s %s\n", f.name, f.title);
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: %s [--jobs N] [--out DIR] [--list] "
+                "[figure...|all]\n",
+                argv[0]);
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return 1;
+        } else if (only) {
+            std::fprintf(stderr,
+                         "this binary runs only '%s'; use morc_sweep "
+                         "for other figures\n",
+                         only);
+            return 1;
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    std::vector<const Figure *> selected;
+    if (only) {
+        selected.push_back(findFigure(only));
+    } else if (names.empty() ||
+               (names.size() == 1 && names[0] == "all")) {
+        for (const auto &f : figures())
+            selected.push_back(&f);
+    } else {
+        for (const auto &n : names) {
+            const Figure *f = findFigure(n);
+            if (!f) {
+                std::fprintf(stderr, "unknown figure '%s' (--list)\n",
+                             n.c_str());
+                return 1;
+            }
+            selected.push_back(f);
+        }
+    }
+
+    if (!outDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(outDir, ec);
+        if (ec) {
+            std::fprintf(stderr, "cannot create %s: %s\n",
+                         outDir.c_str(), ec.message().c_str());
+            return 1;
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Figure *fig : selected) {
+        const auto f0 = std::chrono::steady_clock::now();
+        stats::Report rep;
+        try {
+            rep = runFigure(*fig, jobs);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "[%s] FAILED: %s\n", fig->name,
+                         e.what());
+            return 1;
+        }
+        banner(*fig);
+        fig->present(rep);
+        if (!outDir.empty()) {
+            const std::string path =
+                outDir + "/" + fig->name + ".json";
+            std::ofstream out(path, std::ios::binary);
+            out << rep.toJson();
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", path.c_str());
+                return 1;
+            }
+        }
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - f0)
+                .count();
+        std::fprintf(stderr, "[%s] %zu tasks in %.1fs\n", fig->name,
+                     rep.runs.size(), secs);
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    if (selected.size() > 1) {
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        std::fprintf(stderr, "total: %zu figures in %.1fs\n",
+                     selected.size(), secs);
+    }
+    return 0;
+}
+
+} // namespace bench
+} // namespace morc

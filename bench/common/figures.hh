@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Registry of every paper figure/table as a sweep definition.
+ *
+ * A Figure contributes (a) a task enumerator — one sweep::Task per
+ * (scheme x workload x config point), each returning a flat RunRecord —
+ * and (b) a presenter that re-derives the paper's text table from the
+ * finished stats::Report. Tasks are independent and deterministic, so
+ * the engine can run them on any number of threads; presenters only read
+ * the report, so text output and JSON always agree.
+ *
+ * The same registry backs the per-figure bench binaries (thin wrappers
+ * over figureMain) and the morc_sweep CLI (sweepMain over any subset).
+ */
+
+#ifndef MORC_BENCH_FIGURES_HH
+#define MORC_BENCH_FIGURES_HH
+
+#include <string>
+#include <vector>
+
+#include "stats/report.hh"
+#include "sweep/sweep.hh"
+
+namespace morc {
+namespace bench {
+
+struct Figure
+{
+    const char *name;       // CLI name, e.g. "fig6"
+    const char *title;      // banner line
+    const char *paperClaim; // "Paper reports:" line
+    std::vector<sweep::Task> (*tasks)();
+    void (*present)(const stats::Report &);
+};
+
+/** Every figure/table, in paper order. */
+const std::vector<Figure> &figures();
+
+/** Lookup by name; nullptr if unknown. */
+const Figure *findFigure(const std::string &name);
+
+/** Run one figure's sweep on @p jobs threads and assemble its report. */
+stats::Report runFigure(const Figure &fig, unsigned jobs);
+
+/**
+ * Shared CLI driver: `[--jobs N] [--out DIR] [--list] [figure...|all]`.
+ * When @p only is set (the per-figure bench binaries), positional
+ * figure names are rejected and just that figure runs.
+ *
+ * @return 0 on success; 1 on bad usage, unknown figure, or a failed
+ *         sweep task.
+ */
+int sweepMain(int argc, char **argv, const char *only = nullptr);
+
+} // namespace bench
+} // namespace morc
+
+#endif // MORC_BENCH_FIGURES_HH

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * morc_sweep: run any paper figure/table sweep in parallel.
+ *
+ *   morc_sweep --list
+ *   morc_sweep --jobs 8 --out results fig6 fig8
+ *   morc_sweep --jobs $(nproc) all
+ *
+ * Budgets scale with MORC_BENCH_INSTR / MORC_BENCH_WARMUP. JSON reports
+ * (schema morc.sweep.report/v1) are bit-identical for any --jobs value.
+ */
+
+#include "common/figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return morc::bench::sweepMain(argc, argv);
+}

@@ -3,28 +3,46 @@
  * MORC design-space exploration on one workload: log size, active-log
  * count, LMT provisioning/associativity, tag bases, and merged tags —
  * the knobs Sections 3.2 and 5.4 discuss.
- * Usage: design_space [workload] (default: gcc).
+ *
+ * Exploration is expressed as a sweep: every design point is an
+ * independent sweep::Task, fanned out over a work-stealing pool, and
+ * the tables are printed from the collected records — the same pattern
+ * the bench figures use (bench/common/figures.cc).
+ *
+ * Usage: design_space [workload] [jobs] (default: gcc, all cores).
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/morc.hh"
 #include "sim/system.hh"
+#include "sweep/sweep.hh"
 
 namespace {
 
-morc::sim::RunResult
-runWith(const morc::trace::BenchmarkSpec &spec,
-        const morc::core::MorcConfig &morc, bool merged = false)
+using morc::stats::RunRecord;
+using morc::sweep::Task;
+
+Task
+designTask(std::string key, const morc::trace::BenchmarkSpec &spec,
+           const morc::core::MorcConfig &morc, bool merged = false)
 {
-    using namespace morc;
-    sim::SystemConfig cfg;
-    cfg.scheme = merged ? sim::Scheme::MorcMerged : sim::Scheme::Morc;
-    cfg.useMorcOverride = true;
-    cfg.morc = morc;
-    cfg.ratioSampleInterval = 200'000;
-    sim::System sys(cfg, {spec});
-    return sys.run(600'000, 1'200'000);
+    return Task{std::move(key), [spec, morc, merged](std::uint64_t) {
+                    using namespace morc;
+                    sim::SystemConfig cfg;
+                    cfg.scheme = merged ? sim::Scheme::MorcMerged
+                                        : sim::Scheme::Morc;
+                    cfg.useMorcOverride = true;
+                    cfg.morc = morc;
+                    cfg.ratioSampleInterval = 200'000;
+                    sim::System sys(cfg, {spec});
+                    const auto r = sys.run(600'000, 1'200'000);
+                    RunRecord rec;
+                    rec.metric("ratio", r.compressionRatio);
+                    rec.metric("gb_per_binstr", r.gbPerBillionInstr());
+                    return rec;
+                }};
 }
 
 } // namespace
@@ -35,52 +53,84 @@ main(int argc, char **argv)
     using namespace morc;
     const auto spec =
         trace::resolveWorkload(argc > 1 ? argv[1] : "gcc");
+    const unsigned jobs =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 0;
     std::printf("MORC design space on %s\n\n", spec.name.c_str());
 
-    {
-        std::printf("log size (8 active logs):\n");
-        for (unsigned bytes : {128u, 256u, 512u, 1024u, 2048u}) {
-            core::MorcConfig m;
-            m.logBytes = bytes;
-            const auto r = runWith(spec, m);
-            std::printf("  %5uB: ratio %.2f  GB/Binstr %.2f\n", bytes,
-                        r.compressionRatio, r.gbPerBillionInstr());
-        }
-    }
-    {
-        std::printf("active logs (512B logs):\n");
-        for (unsigned logs : {1u, 2u, 4u, 8u, 16u}) {
-            core::MorcConfig m;
-            m.activeLogs = logs;
-            const auto r = runWith(spec, m);
-            std::printf("  %5u: ratio %.2f\n", logs, r.compressionRatio);
-        }
-    }
-    {
-        std::printf("LMT provisioning x associativity:\n");
-        for (unsigned factor : {2u, 4u, 8u, 16u}) {
-            for (unsigned ways : {1u, 2u}) {
-                core::MorcConfig m;
-                m.lmtFactor = factor;
-                m.lmtWays = ways;
-                const auto r = runWith(spec, m);
-                std::printf("  %2ux %u-way: ratio %.2f\n", factor, ways,
-                            r.compressionRatio);
-            }
-        }
-    }
-    {
-        std::printf("tag compression bases / merged tags:\n");
-        for (unsigned bases : {1u, 2u}) {
-            core::MorcConfig m;
-            m.tagBases = bases;
-            const auto r = runWith(spec, m);
-            std::printf("  %u base(s): ratio %.2f\n", bases,
-                        r.compressionRatio);
-        }
+    const unsigned log_sizes[] = {128, 256, 512, 1024, 2048};
+    const unsigned log_counts[] = {1, 2, 4, 8, 16};
+    const unsigned lmt_factors[] = {2, 4, 8, 16};
+    const unsigned lmt_ways[] = {1, 2};
+    const unsigned tag_bases[] = {1, 2};
+
+    std::vector<Task> tasks;
+    for (unsigned bytes : log_sizes) {
         core::MorcConfig m;
-        const auto r = runWith(spec, m, /*merged=*/true);
-        std::printf("  merged tags: ratio %.2f\n", r.compressionRatio);
+        m.logBytes = bytes;
+        tasks.push_back(
+            designTask("log" + std::to_string(bytes), spec, m));
     }
+    for (unsigned logs : log_counts) {
+        core::MorcConfig m;
+        m.activeLogs = logs;
+        tasks.push_back(
+            designTask("active" + std::to_string(logs), spec, m));
+    }
+    for (unsigned factor : lmt_factors) {
+        for (unsigned ways : lmt_ways) {
+            core::MorcConfig m;
+            m.lmtFactor = factor;
+            m.lmtWays = ways;
+            tasks.push_back(designTask("lmt" + std::to_string(factor) +
+                                           "x" + std::to_string(ways),
+                                       spec, m));
+        }
+    }
+    for (unsigned bases : tag_bases) {
+        core::MorcConfig m;
+        m.tagBases = bases;
+        tasks.push_back(
+            designTask("bases" + std::to_string(bases), spec, m));
+    }
+    tasks.push_back(
+        designTask("merged", spec, core::MorcConfig{}, true));
+
+    sweep::Engine engine(jobs);
+    const auto records = engine.run(tasks);
+    const auto find = [&](const std::string &key) -> const RunRecord & {
+        for (const auto &r : records) {
+            if (r.key == key)
+                return r;
+        }
+        std::abort();
+    };
+
+    std::printf("log size (8 active logs):\n");
+    for (unsigned bytes : log_sizes) {
+        const auto &r = find("log" + std::to_string(bytes));
+        std::printf("  %5uB: ratio %.2f  GB/Binstr %.2f\n", bytes,
+                    r.get("ratio"), r.get("gb_per_binstr"));
+    }
+    std::printf("active logs (512B logs):\n");
+    for (unsigned logs : log_counts) {
+        std::printf("  %5u: ratio %.2f\n", logs,
+                    find("active" + std::to_string(logs)).get("ratio"));
+    }
+    std::printf("LMT provisioning x associativity:\n");
+    for (unsigned factor : lmt_factors) {
+        for (unsigned ways : lmt_ways) {
+            std::printf("  %2ux %u-way: ratio %.2f\n", factor, ways,
+                        find("lmt" + std::to_string(factor) + "x" +
+                             std::to_string(ways))
+                            .get("ratio"));
+        }
+    }
+    std::printf("tag compression bases / merged tags:\n");
+    for (unsigned bases : tag_bases) {
+        std::printf("  %u base(s): ratio %.2f\n", bases,
+                    find("bases" + std::to_string(bases)).get("ratio"));
+    }
+    std::printf("  merged tags: ratio %.2f\n",
+                find("merged").get("ratio"));
     return 0;
 }

@@ -1,11 +1,31 @@
-#!/bin/bash
-# Regenerate every paper table/figure. Budgets scale with MORC_BENCH_INSTR.
+#!/usr/bin/env bash
+# Regenerate every paper table/figure via the parallel sweep engine.
+#
+#   ./run_benches.sh                     # all figures, all cores
+#   ./run_benches.sh --jobs 4 fig6 fig8  # a subset on 4 threads
+#   ./run_benches.sh --out results       # also write JSON reports
+#
+# Budgets scale with MORC_BENCH_INSTR / MORC_BENCH_WARMUP. Any bench
+# failure (crash or failed sweep task) propagates as a non-zero exit.
+set -euo pipefail
 export MORC_BENCH_INSTR=${MORC_BENCH_INSTR:-250000}
 export MORC_BENCH_WARMUP=${MORC_BENCH_WARMUP:-500000}
 cd "$(dirname "$0")"
-for b in build/bench/bench_*; do
-    [ -f "$b" ] && [ -x "$b" ] || continue
-    echo "### $b"
-    "$b"
-    echo
+
+SWEEP=build/bench/morc_sweep
+if [ ! -x "$SWEEP" ]; then
+    echo "error: $SWEEP not built (cmake -B build && cmake --build build)" >&2
+    exit 1
+fi
+
+JOBS=$(nproc 2>/dev/null || echo 1)
+ARGS=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --jobs) JOBS="$2"; shift 2 ;;
+      --jobs=*) JOBS="${1#--jobs=}"; shift ;;
+      *) ARGS+=("$1"); shift ;;
+    esac
 done
+
+exec "$SWEEP" --jobs "$JOBS" "${ARGS[@]+"${ARGS[@]}"}"

@@ -14,14 +14,17 @@ deltasFit(const CacheLine &line, unsigned delta_bytes)
     const unsigned n = kLineSize / base_bytes;
     Base base;
     std::memcpy(&base, line.bytes.data(), base_bytes);
-    const std::int64_t lo = -(1ll << (8 * delta_bytes - 1));
-    const std::int64_t hi = (1ll << (8 * delta_bytes - 1)) - 1;
+    // Wraparound subtraction in uint64, then a biased range check: the
+    // delta fits iff, interpreted as signed, it lies in
+    // [-2^(k-1), 2^(k-1)) for k = 8*delta_bytes. Signed subtraction
+    // here would overflow for distant 64-bit values.
+    const std::uint64_t bias = 1ull << (8 * delta_bytes - 1);
     for (unsigned i = 0; i < n; i++) {
         Base v;
         std::memcpy(&v, line.bytes.data() + i * base_bytes, base_bytes);
-        const auto delta = static_cast<std::int64_t>(v) -
-                           static_cast<std::int64_t>(base);
-        if (delta < lo || delta > hi)
+        const std::uint64_t delta = static_cast<std::uint64_t>(v) -
+                                    static_cast<std::uint64_t>(base);
+        if (delta + bias >= 1ull << (8 * delta_bytes))
             return false;
     }
     return true;

@@ -43,6 +43,9 @@ class Histogram
     /** Raw count of bucket @p i. */
     std::uint64_t count(std::size_t i) const { return counts_[i]; }
 
+    /** Inclusive upper bound of bucket @p i (not the overflow bucket). */
+    std::uint64_t upperBound(std::size_t i) const { return bounds_[i]; }
+
     /** Fraction of all weight that fell in bucket @p i. */
     double
     fraction(std::size_t i) const

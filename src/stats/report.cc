@@ -1,0 +1,172 @@
+#include "stats/report.hh"
+
+#include <charconv>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace morc {
+namespace stats {
+
+std::string
+formatDouble(double v)
+{
+    // JSON has no NaN/Inf literals; clamp to null-ish sentinels that
+    // still parse. These only arise from degenerate 0/0 metrics.
+    if (std::isnan(v))
+        return "0";
+    if (std::isinf(v))
+        return v > 0 ? "1e308" : "-1e308";
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    std::string s(buf, res.ptr);
+    // to_chars may emit "1e+20"-style exponents; that is valid JSON.
+    // Integral values come out without a decimal point ("3"), which is
+    // also valid JSON and deterministic, so leave them be.
+    return s;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+double
+RunRecord::get(const std::string &k) const
+{
+    for (const auto &[name, v] : metrics) {
+        if (name == k)
+            return v;
+    }
+    std::fprintf(stderr, "RunRecord %s: no metric '%s'\n", key.c_str(),
+                 k.c_str());
+    std::abort();
+}
+
+bool
+RunRecord::has(const std::string &k) const
+{
+    for (const auto &[name, v] : metrics) {
+        (void)v;
+        if (name == k)
+            return true;
+    }
+    return false;
+}
+
+const RunRecord *
+Report::find(const std::string &key) const
+{
+    for (const auto &r : runs) {
+        if (r.key == key)
+            return &r;
+    }
+    return nullptr;
+}
+
+double
+Report::metric(const std::string &key, const std::string &name) const
+{
+    const RunRecord *r = find(key);
+    if (!r) {
+        std::fprintf(stderr, "Report %s: no run '%s'\n", figure.c_str(),
+                     key.c_str());
+        std::abort();
+    }
+    return r->get(name);
+}
+
+namespace {
+
+void
+appendHistogram(std::string &out, const Histogram &h)
+{
+    out += "{\"bounds\":[";
+    // Bounds are recoverable from labels; serialize via labels to avoid
+    // widening the Histogram API: bucket i's inclusive upper bound.
+    for (std::size_t i = 0; i + 1 < h.numBuckets(); i++) {
+        if (i)
+            out += ',';
+        out += std::to_string(h.upperBound(i));
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h.numBuckets(); i++) {
+        if (i)
+            out += ',';
+        out += std::to_string(h.count(i));
+    }
+    out += "],\"total\":";
+    out += std::to_string(h.total());
+    out += '}';
+}
+
+} // namespace
+
+std::string
+Report::toJson() const
+{
+    std::string out;
+    out.reserve(4096 + runs.size() * 256);
+    out += "{\n  \"schema\": \"morc.sweep.report/v1\",\n";
+    out += "  \"figure\": \"" + jsonEscape(figure) + "\",\n";
+    out += "  \"title\": \"" + jsonEscape(title) + "\",\n";
+    out += "  \"instr_budget\": " + std::to_string(instrBudget) + ",\n";
+    out += "  \"warmup_budget\": " + std::to_string(warmupBudget) + ",\n";
+    out += "  \"runs\": [";
+    for (std::size_t i = 0; i < runs.size(); i++) {
+        const RunRecord &r = runs[i];
+        out += i ? ",\n    {" : "\n    {";
+        out += "\"key\": \"" + jsonEscape(r.key) + "\", \"labels\": {";
+        for (std::size_t j = 0; j < r.labels.size(); j++) {
+            if (j)
+                out += ", ";
+            out += "\"" + jsonEscape(r.labels[j].first) + "\": \"" +
+                   jsonEscape(r.labels[j].second) + "\"";
+        }
+        out += "}, \"metrics\": {";
+        for (std::size_t j = 0; j < r.metrics.size(); j++) {
+            if (j)
+                out += ", ";
+            out += "\"" + jsonEscape(r.metrics[j].first) +
+                   "\": " + formatDouble(r.metrics[j].second);
+        }
+        out += "}";
+        if (!r.histograms.empty()) {
+            out += ", \"histograms\": {";
+            for (std::size_t j = 0; j < r.histograms.size(); j++) {
+                if (j)
+                    out += ", ";
+                out += "\"" + jsonEscape(r.histograms[j].first) + "\": ";
+                appendHistogram(out, r.histograms[j].second);
+            }
+            out += "}";
+        }
+        out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+} // namespace stats
+} // namespace morc

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Machine-readable run reports.
+ *
+ * Every sweep task produces one RunRecord (labels + flat metrics +
+ * optional histograms); a Report is an ordered collection of records for
+ * one figure/table plus the budgets that parameterized it. Serialization
+ * is deterministic JSON: insertion order is preserved everywhere, and
+ * doubles are printed with shortest-round-trip formatting, so two runs
+ * that compute identical values emit byte-identical reports regardless
+ * of thread count or scheduling.
+ *
+ * Schema (morc.sweep.report/v1):
+ *
+ *   {
+ *     "schema": "morc.sweep.report/v1",
+ *     "figure": "<name>",
+ *     "title": "<one-line description>",
+ *     "instr_budget": <per-core measured instructions>,
+ *     "warmup_budget": <per-core warm-up instructions>,
+ *     "runs": [
+ *       {
+ *         "key": "<figure>/<stable task key>",
+ *         "labels": {"workload": "gcc", "scheme": "MORC", ...},
+ *         "metrics": {"ratio": 2.9, ...},
+ *         "histograms": {
+ *           "<name>": {"bounds": [...], "counts": [...], "total": N}
+ *         }
+ *       }, ...
+ *     ]
+ *   }
+ *
+ * "histograms" is omitted when a record has none.
+ */
+
+#ifndef MORC_STATS_REPORT_HH
+#define MORC_STATS_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/histogram.hh"
+
+namespace morc {
+namespace stats {
+
+/** Shortest-round-trip decimal rendering of a double ("1.5", "0.25"). */
+std::string formatDouble(double v);
+
+/** JSON string escaping (quotes not included). */
+std::string jsonEscape(const std::string &s);
+
+/** Outcome of one sweep task. */
+struct RunRecord
+{
+    /** Stable unique key; also the determinism seed source. */
+    std::string key;
+
+    /** Descriptive labels (workload, scheme, config point, ...). */
+    std::vector<std::pair<std::string, std::string>> labels;
+
+    /** Flat named metrics, in insertion order. */
+    std::vector<std::pair<std::string, double>> metrics;
+
+    /** Optional named histograms. */
+    std::vector<std::pair<std::string, Histogram>> histograms;
+
+    void
+    label(const std::string &k, const std::string &v)
+    {
+        labels.emplace_back(k, v);
+    }
+
+    void
+    metric(const std::string &k, double v)
+    {
+        metrics.emplace_back(k, v);
+    }
+
+    /** Value of metric @p k; aborts if absent (reports are append-only,
+     *  so a missing metric is a programming error in the figure). */
+    double get(const std::string &k) const;
+
+    /** True if metric @p k exists. */
+    bool has(const std::string &k) const;
+};
+
+/** One figure's worth of runs. */
+struct Report
+{
+    std::string figure;
+    std::string title;
+    std::uint64_t instrBudget = 0;
+    std::uint64_t warmupBudget = 0;
+    std::vector<RunRecord> runs;
+
+    /** Record with key @p key, or nullptr. */
+    const RunRecord *find(const std::string &key) const;
+
+    /** Metric @p name of record @p key; aborts if either is absent. */
+    double metric(const std::string &key, const std::string &name) const;
+
+    /** Deterministic JSON serialization (see file comment). */
+    std::string toJson() const;
+};
+
+} // namespace stats
+} // namespace morc
+
+#endif // MORC_STATS_REPORT_HH

@@ -1,0 +1,116 @@
+#include "sweep/pool.hh"
+
+#include <algorithm>
+
+namespace morc {
+namespace sweep {
+
+Pool::Pool(unsigned threads)
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    queues_.reserve(threads);
+    for (unsigned i = 0; i < threads; i++)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; i++) {
+        workers_.emplace_back(
+            [this, i](std::stop_token st) { workerLoop(st, i); });
+    }
+}
+
+Pool::~Pool()
+{
+    for (auto &w : workers_)
+        w.request_stop();
+    idleCv_.notify_all();
+    // jthread joins on destruction; workers drain their queues before
+    // honoring the stop request, so every future is made ready.
+}
+
+void
+Pool::push(std::packaged_task<void()> task)
+{
+    const unsigned idx =
+        nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+        queues_.size();
+    {
+        std::lock_guard<std::mutex> lock(queues_[idx]->mutex);
+        queues_[idx]->tasks.push_front(std::move(task));
+    }
+    idleCv_.notify_one();
+}
+
+bool
+Pool::popLocal(unsigned self, std::packaged_task<void()> &out)
+{
+    WorkerQueue &q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty())
+        return false;
+    out = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    return true;
+}
+
+bool
+Pool::steal(unsigned self, std::packaged_task<void()> &out)
+{
+    const unsigned n = static_cast<unsigned>(queues_.size());
+    for (unsigned off = 1; off < n; off++) {
+        WorkerQueue &q = *queues_[(self + off) % n];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (q.tasks.empty())
+            continue;
+        out = std::move(q.tasks.back());
+        q.tasks.pop_back();
+        return true;
+    }
+    return false;
+}
+
+void
+Pool::workerLoop(std::stop_token stoken, unsigned self)
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        if (popLocal(self, task) || steal(self, task)) {
+            task(); // exceptions land in the task's future
+            executed_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(idleMutex_);
+        // Re-check under the idle lock: a push between our scan and the
+        // wait would otherwise be missed.
+        const bool empty = [&] {
+            for (auto &q : queues_) {
+                std::lock_guard<std::mutex> ql(q->mutex);
+                if (!q->tasks.empty())
+                    return false;
+            }
+            return true;
+        }();
+        if (!empty)
+            continue;
+        if (stoken.stop_requested())
+            return;
+        idleCv_.wait_for(lock, stoken, std::chrono::milliseconds(50),
+                         [] { return false; });
+        if (stoken.stop_requested()) {
+            // Drain once more before exiting so no future is orphaned.
+            continue;
+        }
+    }
+}
+
+void
+Pool::cancel()
+{
+    cancelled_.store(true, std::memory_order_release);
+    // Unstarted tasks still flow through workers, whose wrappers now
+    // complete them with PoolCancelled; nothing blocks on a slow task.
+    idleCv_.notify_all();
+}
+
+} // namespace sweep
+} // namespace morc

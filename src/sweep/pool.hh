@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Work-stealing thread pool for the sweep engine.
+ *
+ * Each worker owns a deque: it pushes and pops at the front (LIFO keeps
+ * per-worker cache locality for task chains) and victims are robbed from
+ * the back (FIFO stealing takes the oldest — likely largest — work
+ * first). External submitters distribute round-robin across the worker
+ * deques. Results and exceptions travel through std::future, so a task
+ * that throws surfaces its exception at future.get() rather than
+ * terminating the pool.
+ *
+ * cancel() discards tasks that have not started: every unstarted task's
+ * future completes with a PoolCancelled exception instead of hanging, so
+ * callers can always account for submitted work (ran + cancelled ==
+ * submitted; nothing is silently lost). Destruction drains the queues
+ * (cancel-free shutdown waits for all submitted work).
+ */
+
+#ifndef MORC_SWEEP_POOL_HH
+#define MORC_SWEEP_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace morc {
+namespace sweep {
+
+/** Thrown into the futures of tasks discarded by Pool::cancel(). */
+struct PoolCancelled : std::runtime_error
+{
+    PoolCancelled() : std::runtime_error("task cancelled") {}
+};
+
+class Pool
+{
+  public:
+    /** @param threads Worker count; 0 means hardware_concurrency. */
+    explicit Pool(unsigned threads = 0);
+
+    /** Requests stop, drains remaining queued tasks, joins workers. */
+    ~Pool();
+
+    Pool(const Pool &) = delete;
+    Pool &operator=(const Pool &) = delete;
+
+    /**
+     * Enqueue @p fn; its result (or exception) is delivered through the
+     * returned future. After cancel(), the task completes immediately
+     * with PoolCancelled.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::packaged_task<R()>(
+            [this, f = std::forward<F>(fn)]() mutable -> R {
+                if (cancelled_.load(std::memory_order_acquire))
+                    throw PoolCancelled{};
+                return f();
+            });
+        std::future<R> fut = task.get_future();
+        push(std::packaged_task<void()>(std::move(task)));
+        return fut;
+    }
+
+    /**
+     * Discard all tasks that have not yet started executing; their
+     * futures complete with PoolCancelled. Tasks already running finish
+     * normally. Idempotent.
+     */
+    void cancel();
+
+    unsigned threadCount() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Total tasks whose wrapper ran to completion (incl. cancelled). */
+    std::uint64_t executedCount() const { return executed_.load(); }
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::packaged_task<void()>> tasks;
+    };
+
+    void push(std::packaged_task<void()> task);
+    bool popLocal(unsigned self, std::packaged_task<void()> &out);
+    bool steal(unsigned self, std::packaged_task<void()> &out);
+    void workerLoop(std::stop_token stoken, unsigned self);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::jthread> workers_;
+
+    std::mutex idleMutex_;
+    std::condition_variable_any idleCv_;
+    std::atomic<unsigned> nextQueue_{0};
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<bool> cancelled_{false};
+};
+
+} // namespace sweep
+} // namespace morc
+
+#endif // MORC_SWEEP_POOL_HH

@@ -1,0 +1,46 @@
+#include "sweep/sweep.hh"
+
+#include <future>
+#include <stdexcept>
+
+#include "sweep/pool.hh"
+
+namespace morc {
+namespace sweep {
+
+std::vector<stats::RunRecord>
+Engine::run(const std::vector<Task> &tasks) const
+{
+    Pool pool(jobs_);
+    std::vector<std::future<stats::RunRecord>> futures;
+    futures.reserve(tasks.size());
+    for (const Task &t : tasks) {
+        futures.push_back(pool.submit(
+            [&t] { return t.run(stableSeed(t.key)); }));
+    }
+
+    std::vector<stats::RunRecord> records;
+    records.reserve(tasks.size());
+    std::string firstError;
+    for (std::size_t i = 0; i < futures.size(); i++) {
+        try {
+            stats::RunRecord r = futures[i].get();
+            r.key = tasks[i].key; // the key is authoritative
+            records.push_back(std::move(r));
+        } catch (const PoolCancelled &) {
+            // Only reachable after a prior failure triggered cancel().
+        } catch (const std::exception &e) {
+            if (firstError.empty()) {
+                firstError =
+                    "sweep task '" + tasks[i].key + "': " + e.what();
+                pool.cancel(); // drop unstarted work, fail fast
+            }
+        }
+    }
+    if (!firstError.empty())
+        throw std::runtime_error(firstError);
+    return records;
+}
+
+} // namespace sweep
+} // namespace morc

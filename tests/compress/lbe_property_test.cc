@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Property/fuzz tests for Large-Block Encoding: randomized round-trip
+ * (compress -> decompress == input) over seeded adversarial streams,
+ * extending lbe_test.cc's fixed-case coverage. Every stream also checks
+ * the measure()==append() invariant, and streams are replayed against a
+ * starved configuration so pointer-width edge cases get exercised.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compress/lbe.hh"
+#include "util/rng.hh"
+
+namespace morc {
+namespace comp {
+namespace {
+
+/** Adversarial line generators, selected per line by the fuzz driver. */
+enum class Gen
+{
+    AllZero,
+    AlternatingBits,   // 0xaaaa.../0x5555... interleave
+    AlternatingZero,   // word-granular zero/value toggle
+    TruncationEdges,   // values at the u8/u16/u32 significance edges
+    RepeatedChunk,     // one 64-bit chunk tiled across the line
+    NearDuplicate,     // earlier line with one word flipped
+    SmallPool,         // few distinct values (dictionary-friendly)
+    Random,
+    NumGens
+};
+
+CacheLine
+makeLine(Gen g, Rng &rng, const std::vector<CacheLine> &history)
+{
+    CacheLine l{};
+    switch (g) {
+      case Gen::AllZero:
+        break;
+      case Gen::AlternatingBits:
+        for (unsigned w = 0; w < kWordsPerLine; w++)
+            l.setWord32(w, (w & 1) ? 0xaaaaaaaau : 0x55555555u);
+        break;
+      case Gen::AlternatingZero: {
+        const auto v = static_cast<std::uint32_t>(rng.next());
+        for (unsigned w = 0; w < kWordsPerLine; w++)
+            l.setWord32(w, (w & 1) ? v : 0);
+        break;
+      }
+      case Gen::TruncationEdges: {
+        // Exact u8/u16 boundaries and one-past values.
+        static const std::uint32_t kEdges[] = {
+            0x0,      0x1,       0xff,     0x100,
+            0xffff,   0x10000,   0xffffff, 0x1000000,
+            0x7f,     0x80,      0x7fff,   0x8000,
+        };
+        for (unsigned w = 0; w < kWordsPerLine; w++)
+            l.setWord32(w, kEdges[rng.below(std::size(kEdges))]);
+        break;
+      }
+      case Gen::RepeatedChunk: {
+        const auto a = static_cast<std::uint32_t>(rng.next());
+        const auto b = static_cast<std::uint32_t>(rng.next());
+        for (unsigned w = 0; w < kWordsPerLine; w += 2) {
+            l.setWord32(w, a);
+            l.setWord32(w + 1, b);
+        }
+        break;
+      }
+      case Gen::NearDuplicate:
+        if (!history.empty()) {
+            l = history[rng.below(history.size())];
+            l.setWord32(rng.below(kWordsPerLine),
+                        static_cast<std::uint32_t>(rng.next()));
+        } else {
+            for (unsigned w = 0; w < kWordsPerLine; w++)
+                l.setWord32(w, static_cast<std::uint32_t>(rng.next()));
+        }
+        break;
+      case Gen::SmallPool:
+        for (unsigned w = 0; w < kWordsPerLine; w++)
+            l.setWord32(w, 0xfeed0000u + static_cast<std::uint32_t>(
+                                             rng.below(6)));
+        break;
+      case Gen::Random:
+      default:
+        for (unsigned w = 0; w < kWordsPerLine; w++)
+            l.setWord32(w, static_cast<std::uint32_t>(rng.next()));
+        break;
+    }
+    return l;
+}
+
+/** One fuzz episode: encode a stream, then decode and compare. */
+void
+roundTripEpisode(std::uint64_t seed, const LbeConfig &cfg, int lines,
+                 bool with_resets)
+{
+    LbeEncoder enc(cfg);
+    LbeDecoder dec(cfg);
+    BitWriter out;
+    Rng rng(seed);
+    std::vector<CacheLine> history;
+
+    // Segment boundaries where both sides reset (log flush mid-stream).
+    std::vector<std::size_t> resets;
+    std::vector<CacheLine> stream;
+    for (int i = 0; i < lines; i++) {
+        if (with_resets && i > 0 && rng.chance(0.05)) {
+            resets.push_back(stream.size());
+            enc.reset();
+            history.clear();
+        }
+        const auto g = static_cast<Gen>(
+            rng.below(static_cast<std::uint64_t>(Gen::NumGens)));
+        const CacheLine l = makeLine(g, rng, history);
+        const std::uint32_t measured = enc.measure(l);
+        const std::uint32_t appended = enc.append(l, &out);
+        ASSERT_EQ(measured, appended)
+            << "seed " << seed << " line " << i;
+        history.push_back(l);
+        stream.push_back(l);
+    }
+
+    BitReader in(out);
+    std::size_t next_reset = 0;
+    for (std::size_t i = 0; i < stream.size(); i++) {
+        if (next_reset < resets.size() && resets[next_reset] == i) {
+            dec.reset();
+            next_reset++;
+        }
+        const CacheLine got = dec.decodeLine(in);
+        ASSERT_EQ(got, stream[i]) << "seed " << seed << " line " << i;
+    }
+    EXPECT_EQ(in.remaining(), 0u) << "seed " << seed;
+}
+
+TEST(LbeProperty, RoundTripAdversarialStreams)
+{
+    for (std::uint64_t seed = 1; seed <= 20; seed++)
+        roundTripEpisode(seed, LbeConfig{}, 250, /*with_resets=*/false);
+}
+
+TEST(LbeProperty, RoundTripWithMidStreamResets)
+{
+    for (std::uint64_t seed = 100; seed <= 115; seed++)
+        roundTripEpisode(seed, LbeConfig{}, 250, /*with_resets=*/true);
+}
+
+TEST(LbeProperty, RoundTripStarvedDictionaries)
+{
+    // Tiny tables force capacity freezes and the narrowest pointers.
+    LbeConfig cfg;
+    cfg.dictBytes = 32;
+    cfg.nodes64 = 3;
+    cfg.nodes128 = 1;
+    cfg.nodes256 = 1;
+    for (std::uint64_t seed = 200; seed <= 212; seed++)
+        roundTripEpisode(seed, cfg, 200, /*with_resets=*/true);
+}
+
+TEST(LbeProperty, MeasureNeverMutatesUnderFuzz)
+{
+    LbeEncoder enc;
+    Rng rng(4242);
+    std::vector<CacheLine> history;
+    const CacheLine probe =
+        makeLine(Gen::SmallPool, rng, history);
+    const std::uint32_t before = enc.measure(probe);
+    for (int i = 0; i < 300; i++) {
+        const auto g = static_cast<Gen>(
+            rng.below(static_cast<std::uint64_t>(Gen::NumGens)));
+        enc.measure(makeLine(g, rng, history));
+    }
+    EXPECT_EQ(enc.measure(probe), before);
+}
+
+TEST(LbeProperty, ZeroRunsStayWithinZeroSymbolBudget)
+{
+    // All-zero input must cost at most two z256 symbols per line no
+    // matter what preceded it.
+    LbeEncoder enc;
+    Rng rng(7);
+    std::vector<CacheLine> history;
+    for (int i = 0; i < 50; i++) {
+        const auto g = static_cast<Gen>(
+            rng.below(static_cast<std::uint64_t>(Gen::NumGens)));
+        enc.append(makeLine(g, rng, history));
+        EXPECT_EQ(enc.measure(CacheLine{}), 10u) << "iteration " << i;
+    }
+}
+
+} // namespace
+} // namespace comp
+} // namespace morc

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Property/fuzz tests for the base-delta tag codec: randomized
+ * round-trip (append -> decode == appended sequence) over seeded
+ * adversarial walks, extending codec_test.cc's fixed cases. The walks
+ * deliberately dwell on near-tie cases: distances at the code-range
+ * boundaries, deltas straddling kMaxDelta (delta vs new-base tie),
+ * repeated tags (distance 0), and interleaved chains that thrash the
+ * base LRU.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compress/tagcodec.hh"
+#include "util/rng.hh"
+
+namespace morc {
+namespace comp {
+namespace {
+
+/** Distances that sit on encoding boundaries ("near-tie" deltas). */
+const std::uint64_t kEdgeDistances[] = {
+    1, 2, 3, 4, 5, 8, 9, 16, 17, 32, 33,
+    TagCodec::kMaxDelta - 1, TagCodec::kMaxDelta,
+    TagCodec::kMaxDelta + 1, // forces a new base
+    2 * TagCodec::kMaxDelta,
+};
+
+std::vector<std::uint64_t>
+adversarialWalk(std::uint64_t seed, int steps)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> tags;
+    std::uint64_t chains[3] = {1ull << 20, 1ull << 24, 1ull << 27};
+    std::uint64_t cursor = 1ull << 22;
+    for (int i = 0; i < steps; i++) {
+        switch (rng.below(6)) {
+          case 0: // edge-distance hop from the cursor, either direction
+          {
+            const std::uint64_t d =
+                kEdgeDistances[rng.below(std::size(kEdgeDistances))];
+            cursor = rng.chance(0.5) || cursor < d ? cursor + d
+                                                   : cursor - d;
+            tags.push_back(cursor);
+            break;
+          }
+          case 1: // exact repeat: distance 0 must still round-trip
+            if (!tags.empty()) {
+                tags.push_back(tags.back());
+                break;
+            }
+            [[fallthrough]];
+          case 2: // chained fill stream (small ascending deltas)
+          {
+            auto &c = chains[rng.below(3)];
+            c += 1 + rng.below(4);
+            tags.push_back(c);
+            break;
+          }
+          case 3: // descending chain (sign-bit coverage)
+          {
+            auto &c = chains[rng.below(3)];
+            c -= std::min<std::uint64_t>(c - 1, 1 + rng.below(4));
+            tags.push_back(c);
+            break;
+          }
+          case 4: // far scatter: guaranteed new base
+            tags.push_back(rng.below(1ull << 32));
+            break;
+          default: // revisit an old tag (base-LRU pressure)
+            tags.push_back(tags.empty() ? cursor
+                                        : tags[rng.below(tags.size())]);
+            break;
+        }
+    }
+    return tags;
+}
+
+void
+roundTrip(unsigned bases, std::uint64_t seed, int steps)
+{
+    const auto tags = adversarialWalk(seed, steps);
+    TagCodec enc(bases);
+    TagDecoder dec(bases);
+    BitWriter out;
+    for (std::size_t i = 0; i < tags.size(); i++) {
+        const std::uint32_t measured = enc.measure(tags[i]);
+        const std::uint32_t appended = enc.append(tags[i], &out);
+        ASSERT_EQ(measured, appended)
+            << "bases " << bases << " seed " << seed << " tag " << i;
+    }
+    BitReader in(out);
+    for (std::size_t i = 0; i < tags.size(); i++) {
+        ASSERT_EQ(dec.next(in), tags[i])
+            << "bases " << bases << " seed " << seed << " tag " << i;
+    }
+    EXPECT_EQ(in.remaining(), 0u);
+}
+
+TEST(TagCodecProperty, RoundTripAdversarialWalksOneBase)
+{
+    for (std::uint64_t seed = 1; seed <= 25; seed++)
+        roundTrip(1, seed, 400);
+}
+
+TEST(TagCodecProperty, RoundTripAdversarialWalksTwoBases)
+{
+    for (std::uint64_t seed = 1; seed <= 25; seed++)
+        roundTrip(2, seed, 400);
+}
+
+TEST(TagCodecProperty, EdgeDistanceLadderBothDirections)
+{
+    // Deterministic ladder over every boundary distance, up then down;
+    // every entry must survive the round trip for both variants.
+    for (unsigned bases : {1u, 2u}) {
+        std::vector<std::uint64_t> tags;
+        std::uint64_t cursor = 1ull << 30;
+        for (std::uint64_t d : kEdgeDistances) {
+            cursor += d;
+            tags.push_back(cursor);
+        }
+        for (std::uint64_t d : kEdgeDistances) {
+            cursor -= d;
+            tags.push_back(cursor);
+        }
+        TagCodec enc(bases);
+        TagDecoder dec(bases);
+        BitWriter out;
+        for (std::uint64_t t : tags)
+            enc.append(t, &out);
+        BitReader in(out);
+        for (std::size_t i = 0; i < tags.size(); i++)
+            ASSERT_EQ(dec.next(in), tags[i])
+                << "bases " << bases << " entry " << i;
+    }
+}
+
+TEST(TagCodecProperty, MaxDeltaTieGoesToDeltaNotNewBase)
+{
+    // kMaxDelta is encodable as a delta (cheaper than a new base);
+    // kMaxDelta+1 is not. This is the near-tie the encoder must get
+    // right on both sides.
+    TagCodec codec(1);
+    codec.append(1'000'000);
+    const std::uint32_t at_max = codec.measure(1'000'000 +
+                                               TagCodec::kMaxDelta);
+    EXPECT_LT(at_max, codec.overheadBits() + TagCodec::kCodeBits +
+                          TagCodec::kFullTagBits);
+    const std::uint32_t past_max =
+        codec.measure(1'000'000 + TagCodec::kMaxDelta + 1);
+    EXPECT_EQ(past_max, codec.overheadBits() + TagCodec::kCodeBits +
+                            TagCodec::kFullTagBits);
+}
+
+TEST(TagCodecProperty, ResetForgetsBasesUnderFuzz)
+{
+    for (std::uint64_t seed = 50; seed <= 55; seed++) {
+        TagCodec codec(2);
+        const auto tags = adversarialWalk(seed, 100);
+        for (std::uint64_t t : tags)
+            codec.append(t);
+        codec.reset();
+        // After reset the first append must cost a full new base.
+        EXPECT_EQ(codec.measure(tags.front()),
+                  codec.overheadBits() + TagCodec::kCodeBits +
+                      TagCodec::kFullTagBits);
+    }
+}
+
+TEST(TagCodecProperty, DistanceCodeTablesAreConsistent)
+{
+    // forDistance and the (rangeStart, precisionOf) inverse tables must
+    // agree over every distance up to a few thousand plus the edges.
+    const auto check = [](std::uint64_t d) {
+        const auto dc = TagDistanceCode::forDistance(d);
+        EXPECT_LE(TagDistanceCode::rangeStart(dc.code), d);
+        EXPECT_EQ(TagDistanceCode::precisionOf(dc.code),
+                  dc.precisionBits);
+        EXPECT_EQ(dc.rangeBase, TagDistanceCode::rangeStart(dc.code));
+        EXPECT_LT(d - dc.rangeBase, 1ull << dc.precisionBits);
+    };
+    for (std::uint64_t d = 1; d <= 5000; d++)
+        check(d);
+    for (std::uint64_t d : kEdgeDistances) {
+        if (d <= TagCodec::kMaxDelta)
+            check(d);
+    }
+}
+
+} // namespace
+} // namespace comp
+} // namespace morc
