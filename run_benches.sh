@@ -4,13 +4,29 @@
 #   ./run_benches.sh                     # all figures, all cores
 #   ./run_benches.sh --jobs 4 fig6 fig8  # a subset on 4 threads
 #   ./run_benches.sh --out results       # also write JSON reports
+#   ./run_benches.sh --smoke             # CI gate: tiny budget, fig6
 #
 # Budgets scale with MORC_BENCH_INSTR / MORC_BENCH_WARMUP. Any bench
 # failure (crash or failed sweep task) propagates as a non-zero exit.
 set -euo pipefail
+cd "$(dirname "$0")"
+
+# --smoke: a fast end-to-end exercise of the sweep engine for CI. It
+# runs one representative figure on a tiny instruction budget — enough
+# to catch crashes, sweep-task failures, and schema regressions without
+# paying for paper-fidelity statistics. Must come before the defaults
+# below so the smoke budget wins unless the caller overrode it.
+SMOKE_ARGS=()
+for arg in "$@"; do
+    if [ "$arg" = "--smoke" ]; then
+        export MORC_BENCH_INSTR=${MORC_BENCH_INSTR:-20000}
+        export MORC_BENCH_WARMUP=${MORC_BENCH_WARMUP:-40000}
+        SMOKE_ARGS=(fig6)
+    fi
+done
+
 export MORC_BENCH_INSTR=${MORC_BENCH_INSTR:-250000}
 export MORC_BENCH_WARMUP=${MORC_BENCH_WARMUP:-500000}
-cd "$(dirname "$0")"
 
 SWEEP=build/bench/morc_sweep
 if [ ! -x "$SWEEP" ]; then
@@ -24,8 +40,12 @@ while [ $# -gt 0 ]; do
     case "$1" in
       --jobs) JOBS="$2"; shift 2 ;;
       --jobs=*) JOBS="${1#--jobs=}"; shift ;;
+      --smoke) shift ;; # handled above
       *) ARGS+=("$1"); shift ;;
     esac
 done
+if [ ${#ARGS[@]} -eq 0 ] && [ ${#SMOKE_ARGS[@]} -gt 0 ]; then
+    ARGS=("${SMOKE_ARGS[@]}")
+fi
 
 exec "$SWEEP" --jobs "$JOBS" "${ARGS[@]+"${ARGS[@]}"}"

@@ -1,8 +1,8 @@
 #include "cache/adaptive.hh"
 
 #include <algorithm>
-#include <cassert>
 
+#include "check/check.hh"
 #include "util/rng.hh"
 
 namespace morc {
@@ -13,7 +13,11 @@ AdaptiveCache::AdaptiveCache() : AdaptiveCache(Config{}) {}
 AdaptiveCache::AdaptiveCache(const Config &cfg) : cfg_(cfg)
 {
     numSets_ = cfg.capacityBytes / kLineSize / cfg.ways;
-    assert(numSets_ >= 1 && isPow2(numSets_));
+    MORC_CHECK(numSets_ >= 1 && isPow2(numSets_),
+               "set count must be a non-zero power of two: capacity=%llu "
+               "ways=%u -> sets=%llu",
+               static_cast<unsigned long long>(cfg.capacityBytes),
+               cfg.ways, static_cast<unsigned long long>(numSets_));
     sets_.resize(numSets_);
 }
 
@@ -109,7 +113,10 @@ AdaptiveCache::evictUntilFits(Set &set, unsigned needed_segments,
             if (!victim || l.lastUse < victim->lastUse)
                 victim = &l;
         }
-        assert(victim && "segment budget exceeded with no data lines");
+        MORC_CHECK(victim != nullptr,
+                   "segment budget exceeded with no data lines: need %u "
+                   "segments on top of %u used (budget %u)",
+                   needed_segments, used(), budget);
         if (victim->dirty) {
             result.writebacks.push_back(
                 {victim->tag << kLineShift, victim->data});
@@ -197,6 +204,75 @@ AdaptiveCache::insert(Addr addr, const CacheLine &data, bool dirty)
     set.lines.push_back(entry);
     valid_++;
     return result;
+}
+
+check::AuditReport
+AdaptiveCache::audit() const
+{
+    check::AuditReport r;
+    const unsigned budget = segBudget();
+    const unsigned max_tags = cfg_.ways * cfg_.tagFactor;
+    const unsigned max_segments = kLineSize / cfg_.segmentBytes;
+    std::uint64_t total_valid = 0;
+    for (std::uint64_t s = 0; s < sets_.size(); s++) {
+        const Set &set = sets_[s];
+        r.require(set.lines.size() <= max_tags,
+                  "set %llu holds %zu tags, budget %u",
+                  static_cast<unsigned long long>(s), set.lines.size(),
+                  max_tags);
+        unsigned used = 0;
+        for (std::size_t i = 0; i < set.lines.size(); i++) {
+            const LineEntry &l = set.lines[i];
+            used += l.segments;
+            r.require(setOf(l.tag << kLineShift) == s,
+                      "set %llu entry %zu holds tag %llu that indexes "
+                      "set %llu",
+                      static_cast<unsigned long long>(s), i,
+                      static_cast<unsigned long long>(l.tag),
+                      static_cast<unsigned long long>(
+                          setOf(l.tag << kLineShift)));
+            for (std::size_t j = i + 1; j < set.lines.size(); j++) {
+                r.require(set.lines[j].tag != l.tag,
+                          "set %llu holds duplicate tag %llu at entries "
+                          "%zu and %zu",
+                          static_cast<unsigned long long>(s),
+                          static_cast<unsigned long long>(l.tag), i, j);
+            }
+            if (l.hasData) {
+                total_valid++;
+                r.require(l.segments >= 1 && l.segments <= max_segments,
+                          "set %llu tag %llu data line spans %u segments "
+                          "(want 1..%u)",
+                          static_cast<unsigned long long>(s),
+                          static_cast<unsigned long long>(l.tag),
+                          l.segments, max_segments);
+                r.require(!l.compressed || l.segments < max_segments,
+                          "set %llu tag %llu marked compressed but fills "
+                          "all %u segments",
+                          static_cast<unsigned long long>(s),
+                          static_cast<unsigned long long>(l.tag),
+                          l.segments);
+            } else {
+                // Shadow tag: no storage, no dirty data to lose.
+                r.require(l.segments == 0 && !l.dirty && !l.compressed,
+                          "set %llu shadow tag %llu carries state "
+                          "(segments=%u dirty=%d compressed=%d)",
+                          static_cast<unsigned long long>(s),
+                          static_cast<unsigned long long>(l.tag),
+                          l.segments, l.dirty ? 1 : 0,
+                          l.compressed ? 1 : 0);
+            }
+        }
+        r.require(used <= budget,
+                  "set %llu uses %u segments, budget %u",
+                  static_cast<unsigned long long>(s), used, budget);
+    }
+    r.require(total_valid == valid_,
+              "valid-line counter %llu disagrees with %llu data-holding "
+              "entries",
+              static_cast<unsigned long long>(valid_),
+              static_cast<unsigned long long>(total_valid));
+    return r;
 }
 
 } // namespace cache

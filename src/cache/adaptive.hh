@@ -48,6 +48,7 @@ class AdaptiveCache : public Llc
     std::uint64_t validLines() const override { return valid_; }
     std::uint64_t capacityBytes() const override { return cfg_.capacityBytes; }
     std::string name() const override { return "Adaptive"; }
+    check::AuditReport audit() const override;
 
     /** Exposed for tests: current compress/don't-compress bias. */
     std::int64_t predictor() const { return predictor_; }

@@ -1,7 +1,6 @@
 #include "cache/decoupled.hh"
 
-#include <cassert>
-
+#include "check/check.hh"
 #include "util/rng.hh"
 
 namespace morc {
@@ -12,7 +11,11 @@ DecoupledCache::DecoupledCache() : DecoupledCache(Config{}) {}
 DecoupledCache::DecoupledCache(const Config &cfg) : cfg_(cfg)
 {
     numSets_ = cfg.capacityBytes / kLineSize / cfg.ways;
-    assert(numSets_ >= 1 && isPow2(numSets_));
+    MORC_CHECK(numSets_ >= 1 && isPow2(numSets_),
+               "set count must be a non-zero power of two: capacity=%llu "
+               "ways=%u -> sets=%llu",
+               static_cast<unsigned long long>(cfg.capacityBytes),
+               cfg.ways, static_cast<unsigned long long>(numSets_));
     sets_.resize(numSets_);
     for (auto &set : sets_)
         set.blocks.resize(cfg_.ways);
@@ -207,6 +210,72 @@ DecoupledCache::insert(Addr addr, const CacheLine &data, bool dirty)
     block->lastUse = ++useClock_;
     valid_++;
     return result;
+}
+
+check::AuditReport
+DecoupledCache::audit() const
+{
+    check::AuditReport r;
+    const unsigned budget = cfg_.ways * kLineSize / cfg_.segmentBytes;
+    const unsigned max_segments = kLineSize / cfg_.segmentBytes;
+    std::uint64_t total_valid = 0;
+    for (std::uint64_t s = 0; s < sets_.size(); s++) {
+        const Set &set = sets_[s];
+        r.require(set.blocks.size() == cfg_.ways,
+                  "set %llu holds %zu super-blocks, want %u",
+                  static_cast<unsigned long long>(s), set.blocks.size(),
+                  cfg_.ways);
+        unsigned used = 0;
+        for (std::size_t b = 0; b < set.blocks.size(); b++) {
+            const SuperBlock &block = set.blocks[b];
+            r.require(block.lines.size() == cfg_.linesPerSuperBlock,
+                      "set %llu block %zu tracks %zu sub-lines, want %u",
+                      static_cast<unsigned long long>(s), b,
+                      block.lines.size(), cfg_.linesPerSuperBlock);
+            if (!block.valid)
+                continue;
+            r.require(setOf(block.tag) == s,
+                      "set %llu block %zu holds super-tag %llu that "
+                      "indexes set %llu",
+                      static_cast<unsigned long long>(s), b,
+                      static_cast<unsigned long long>(block.tag),
+                      static_cast<unsigned long long>(setOf(block.tag)));
+            for (std::size_t b2 = b + 1; b2 < set.blocks.size(); b2++) {
+                const SuperBlock &other = set.blocks[b2];
+                r.require(!other.valid || other.tag != block.tag,
+                          "set %llu holds duplicate super-tag %llu in "
+                          "blocks %zu and %zu",
+                          static_cast<unsigned long long>(s),
+                          static_cast<unsigned long long>(block.tag), b,
+                          b2);
+            }
+            for (std::size_t i = 0; i < block.lines.size(); i++) {
+                const SubLine &l = block.lines[i];
+                if (!l.valid)
+                    continue;
+                total_valid++;
+                used += l.segments;
+                r.require(l.segments >= 1 && l.segments <= max_segments,
+                          "set %llu block %zu sub-line %zu spans %u "
+                          "segments (want 1..%u)",
+                          static_cast<unsigned long long>(s), b, i,
+                          l.segments, max_segments);
+                r.require(l.compressed == (l.segments < max_segments),
+                          "set %llu block %zu sub-line %zu compressed "
+                          "flag %d disagrees with %u/%u segments",
+                          static_cast<unsigned long long>(s), b, i,
+                          l.compressed ? 1 : 0, l.segments, max_segments);
+            }
+        }
+        r.require(used <= budget, "set %llu uses %u segments, budget %u",
+                  static_cast<unsigned long long>(s), used, budget);
+    }
+    r.require(total_valid == valid_,
+              "valid-line counter %llu disagrees with %llu valid "
+              "sub-lines",
+              static_cast<unsigned long long>(valid_),
+              static_cast<unsigned long long>(total_valid));
+    return r;
 }
 
 } // namespace cache

@@ -46,6 +46,7 @@ class DecoupledCache : public Llc
     std::uint64_t validLines() const override { return valid_; }
     std::uint64_t capacityBytes() const override { return cfg_.capacityBytes; }
     std::string name() const override { return "Decoupled"; }
+    check::AuditReport audit() const override;
 
   private:
     struct SubLine

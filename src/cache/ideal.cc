@@ -1,7 +1,6 @@
 #include "cache/ideal.hh"
 
-#include <cassert>
-
+#include "check/check.hh"
 #include "util/rng.hh"
 
 namespace morc {
@@ -14,7 +13,11 @@ IdealCache::IdealCache(OracleScope scope, std::uint64_t capacity_bytes,
       setBits_(static_cast<std::uint64_t>(set_bytes) * 8),
       numSets_(capacity_bytes / set_bytes)
 {
-    assert(isPow2(numSets_));
+    MORC_CHECK(isPow2(numSets_),
+               "set count must be a power of two: capacity=%llu "
+               "set_bytes=%u -> sets=%llu",
+               static_cast<unsigned long long>(capacity_bytes), set_bytes,
+               static_cast<unsigned long long>(numSets_));
     sets_.resize(numSets_);
 }
 
@@ -97,6 +100,66 @@ IdealCache::insert(Addr addr, const CacheLine &data, bool dirty)
     stats_.linesCompressed++;
     result.linesCompressed++;
     return result;
+}
+
+check::AuditReport
+IdealCache::audit() const
+{
+    check::AuditReport r;
+    std::uint64_t total_valid = 0;
+    for (std::uint64_t s = 0; s < sets_.size(); s++) {
+        const Set &set = sets_[s];
+        std::uint64_t used = 0;
+        for (std::size_t i = 0; i < set.lines.size(); i++) {
+            const LineEntry &l = set.lines[i];
+            total_valid++;
+            used += l.bits;
+            r.require(setOf(l.tag << kLineShift) == s,
+                      "set %llu entry %zu holds tag %llu that indexes "
+                      "set %llu",
+                      static_cast<unsigned long long>(s), i,
+                      static_cast<unsigned long long>(l.tag),
+                      static_cast<unsigned long long>(
+                          setOf(l.tag << kLineShift)));
+            // The intra-line oracle is stateless, so the stored cost is
+            // recomputable; the inter-line dictionary has evolved since
+            // insertion, so only the intra cost can be re-derived.
+            if (scope_ == OracleScope::IntraLine) {
+                r.require(l.bits == comp::oracleIntraBits(l.data),
+                          "set %llu tag %llu stored cost %u bits, "
+                          "recomputed %u",
+                          static_cast<unsigned long long>(s),
+                          static_cast<unsigned long long>(l.tag), l.bits,
+                          comp::oracleIntraBits(l.data));
+            }
+            for (std::size_t j = i + 1; j < set.lines.size(); j++) {
+                r.require(set.lines[j].tag != l.tag,
+                          "set %llu holds duplicate tag %llu at entries "
+                          "%zu and %zu",
+                          static_cast<unsigned long long>(s),
+                          static_cast<unsigned long long>(l.tag), i, j);
+            }
+        }
+        r.require(used == set.usedBits,
+                  "set %llu accounts %llu used bits but lines sum to "
+                  "%llu",
+                  static_cast<unsigned long long>(s),
+                  static_cast<unsigned long long>(set.usedBits),
+                  static_cast<unsigned long long>(used));
+        // The eviction loop stops at one resident line even when that
+        // line alone overflows the set (progress guarantee).
+        r.require(set.usedBits <= setBits_ || set.lines.size() == 1,
+                  "set %llu uses %llu bits, budget %llu",
+                  static_cast<unsigned long long>(s),
+                  static_cast<unsigned long long>(set.usedBits),
+                  static_cast<unsigned long long>(setBits_));
+    }
+    r.require(total_valid == valid_,
+              "valid-line counter %llu disagrees with %llu resident "
+              "entries",
+              static_cast<unsigned long long>(valid_),
+              static_cast<unsigned long long>(total_valid));
+    return r;
 }
 
 } // namespace cache

@@ -39,6 +39,7 @@ class IdealCache : public Llc
 
     std::uint64_t validLines() const override { return valid_; }
     std::uint64_t capacityBytes() const override { return capacity_; }
+    check::AuditReport audit() const override;
 
     std::string
     name() const override

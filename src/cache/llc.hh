@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "check/auditor.hh"
 #include "util/types.hh"
 
 namespace morc {
@@ -79,11 +80,18 @@ struct LlcStats
     }
 };
 
-/** Abstract last-level cache. */
-class Llc
+/**
+ * Abstract last-level cache.
+ *
+ * Every model is Auditable: audit() walks the scheme's full internal
+ * state and reports every violated structural invariant (see
+ * check/auditor.hh). The morc_check differential fuzzer runs it
+ * periodically while replaying adversarial access streams.
+ */
+class Llc : public check::Auditable
 {
   public:
-    virtual ~Llc() = default;
+    ~Llc() override = default;
 
     /** Probe for @p addr; never allocates. */
     virtual ReadResult read(Addr addr) = 0;

@@ -1,7 +1,6 @@
 #include "cache/sc2.hh"
 
-#include <cassert>
-
+#include "check/check.hh"
 #include "util/rng.hh"
 
 namespace morc {
@@ -13,7 +12,11 @@ Sc2Cache::Sc2Cache(const Config &cfg)
     : cfg_(cfg), sampler_(cfg.dictionarySymbols)
 {
     numSets_ = cfg.capacityBytes / kLineSize / cfg.ways;
-    assert(numSets_ >= 1 && isPow2(numSets_));
+    MORC_CHECK(numSets_ >= 1 && isPow2(numSets_),
+               "set count must be a non-zero power of two: capacity=%llu "
+               "ways=%u -> sets=%llu",
+               static_cast<unsigned long long>(cfg.capacityBytes),
+               cfg.ways, static_cast<unsigned long long>(numSets_));
     sets_.resize(numSets_);
 }
 
@@ -153,6 +156,67 @@ Sc2Cache::insert(Addr addr, const CacheLine &data, bool dirty)
     set.lines.push_back(entry);
     valid_++;
     return result;
+}
+
+check::AuditReport
+Sc2Cache::audit() const
+{
+    check::AuditReport r;
+    const unsigned budget = cfg_.ways * kLineSize / cfg_.segmentBytes;
+    const unsigned max_tags = cfg_.ways * cfg_.tagFactor;
+    const unsigned max_segments = kLineSize / cfg_.segmentBytes;
+    std::uint64_t total_valid = 0;
+    for (std::uint64_t s = 0; s < sets_.size(); s++) {
+        const Set &set = sets_[s];
+        r.require(set.lines.size() <= max_tags,
+                  "set %llu holds %zu tags, budget %u",
+                  static_cast<unsigned long long>(s), set.lines.size(),
+                  max_tags);
+        unsigned used = 0;
+        for (std::size_t i = 0; i < set.lines.size(); i++) {
+            const LineEntry &l = set.lines[i];
+            total_valid++;
+            used += l.segments;
+            r.require(setOf(l.tag << kLineShift) == s,
+                      "set %llu entry %zu holds tag %llu that indexes "
+                      "set %llu",
+                      static_cast<unsigned long long>(s), i,
+                      static_cast<unsigned long long>(l.tag),
+                      static_cast<unsigned long long>(
+                          setOf(l.tag << kLineShift)));
+            r.require(l.segments >= 1 && l.segments <= max_segments,
+                      "set %llu tag %llu spans %u segments (want 1..%u)",
+                      static_cast<unsigned long long>(s),
+                      static_cast<unsigned long long>(l.tag), l.segments,
+                      max_segments);
+            r.require(!l.compressed || trained_,
+                      "set %llu tag %llu stored compressed before the "
+                      "dictionary was trained",
+                      static_cast<unsigned long long>(s),
+                      static_cast<unsigned long long>(l.tag));
+            r.require(l.compressed == (l.segments < max_segments),
+                      "set %llu tag %llu compressed flag %d disagrees "
+                      "with %u/%u segments",
+                      static_cast<unsigned long long>(s),
+                      static_cast<unsigned long long>(l.tag),
+                      l.compressed ? 1 : 0, l.segments, max_segments);
+            for (std::size_t j = i + 1; j < set.lines.size(); j++) {
+                r.require(set.lines[j].tag != l.tag,
+                          "set %llu holds duplicate tag %llu at entries "
+                          "%zu and %zu",
+                          static_cast<unsigned long long>(s),
+                          static_cast<unsigned long long>(l.tag), i, j);
+            }
+        }
+        r.require(used <= budget, "set %llu uses %u segments, budget %u",
+                  static_cast<unsigned long long>(s), used, budget);
+    }
+    r.require(total_valid == valid_,
+              "valid-line counter %llu disagrees with %llu resident "
+              "entries",
+              static_cast<unsigned long long>(valid_),
+              static_cast<unsigned long long>(total_valid));
+    return r;
 }
 
 } // namespace cache

@@ -49,6 +49,7 @@ class Sc2Cache : public Llc
     std::uint64_t validLines() const override { return valid_; }
     std::uint64_t capacityBytes() const override { return cfg_.capacityBytes; }
     std::string name() const override { return "SC2"; }
+    check::AuditReport audit() const override;
 
     /** Exposed for tests. */
     bool trained() const { return trained_; }

@@ -1,6 +1,6 @@
 #include "cache/uncompressed.hh"
 
-#include <cassert>
+#include "check/check.hh"
 
 namespace morc {
 namespace cache {
@@ -10,7 +10,11 @@ UncompressedCache::UncompressedCache(std::uint64_t capacity_bytes,
     : capacity_(capacity_bytes), ways_(ways)
 {
     numSets_ = capacity_bytes / kLineSize / ways;
-    assert(numSets_ >= 1 && isPow2(numSets_));
+    MORC_CHECK(numSets_ >= 1 && isPow2(numSets_),
+               "set count must be a non-zero power of two: capacity=%llu "
+               "ways=%u -> sets=%llu",
+               static_cast<unsigned long long>(capacity_bytes), ways,
+               static_cast<unsigned long long>(numSets_));
     store_.resize(numSets_ * ways_);
 }
 
@@ -89,6 +93,50 @@ UncompressedCache::insert(Addr addr, const CacheLine &data, bool dirty)
     victim->lastUse = ++useClock_;
     valid_++;
     return result;
+}
+
+check::AuditReport
+UncompressedCache::audit() const
+{
+    check::AuditReport r;
+    r.require(store_.size() == numSets_ * ways_,
+              "store has %zu entries, want %llu sets x %u ways",
+              store_.size(), static_cast<unsigned long long>(numSets_),
+              ways_);
+    std::uint64_t total_valid = 0;
+    for (std::uint64_t set = 0; set < numSets_; set++) {
+        for (unsigned w = 0; w < ways_; w++) {
+            const Way &way = store_[set * ways_ + w];
+            if (!way.valid)
+                continue;
+            total_valid++;
+            r.require(way.lastUse <= useClock_,
+                      "set %llu way %u lastUse %llu exceeds clock %llu",
+                      static_cast<unsigned long long>(set), w,
+                      static_cast<unsigned long long>(way.lastUse),
+                      static_cast<unsigned long long>(useClock_));
+            r.require(setOf(way.tag << kLineShift) == set,
+                      "set %llu way %u holds tag %llu that indexes set "
+                      "%llu",
+                      static_cast<unsigned long long>(set), w,
+                      static_cast<unsigned long long>(way.tag),
+                      static_cast<unsigned long long>(
+                          setOf(way.tag << kLineShift)));
+            for (unsigned w2 = w + 1; w2 < ways_; w2++) {
+                const Way &other = store_[set * ways_ + w2];
+                r.require(!other.valid || other.tag != way.tag,
+                          "set %llu holds duplicate tag %llu in ways %u "
+                          "and %u",
+                          static_cast<unsigned long long>(set),
+                          static_cast<unsigned long long>(way.tag), w, w2);
+            }
+        }
+    }
+    r.require(total_valid == valid_,
+              "valid-line counter %llu disagrees with %llu valid ways",
+              static_cast<unsigned long long>(valid_),
+              static_cast<unsigned long long>(total_valid));
+    return r;
 }
 
 } // namespace cache

@@ -32,6 +32,7 @@ class UncompressedCache : public Llc
     std::uint64_t validLines() const override { return valid_; }
     std::uint64_t capacityBytes() const override { return capacity_; }
     std::string name() const override { return "Uncompressed"; }
+    check::AuditReport audit() const override;
 
   private:
     struct Way

@@ -1,0 +1,84 @@
+#include "check/auditor.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace morc {
+namespace check {
+
+namespace {
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list probe;
+    va_copy(probe, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, probe);
+    va_end(probe);
+    if (n <= 0)
+        return std::string(fmt);
+    std::string out(static_cast<std::size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+} // namespace
+
+bool
+AuditReport::require(bool holds, const char *fmt, ...)
+{
+    checks_++;
+    if (!holds) {
+        va_list args;
+        va_start(args, fmt);
+        record(vformat(fmt, args));
+        va_end(args);
+    }
+    return holds;
+}
+
+void
+AuditReport::fail(const std::string &msg)
+{
+    checks_++;
+    record(msg);
+}
+
+void
+AuditReport::merge(const AuditReport &other, const std::string &prefix)
+{
+    checks_ += other.checks_;
+    violations_ += other.violations_;
+    for (const auto &issue : other.issues_) {
+        if (issues_.size() >= kMaxRecordedIssues)
+            break;
+        issues_.push_back(prefix + issue);
+    }
+}
+
+std::string
+AuditReport::str() const
+{
+    std::string out;
+    for (const auto &issue : issues_) {
+        out += issue;
+        out += '\n';
+    }
+    if (violations_ > issues_.size()) {
+        out += "... and " +
+               std::to_string(violations_ - issues_.size()) +
+               " further violations\n";
+    }
+    return out;
+}
+
+void
+AuditReport::record(std::string msg)
+{
+    violations_++;
+    if (issues_.size() < kMaxRecordedIssues)
+        issues_.push_back(std::move(msg));
+}
+
+} // namespace check
+} // namespace morc

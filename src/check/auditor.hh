@@ -1,0 +1,90 @@
+/**
+ * @file
+ * On-demand structural invariant auditing.
+ *
+ * Every cache scheme implements the Auditable interface: audit() walks
+ * the scheme's full internal state and validates its structural
+ * invariants (space accounting, metadata cross-consistency, replacement
+ * bookkeeping), returning an AuditReport instead of aborting. Compressed
+ * cache bugs tend to surface as silent data corruption rather than
+ * crashes, so the auditor is designed to be run *during* execution — the
+ * morc_check differential fuzzer invokes it every N operations — and to
+ * name every violated invariant with the offending values.
+ *
+ * audit() must be const and side-effect free: running it any number of
+ * times may not change hit/miss behaviour, stats, or stored data.
+ */
+
+#ifndef MORC_CHECK_AUDITOR_HH
+#define MORC_CHECK_AUDITOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace morc {
+namespace check {
+
+/**
+ * Accumulated outcome of one audit pass.
+ *
+ * Issues are recorded in discovery order (deterministic for a
+ * deterministic walk) and capped so a badly corrupted structure cannot
+ * produce an unbounded report; the total violation count keeps counting
+ * past the cap.
+ */
+class AuditReport
+{
+  public:
+    /** Maximum recorded issue strings; further violations only count. */
+    static constexpr std::size_t kMaxRecordedIssues = 64;
+
+    bool ok() const { return violations_ == 0; }
+
+    /** Invariant checks evaluated (passed + failed). */
+    std::uint64_t checksRun() const { return checks_; }
+
+    /** Invariant violations found (may exceed issues().size()). */
+    std::uint64_t violations() const { return violations_; }
+
+    const std::vector<std::string> &issues() const { return issues_; }
+
+    /** Record one invariant check: append a formatted issue when
+     *  @p holds is false. Returns @p holds for chaining. */
+    bool require(bool holds, const char *fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+        __attribute__((format(printf, 3, 4)))
+#endif
+        ;
+
+    /** Record an unconditional violation. */
+    void fail(const std::string &msg);
+
+    /** Fold @p other into this report, prefixing its issues. */
+    void merge(const AuditReport &other, const std::string &prefix);
+
+    /** Human-readable summary: one line per recorded issue. */
+    std::string str() const;
+
+  private:
+    void record(std::string msg);
+
+    std::uint64_t checks_ = 0;
+    std::uint64_t violations_ = 0;
+    std::vector<std::string> issues_;
+};
+
+/** Interface of everything the audit layer can validate on demand. */
+class Auditable
+{
+  public:
+    virtual ~Auditable() = default;
+
+    /** Validate all structural invariants; never mutates state. */
+    virtual AuditReport audit() const = 0;
+};
+
+} // namespace check
+} // namespace morc
+
+#endif // MORC_CHECK_AUDITOR_HH

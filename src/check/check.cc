@@ -1,0 +1,26 @@
+#include "check/check.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace morc {
+namespace check {
+
+void
+checkFailed(const char *file, int line, const char *func, const char *cond,
+            const char *fmt, ...)
+{
+    std::fprintf(stderr, "MORC_CHECK failed: %s\n  at %s:%d in %s\n  ",
+                 cond, file, line, func);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace check
+} // namespace morc

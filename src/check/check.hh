@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Context-rich invariant checks (the MORC_CHECK macro family).
+ *
+ * Every check carries a printf-style message with the offending values,
+ * so a violation is diagnosable from the failure line alone — unlike the
+ * bare assert()s these replace. Activation:
+ *
+ *   MORC_CHECK(cond, fmt, ...)   active in MORC_AUDIT builds and in
+ *                                debug (!NDEBUG) builds; compiled out in
+ *                                release. General-purpose invariants.
+ *   MORC_DCHECK(cond, fmt, ...)  active only in MORC_AUDIT builds.
+ *                                Hot-path checks (per-bit, per-tag) that
+ *                                would make even debug runs crawl.
+ *   MORC_CHECK_FAIL(fmt, ...)    unreachable-state marker; same
+ *                                activation as MORC_CHECK.
+ *
+ * The dedicated audit configuration (cmake -DMORC_AUDIT=ON, enabled by
+ * the asan-ubsan and tsan presets) turns every check on regardless of
+ * NDEBUG. A failed check prints the condition, location, and message to
+ * stderr and aborts, so sanitizer runs and fuzz drivers fail loudly at
+ * the first broken invariant instead of corrupting state silently.
+ *
+ * In disabled configurations the condition and message arguments are
+ * parsed but never evaluated (zero runtime cost, no side effects).
+ */
+
+#ifndef MORC_CHECK_CHECK_HH
+#define MORC_CHECK_CHECK_HH
+
+namespace morc {
+namespace check {
+
+/** Print a check failure (condition, location, formatted message) to
+ *  stderr and abort. Never returns. */
+[[noreturn]] void checkFailed(const char *file, int line, const char *func,
+                              const char *cond, const char *fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 5, 6)))
+#endif
+    ;
+
+} // namespace check
+} // namespace morc
+
+#if defined(MORC_AUDIT) || !defined(NDEBUG)
+#define MORC_CHECKS_ENABLED 1
+#else
+#define MORC_CHECKS_ENABLED 0
+#endif
+
+#if defined(MORC_AUDIT)
+#define MORC_DCHECKS_ENABLED 1
+#else
+#define MORC_DCHECKS_ENABLED 0
+#endif
+
+/** Swallow a disabled check without evaluating its arguments while
+ *  still type-checking the condition expression. */
+#define MORC_CHECK_UNUSED_(cond)                                        \
+    do {                                                                \
+        (void)sizeof((cond) ? 1 : 0);                                   \
+    } while (0)
+
+#if MORC_CHECKS_ENABLED
+#define MORC_CHECK(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::morc::check::checkFailed(__FILE__, __LINE__, __func__,    \
+                                       #cond, __VA_ARGS__);             \
+        }                                                               \
+    } while (0)
+#define MORC_CHECK_FAIL(...)                                            \
+    ::morc::check::checkFailed(__FILE__, __LINE__, __func__,            \
+                               "unreachable", __VA_ARGS__)
+#else
+#define MORC_CHECK(cond, ...) MORC_CHECK_UNUSED_(cond)
+#define MORC_CHECK_FAIL(...)                                            \
+    do {                                                                \
+    } while (0)
+#endif
+
+#if MORC_DCHECKS_ENABLED
+#define MORC_DCHECK(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::morc::check::checkFailed(__FILE__, __LINE__, __func__,    \
+                                       #cond, __VA_ARGS__);             \
+        }                                                               \
+    } while (0)
+#else
+#define MORC_DCHECK(cond, ...) MORC_CHECK_UNUSED_(cond)
+#endif
+
+#endif // MORC_CHECK_CHECK_HH

@@ -1,0 +1,506 @@
+/**
+ * @file
+ * morc_check: differential model checker / structural-invariant fuzzer.
+ *
+ * Replays seeded adversarial access streams through each cache scheme in
+ * lockstep with a reference uncompressed memory model (a functional map
+ * of what every line must contain). Compressed caches fail by silently
+ * corrupting data far more often than by crashing, so the checker trips
+ * on *observable* divergence:
+ *
+ *   - a read hit returning contents that differ from the reference,
+ *   - a hit on an address that was never inserted,
+ *   - a write-back whose payload differs from the reference,
+ *   - a write-back of a line that was never dirty,
+ *   - a dirty line vanishing without a write-back (read miss on an
+ *     address the model still holds dirty).
+ *
+ * In addition the scheme's structural auditor (check/auditor.hh) runs
+ * every --audit-every operations and once more at the end, so internal
+ * corruption is caught close to the operation that caused it even when
+ * it has not yet surfaced at the interface.
+ *
+ * --inject-lmt-corruption is the mutation test for the auditor itself:
+ * it flips one bit in a valid MORC LMT entry and demands that the next
+ * audit *fails*. A checker that cannot see injected faults proves
+ * nothing about the absence of real ones.
+ *
+ * Exit codes: 0 = clean, 1 = divergence / audit failure / undetected
+ * injected fault, 2 = usage error.
+ */
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/adaptive.hh"
+#include "cache/decoupled.hh"
+#include "cache/ideal.hh"
+#include "cache/llc.hh"
+#include "cache/sc2.hh"
+#include "cache/uncompressed.hh"
+#include "core/morc.hh"
+#include "sweep/sweep.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace morc {
+namespace {
+
+struct Options
+{
+    std::string scheme = "all";
+    std::uint64_t ops = 100000;
+    std::uint64_t seed = 7;
+    std::uint64_t auditEvery = 64;
+    bool injectLmtCorruption = false;
+    bool verbose = false;
+};
+
+const char *const kSchemes[] = {
+    "uncompressed", "adaptive",     "decoupled",   "sc2",
+    "morc",         "morc-merged",  "oracle-intra", "oracle-inter",
+};
+
+std::unique_ptr<cache::Llc>
+makeScheme(const std::string &name)
+{
+    if (name == "uncompressed")
+        return std::make_unique<cache::UncompressedCache>(128 * 1024);
+    if (name == "adaptive")
+        return std::make_unique<cache::AdaptiveCache>();
+    if (name == "decoupled")
+        return std::make_unique<cache::DecoupledCache>();
+    if (name == "sc2")
+        return std::make_unique<cache::Sc2Cache>();
+    if (name == "morc")
+        return std::make_unique<core::LogCache>();
+    if (name == "morc-merged") {
+        core::MorcConfig cfg;
+        cfg.mergedTags = true;
+        return std::make_unique<core::LogCache>(cfg);
+    }
+    if (name == "ideal" || name == "oracle-intra")
+        return std::make_unique<cache::IdealCache>(
+            cache::OracleScope::IntraLine);
+    if (name == "oracle-inter")
+        return std::make_unique<cache::IdealCache>(
+            cache::OracleScope::InterLine);
+    return nullptr;
+}
+
+/** Reference state for one line: last contents handed to the cache and
+ *  whether the cache currently owes memory a write-back for it. */
+struct ModelLine
+{
+    CacheLine data;
+    bool dirty = false;
+};
+
+/* ------------------------------------------------------------------ */
+/* Adversarial stream generation                                      */
+/* ------------------------------------------------------------------ */
+
+/** Data content classes; each stresses a different codec path. */
+enum class DataKind
+{
+    Zero,           //< all-zero lines (best case for every codec)
+    Pooled,         //< zeros + a small value pool (LBE's sweet spot)
+    Ramp,           //< arithmetic word sequence (base-delta friendly)
+    Incompressible, //< random words (forces raw storage / evictions)
+};
+
+CacheLine
+makeLine(Rng &rng, DataKind kind, std::uint32_t salt)
+{
+    CacheLine l;
+    switch (kind) {
+    case DataKind::Zero:
+        break;
+    case DataKind::Pooled:
+        for (unsigned i = 0; i < kWordsPerLine; i++) {
+            l.setWord32(
+                i, rng.chance(0.3)
+                       ? 0
+                       : salt + static_cast<std::uint32_t>(rng.below(32)) *
+                                    4);
+        }
+        break;
+    case DataKind::Ramp:
+        for (unsigned i = 0; i < kWordsPerLine; i++)
+            l.setWord32(i, salt + i * 8);
+        break;
+    case DataKind::Incompressible:
+        for (unsigned i = 0; i < kLineSize / 8; i++)
+            l.setWord64(i, rng.next());
+        break;
+    }
+    return l;
+}
+
+/** Access-pattern classes; each stresses a different structure. */
+enum class PatternKind
+{
+    Sequential, //< streaming fill: log rotation, FIFO eviction churn
+    HotSet,     //< small working set: hits, in-place-update paths
+    Sparse,     //< wide random: LMT/tag conflicts, aliasing
+    Rewrite,    //< hammer few addresses with dirty inserts: re-append,
+                //  invalidation, write-back ordering
+};
+
+/** One ~phase-length burst of related accesses. */
+struct Phase
+{
+    PatternKind pattern = PatternKind::Sequential;
+    DataKind data = DataKind::Pooled;
+    Addr baseLine = 0;
+    std::uint64_t span = 1;
+    std::uint32_t salt = 0;
+    std::uint64_t step = 0;
+};
+
+constexpr std::uint64_t kPhaseOps = 256;
+
+Phase
+nextPhase(Rng &rng)
+{
+    Phase p;
+    switch (rng.below(4)) {
+    case 0:
+        p.pattern = PatternKind::Sequential;
+        p.span = kPhaseOps;
+        break;
+    case 1:
+        p.pattern = PatternKind::HotSet;
+        p.span = 16 + rng.below(112); // well under any scheme's capacity
+        break;
+    case 2:
+        p.pattern = PatternKind::Sparse;
+        p.span = 1ull << 22; // far beyond every LMT / tag store
+        break;
+    default:
+        p.pattern = PatternKind::Rewrite;
+        p.span = 1 + rng.below(4);
+        break;
+    }
+    p.data = static_cast<DataKind>(rng.below(4));
+    p.baseLine = rng.below(1ull << 20);
+    p.salt = static_cast<std::uint32_t>(rng.next());
+    return p;
+}
+
+Addr
+nextAddr(Rng &rng, Phase &p)
+{
+    Addr line;
+    if (p.pattern == PatternKind::Sequential)
+        line = p.baseLine + p.step++;
+    else
+        line = p.baseLine + rng.below(p.span);
+    return line << kLineShift;
+}
+
+/* ------------------------------------------------------------------ */
+/* Differential replay                                                */
+/* ------------------------------------------------------------------ */
+
+struct RunStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t audits = 0;
+    std::uint64_t auditChecks = 0;
+};
+
+/** Per-divergence context printer. Returns false for chaining. */
+bool
+diverged(const std::string &scheme, std::uint64_t op, const char *fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+
+bool
+diverged(const std::string &scheme, std::uint64_t op, const char *fmt, ...)
+{
+    std::fprintf(stderr, "morc_check: DIVERGENCE scheme=%s op=%" PRIu64
+                         ": ",
+                 scheme.c_str(), op);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    return false;
+}
+
+/** Validate one FillResult's write-backs against the pre-insert model
+ *  and mark the written-back lines clean. */
+bool
+checkWritebacks(const std::string &scheme, std::uint64_t op,
+                const cache::FillResult &fr,
+                std::map<Addr, ModelLine> &model, RunStats &st)
+{
+    bool ok = true;
+    for (const auto &wb : fr.writebacks) {
+        st.writebacks++;
+        auto it = model.find(wb.addr);
+        if (it == model.end()) {
+            ok = diverged(scheme, op,
+                          "write-back of never-inserted address 0x%" PRIx64,
+                          wb.addr);
+            continue;
+        }
+        if (!it->second.dirty)
+            ok = diverged(scheme, op,
+                          "write-back of clean line 0x%" PRIx64
+                          " (already written back or never dirty)",
+                          wb.addr);
+        if (!(wb.data == it->second.data))
+            ok = diverged(scheme, op,
+                          "write-back of 0x%" PRIx64
+                          " carries corrupted contents (word0 "
+                          "0x%08x, expected 0x%08x)",
+                          wb.addr, wb.data.word32(0),
+                          it->second.data.word32(0));
+        it->second.dirty = false;
+    }
+    return ok;
+}
+
+bool
+runAudit(const std::string &scheme, std::uint64_t op, cache::Llc &c,
+         RunStats &st)
+{
+    const check::AuditReport r = c.audit();
+    st.audits++;
+    st.auditChecks += r.checksRun();
+    if (r.ok())
+        return true;
+    std::fprintf(stderr,
+                 "morc_check: AUDIT FAILURE scheme=%s op=%" PRIu64
+                 " (%" PRIu64 " violation(s) in %" PRIu64 " checks)\n%s",
+                 scheme.c_str(), op, r.violations(), r.checksRun(),
+                 r.str().c_str());
+    return false;
+}
+
+/** Replay @p opt.ops operations; true when no divergence was observed. */
+bool
+runScheme(const std::string &scheme, const Options &opt)
+{
+    auto cache = makeScheme(scheme);
+    if (!cache) {
+        std::fprintf(stderr, "morc_check: unknown scheme '%s'\n",
+                     scheme.c_str());
+        return false;
+    }
+
+    // Same key discipline as the sweep engine: the stream depends only
+    // on (scheme, seed), never on host state.
+    Rng rng(sweep::stableSeed("check/" + scheme + "/" +
+                              std::to_string(opt.seed)));
+    std::map<Addr, ModelLine> model;
+    RunStats st;
+    Phase phase = nextPhase(rng);
+    bool ok = true;
+
+    for (std::uint64_t op = 0; op < opt.ops && ok; op++) {
+        if (op % kPhaseOps == kPhaseOps - 1)
+            phase = nextPhase(rng);
+        const Addr addr = nextAddr(rng, phase);
+        const bool write = phase.pattern == PatternKind::Rewrite
+                               ? rng.chance(0.7)
+                               : rng.chance(0.3);
+
+        if (write) {
+            // Dirty insert: a write-back arriving from a private cache.
+            const CacheLine data = makeLine(
+                rng, phase.data, phase.salt + static_cast<std::uint32_t>(op));
+            const auto fr = cache->insert(addr, data, true);
+            st.inserts++;
+            ok = checkWritebacks(scheme, op, fr, model, st) && ok;
+            model[addr] = ModelLine{data, true};
+        } else {
+            const auto rr = cache->read(addr);
+            st.reads++;
+            const auto it = model.find(addr);
+            if (rr.hit) {
+                st.hits++;
+                if (it == model.end()) {
+                    ok = diverged(scheme, op,
+                                  "hit on never-inserted address 0x%" PRIx64,
+                                  addr);
+                } else if (!(rr.data == it->second.data)) {
+                    ok = diverged(scheme, op,
+                                  "hit on 0x%" PRIx64
+                                  " returned corrupted contents (word0 "
+                                  "0x%08x, expected 0x%08x)",
+                                  addr, rr.data.word32(0),
+                                  it->second.data.word32(0));
+                }
+            } else {
+                if (it != model.end() && it->second.dirty)
+                    ok = diverged(scheme, op,
+                                  "dirty line 0x%" PRIx64
+                                  " vanished without a write-back",
+                                  addr);
+                // Fill from memory: reuse the reference contents when
+                // the line exists, otherwise materialize a fresh line.
+                const CacheLine data =
+                    it != model.end()
+                        ? it->second.data
+                        : makeLine(rng, phase.data, phase.salt);
+                const auto fr = cache->insert(addr, data, false);
+                st.inserts++;
+                ok = checkWritebacks(scheme, op, fr, model, st) && ok;
+                model[addr] = ModelLine{data, false};
+            }
+        }
+
+        if (opt.auditEvery != 0 && (op + 1) % opt.auditEvery == 0)
+            ok = runAudit(scheme, op, *cache, st) && ok;
+    }
+
+    if (ok)
+        ok = runAudit(scheme, opt.ops, *cache, st);
+
+    if (ok && opt.injectLmtCorruption) {
+        auto *log_cache = dynamic_cast<core::LogCache *>(cache.get());
+        if (!log_cache) {
+            std::fprintf(stderr,
+                         "morc_check: --inject-lmt-corruption requires a "
+                         "MORC scheme, not %s\n",
+                         scheme.c_str());
+            return false;
+        }
+        if (!log_cache->debugCorruptLmt(opt.seed)) {
+            std::fprintf(stderr,
+                         "morc_check: no valid LMT entry to corrupt "
+                         "(stream left the cache empty?)\n");
+            return false;
+        }
+        const auto r = log_cache->audit();
+        if (r.ok()) {
+            std::fprintf(stderr,
+                         "morc_check: MUTATION ESCAPED scheme=%s: auditor "
+                         "reported a clean structure after LMT "
+                         "corruption was injected\n",
+                         scheme.c_str());
+            return false;
+        }
+        std::printf("%-13s injected LMT corruption detected: %" PRIu64
+                    " violation(s)\n",
+                    scheme.c_str(), r.violations());
+        if (opt.verbose)
+            std::fputs(r.str().c_str(), stdout);
+        return true;
+    }
+
+    if (ok)
+        std::printf("%-13s ops=%" PRIu64 " reads=%" PRIu64 " hits=%" PRIu64
+                    " inserts=%" PRIu64 " writebacks=%" PRIu64
+                    " audits=%" PRIu64 " checks=%" PRIu64 " OK\n",
+                    scheme.c_str(), opt.ops, st.reads, st.hits, st.inserts,
+                    st.writebacks, st.audits, st.auditChecks);
+    return ok;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--scheme NAME|all] [--ops N] [--seed S]\n"
+        "          [--audit-every N] [--inject-lmt-corruption] "
+        "[--verbose]\n"
+        "\n"
+        "Differential fuzz: replay a seeded adversarial access stream\n"
+        "through a cache scheme in lockstep with a reference memory\n"
+        "model, auditing structural invariants every N operations.\n"
+        "\n"
+        "schemes: all",
+        argv0);
+    for (const char *s : kSchemes)
+        std::fprintf(stderr, " %s", s);
+    std::fputc('\n', stderr);
+    return 2;
+}
+
+int
+run(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--scheme") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            opt.scheme = v;
+        } else if (arg == "--ops") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            opt.ops = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--seed") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            opt.seed = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--audit-every") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            opt.auditEvery = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--inject-lmt-corruption") {
+            opt.injectLmtCorruption = true;
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "morc_check: unknown option '%s'\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+
+    std::vector<std::string> schemes;
+    if (opt.scheme == "all") {
+        if (opt.injectLmtCorruption) {
+            schemes = {"morc", "morc-merged"};
+        } else {
+            for (const char *s : kSchemes)
+                schemes.emplace_back(s);
+        }
+    } else {
+        schemes.push_back(opt.scheme);
+    }
+
+    bool ok = true;
+    for (const auto &s : schemes)
+        ok = runScheme(s, opt) && ok;
+    return ok ? 0 : 1;
+}
+
+} // namespace
+} // namespace morc
+
+int
+main(int argc, char **argv)
+{
+    return morc::run(argc, argv);
+}

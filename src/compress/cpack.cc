@@ -1,6 +1,6 @@
 #include "compress/cpack.hh"
 
-#include <cassert>
+#include "check/check.hh"
 
 namespace morc {
 namespace comp {
@@ -21,7 +21,9 @@ putCodeBits(BitWriter *out, unsigned value, unsigned len)
 CpackEncoder::CpackEncoder(unsigned dict_bytes)
     : capacity_(dict_bytes / 4), ptrBits_(ceilLog2(capacity_))
 {
-    assert(capacity_ >= 2);
+    MORC_CHECK(capacity_ >= 2,
+               "C-Pack dictionary of %u bytes holds fewer than 2 words",
+               dict_bytes);
     dict_.reserve(capacity_);
 }
 

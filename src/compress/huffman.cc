@@ -1,8 +1,9 @@
 #include "compress/huffman.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <queue>
+
+#include "check/check.hh"
 
 namespace morc {
 namespace comp {
@@ -201,7 +202,10 @@ HuffmanTable::decode(BitReader &in) const
             return valueOfSymbol_[pos];
         }
     }
-    assert(false && "invalid Huffman stream");
+    MORC_CHECK_FAIL("invalid Huffman stream: no code of length <= %zu "
+                    "matched at bit position %llu",
+                    firstCode_.size() - 1,
+                    static_cast<unsigned long long>(in.pos()));
     return 0;
 }
 

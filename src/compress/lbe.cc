@@ -1,6 +1,6 @@
 #include "compress/lbe.hh"
 
-#include <cassert>
+#include "check/check.hh"
 
 namespace morc {
 namespace comp {
@@ -66,7 +66,9 @@ LbeStats::name(LbeSymbol s)
 
 LbeEncoder::LbeEncoder(const LbeConfig &cfg) : cfg_(cfg)
 {
-    assert(cfg_.entries32() >= 2);
+    MORC_CHECK(cfg_.entries32() >= 2,
+               "LBE dictionary of %u bytes holds fewer than 2 words",
+               cfg_.dictBytes);
 }
 
 void

@@ -1,6 +1,6 @@
 #include "compress/tagcodec.hh"
 
-#include <cassert>
+#include "check/check.hh"
 
 namespace morc {
 namespace comp {
@@ -8,7 +8,11 @@ namespace comp {
 TagDistanceCode
 TagDistanceCode::forDistance(std::uint64_t distance)
 {
-    assert(distance >= 1 && distance <= TagCodec::kMaxDelta);
+    // Hot path (runs per trial compression): audit builds only.
+    MORC_DCHECK(distance >= 1 && distance <= TagCodec::kMaxDelta,
+                "distance %llu outside the codable range [1, %llu]",
+                static_cast<unsigned long long>(distance),
+                static_cast<unsigned long long>(TagCodec::kMaxDelta));
     if (distance <= 4)
         return {static_cast<unsigned>(distance - 1), 0, distance};
     // Distance in (2^(k+1), 2^(k+2)] uses codes 2k+2 / 2k+3 with k
@@ -45,7 +49,8 @@ TagCodec::TagCodec(unsigned num_bases)
       baseValid_(num_bases, false),
       baseUse_(num_bases, 0)
 {
-    assert(num_bases == 1 || num_bases == 2);
+    MORC_CHECK(num_bases == 1 || num_bases == 2,
+               "tag codec supports 1 or 2 bases, not %u", num_bases);
 }
 
 void

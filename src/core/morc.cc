@@ -1,9 +1,10 @@
 #include "core/morc.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdlib>
+#include <unordered_set>
 
+#include "check/check.hh"
 #include "util/rng.hh"
 
 namespace morc {
@@ -25,8 +26,11 @@ LogCache::LogCache() : LogCache(MorcConfig{}) {}
 
 LogCache::LogCache(const MorcConfig &cfg) : cfg_(cfg)
 {
-    assert(cfg_.numLogs() >= cfg_.activeLogs + 1);
-    assert(cfg_.lmtWays >= 1 && cfg_.lmtWays <= 2);
+    MORC_CHECK(cfg_.numLogs() >= cfg_.activeLogs + 1,
+               "need at least one closed log: %u logs for %u active",
+               cfg_.numLogs(), cfg_.activeLogs);
+    MORC_CHECK(cfg_.lmtWays >= 1 && cfg_.lmtWays <= 2,
+               "LMT supports 1 or 2 ways, not %u", cfg_.lmtWays);
     logs_.reserve(cfg_.numLogs());
     for (unsigned i = 0; i < cfg_.numLogs(); i++)
         logs_.emplace_back(cfg_.lbe, cfg_.tagBases);
@@ -74,7 +78,10 @@ LogCache::findResident(Addr line_num, std::uint64_t *slot_out,
                 return true;
             }
         }
-        assert(false && "LMT entry with no resident line");
+        MORC_CHECK_FAIL("LMT entry for line %llu points at log %u with "
+                        "no resident copy",
+                        static_cast<unsigned long long>(line_num),
+                        e.logIdx);
         return false;
     };
 
@@ -98,7 +105,8 @@ void
 LogCache::invalidateEntry(std::uint64_t slot, cache::FillResult &result)
 {
     LmtEntry &e = cfg_.unlimitedMeta ? lmtMap_[slot] : lmt_[slot];
-    assert(e.valid);
+    MORC_CHECK(e.valid, "invalidating invalid LMT slot %llu",
+               static_cast<unsigned long long>(slot));
     Log &g = logs_[e.logIdx];
     for (auto &line : g.lines) {
         if (line.valid && line.lineNum == e.lineNum) {
@@ -123,7 +131,10 @@ LogCache::invalidateEntry(std::uint64_t slot, cache::FillResult &result)
             return;
         }
     }
-    assert(false && "dangling LMT entry");
+    MORC_CHECK_FAIL("dangling LMT entry: slot %llu names line %llu in "
+                    "log %u but the log holds no valid copy",
+                    static_cast<unsigned long long>(slot),
+                    static_cast<unsigned long long>(e.lineNum), e.logIdx);
 }
 
 std::uint64_t
@@ -174,7 +185,11 @@ LogCache::flushLog(std::uint32_t log_idx, cache::FillResult &result)
         std::uint64_t slot = 0;
         if (cfg_.unlimitedMeta) {
             auto it = lmtMap_.find(line.lineNum);
-            assert(it != lmtMap_.end());
+            MORC_CHECK(it != lmtMap_.end(),
+                       "flushing log %u: valid line %llu missing from "
+                       "the unlimited LMT map",
+                       log_idx,
+                       static_cast<unsigned long long>(line.lineNum));
             e = &it->second;
             slot = line.lineNum;
         } else {
@@ -188,8 +203,15 @@ LogCache::flushLog(std::uint32_t log_idx, cache::FillResult &result)
                     break;
                 }
             }
-            assert(e && "valid log line without LMT entry");
+            MORC_CHECK(e != nullptr,
+                       "flushing log %u: valid line %llu has no LMT "
+                       "entry in either column-associative way",
+                       log_idx,
+                       static_cast<unsigned long long>(line.lineNum));
         }
+        if (!e)
+            continue; // unreachable when checks are compiled out
+
         if (e->modified) {
             result.writebacks.push_back(
                 {line.lineNum << kLineShift, line.data});
@@ -206,6 +228,7 @@ LogCache::flushLog(std::uint32_t log_idx, cache::FillResult &result)
     g.validCount = 0;
     g.lbe.reset();
     g.tags.reset();
+    g.tagStream.clear();
 }
 
 void
@@ -240,13 +263,16 @@ LogCache::rotateLog(unsigned active_slot, cache::FillResult &result)
             g.tagBits = 0;
             g.lbe.reset();
             g.tags.reset();
+            g.tagStream.clear();
         }
         break;
     }
 
     // Priority 2: FIFO victim among closed logs.
     if (chosen == ~0u) {
-        assert(!closedFifo_.empty());
+        MORC_CHECK(!closedFifo_.empty(),
+                   "no closed log to victimize: %zu logs, %zu active",
+                   logs_.size(), active_.size());
         chosen = closedFifo_.front();
         closedFifo_.pop_front();
         flushLog(chosen, result);
@@ -264,7 +290,7 @@ LogCache::appendLine(std::uint32_t log_idx, Addr line_num,
     std::uint32_t d_bits, t_bits;
     if (cfg_.compressionEnabled) {
         d_bits = g.lbe.append(data);
-        t_bits = g.tags.append(line_num);
+        t_bits = g.tags.append(line_num, &g.tagStream);
     } else {
         d_bits = kRawLineBits;
         t_bits = kRawTagBits;
@@ -301,7 +327,10 @@ LogCache::read(Addr addr)
             if (g.lines[pos].valid && g.lines[pos].lineNum == line_num)
                 break;
         }
-        assert(pos < g.lines.size());
+        MORC_CHECK(pos < g.lines.size(),
+                   "hit line %llu vanished from log %u (%zu lines)",
+                   static_cast<unsigned long long>(line_num), e.logIdx,
+                   g.lines.size());
         const std::uint64_t bytes = divCeil(prefix_bits, 8);
         const auto tag_cycles = static_cast<std::uint32_t>(
             divCeil(pos + 1, cfg_.tagsPerCycle));
@@ -469,6 +498,10 @@ LogCache::insert(Addr addr, const CacheLine &data, bool dirty)
         }
         rotateLog(fullest, result);
         pick = choose();
+        MORC_CHECK(pick >= 0,
+                   "line %llu fits no active log even after rotating in "
+                   "an empty one",
+                   static_cast<unsigned long long>(line_num));
         if (pick < 0)
             std::abort(); // an empty log must accept any line
     }
@@ -520,6 +553,298 @@ LogCache::snapshot() const
         s.tagDeltaBits += g.tags.deltaBitsTotal();
     }
     return s;
+}
+
+check::AuditReport
+LogCache::audit() const
+{
+    check::AuditReport r;
+    const std::uint64_t log_bits =
+        static_cast<std::uint64_t>(cfg_.logBytes) * 8;
+    const std::uint64_t tag_budget = cfg_.tagBudgetBits();
+
+    // --- Per-log space accounting, budgets, and tag-stream decode. ---
+    std::uint64_t lines_valid = 0;
+    std::uint64_t lines_total = 0;
+    std::unordered_set<Addr> seen_valid; // duplicate-residency detector
+    for (std::uint32_t i = 0; i < logs_.size(); i++) {
+        const Log &g = logs_[i];
+        std::uint64_t data_bits = 0, tag_bits = 0;
+        std::uint32_t valid_count = 0;
+        for (const auto &line : g.lines) {
+            data_bits += line.dataBits;
+            tag_bits += line.tagBits;
+            if (!line.valid)
+                continue;
+            valid_count++;
+            r.require(seen_valid.insert(line.lineNum).second,
+                      "line %llu is valid in log %u but already valid "
+                      "elsewhere",
+                      static_cast<unsigned long long>(line.lineNum), i);
+        }
+        lines_valid += valid_count;
+        lines_total += g.lines.size();
+        r.require(data_bits == g.dataBits,
+                  "log %u accounts %llu data bits, lines sum to %llu", i,
+                  static_cast<unsigned long long>(g.dataBits),
+                  static_cast<unsigned long long>(data_bits));
+        r.require(tag_bits == g.tagBits,
+                  "log %u accounts %llu tag bits, lines sum to %llu", i,
+                  static_cast<unsigned long long>(g.tagBits),
+                  static_cast<unsigned long long>(tag_bits));
+        r.require(valid_count == g.validCount,
+                  "log %u counts %u valid lines, walk found %u", i,
+                  g.validCount, valid_count);
+        // Budget enforcement. A single line may overflow a
+        // (pathologically small) log: progress must stay possible for
+        // incompressible data (see trialBits).
+        if (g.lines.size() > 1) {
+            if (cfg_.mergedTags) {
+                r.require(g.dataBits + g.tagBits <= log_bits,
+                          "merged log %u holds %llu data + %llu tag "
+                          "bits, budget %llu",
+                          i, static_cast<unsigned long long>(g.dataBits),
+                          static_cast<unsigned long long>(g.tagBits),
+                          static_cast<unsigned long long>(log_bits));
+            } else {
+                r.require(g.dataBits <= log_bits,
+                          "log %u holds %llu data bits, budget %llu", i,
+                          static_cast<unsigned long long>(g.dataBits),
+                          static_cast<unsigned long long>(log_bits));
+                if (!cfg_.unlimitedMeta) {
+                    r.require(g.tagBits <= tag_budget,
+                              "log %u holds %llu tag bits, budget %llu",
+                              i,
+                              static_cast<unsigned long long>(g.tagBits),
+                              static_cast<unsigned long long>(tag_budget));
+                }
+            }
+        }
+        // The compressed tag stream must decode back to exactly the
+        // appended line numbers, valid and invalidated alike (the
+        // hardware's tag walk sees both).
+        if (cfg_.compressionEnabled) {
+            const bool sized =
+                r.require(g.tagStream.sizeBits() == g.tagBits,
+                          "log %u tag stream holds %llu bits, "
+                          "accounting says %llu",
+                          i,
+                          static_cast<unsigned long long>(
+                              g.tagStream.sizeBits()),
+                          static_cast<unsigned long long>(g.tagBits));
+            if (sized) {
+                BitReader in(g.tagStream);
+                comp::TagDecoder dec(cfg_.tagBases);
+                bool decoded = true;
+                for (std::size_t p = 0; p < g.lines.size(); p++) {
+                    const std::uint64_t want = g.lines[p].lineNum;
+                    const std::uint64_t got = dec.next(in);
+                    if (!r.require(got == want,
+                                   "log %u tag %zu decodes to line "
+                                   "%llu, appended line %llu",
+                                   i, p,
+                                   static_cast<unsigned long long>(got),
+                                   static_cast<unsigned long long>(want))) {
+                        decoded = false;
+                        break;
+                    }
+                }
+                if (decoded) {
+                    r.require(in.remaining() == 0,
+                              "log %u tag stream has %llu undecoded "
+                              "bits after %zu tags",
+                              i,
+                              static_cast<unsigned long long>(
+                                  in.remaining()),
+                              g.lines.size());
+                }
+            }
+        }
+    }
+    r.require(lines_valid == valid_,
+              "valid-line counter %llu disagrees with %llu valid log "
+              "lines",
+              static_cast<unsigned long long>(valid_),
+              static_cast<unsigned long long>(lines_valid));
+    r.require(appended_ >= lines_total,
+              "append counter %llu below %llu resident line records",
+              static_cast<unsigned long long>(appended_),
+              static_cast<unsigned long long>(lines_total));
+
+    // --- Active set / closed-FIFO partition. ---
+    r.require(active_.size() == cfg_.activeLogs,
+              "%zu active logs, configured %u", active_.size(),
+              cfg_.activeLogs);
+    // 1 = active, 2 = on the closed FIFO.
+    std::vector<std::uint8_t> membership(logs_.size(), 0);
+    for (std::uint32_t idx : active_) {
+        if (!r.require(idx < logs_.size(),
+                       "active log index %u out of range (%zu logs)", idx,
+                       logs_.size()))
+            continue;
+        r.require(logs_[idx].open, "active log %u is not open", idx);
+        r.require(membership[idx] == 0, "log %u active twice", idx);
+        membership[idx] |= 1;
+    }
+    std::uint64_t prev_seq = 0;
+    for (std::size_t k = 0; k < closedFifo_.size(); k++) {
+        const std::uint32_t idx = closedFifo_[k];
+        if (!r.require(idx < logs_.size(),
+                       "FIFO log index %u out of range (%zu logs)", idx,
+                       logs_.size()))
+            continue;
+        const Log &g = logs_[idx];
+        r.require(!g.open, "closed-FIFO log %u is open", idx);
+        r.require(membership[idx] == 0,
+                  "log %u appears twice in active/FIFO bookkeeping", idx);
+        membership[idx] |= 2;
+        // Victims are taken oldest-first, so close sequence numbers
+        // must be non-decreasing front to back.
+        r.require(g.closedSeq >= prev_seq,
+                  "FIFO position %zu: log %u closed at seq %llu after a "
+                  "predecessor closed at %llu",
+                  k, idx, static_cast<unsigned long long>(g.closedSeq),
+                  static_cast<unsigned long long>(prev_seq));
+        prev_seq = g.closedSeq;
+        r.require(g.closedSeq <= seqCounter_,
+                  "log %u closed at seq %llu beyond counter %llu", idx,
+                  static_cast<unsigned long long>(g.closedSeq),
+                  static_cast<unsigned long long>(seqCounter_));
+    }
+    for (std::uint32_t i = 0; i < logs_.size(); i++) {
+        r.require(membership[i] != 0,
+                  "log %u is neither active nor on the closed FIFO", i);
+        r.require(logs_[i].open == (membership[i] == 1),
+                  "log %u open flag %d disagrees with its membership", i,
+                  logs_[i].open ? 1 : 0);
+    }
+
+    // --- LMT <-> log cross-consistency, both directions. ---
+    std::uint64_t lmt_valid = 0;
+    const auto check_entry = [&](const LmtEntry &e, const char *where,
+                                 unsigned long long slot) {
+        lmt_valid++;
+        if (!r.require(e.logIdx < logs_.size(),
+                       "%s %llu points at log %u out of range", where,
+                       slot, e.logIdx))
+            return;
+        const Log &g = logs_[e.logIdx];
+        std::uint32_t copies = 0;
+        for (const auto &line : g.lines) {
+            if (line.valid && line.lineNum == e.lineNum)
+                copies++;
+        }
+        r.require(copies == 1,
+                  "%s %llu names line %llu in log %u, which holds %u "
+                  "valid copies",
+                  where, slot,
+                  static_cast<unsigned long long>(e.lineNum), e.logIdx,
+                  copies);
+    };
+    if (cfg_.unlimitedMeta) {
+        for (const auto &[line_num, e] : lmtMap_) {
+            r.require(e.valid,
+                      "unlimited LMT retains invalid entry for line %llu",
+                      static_cast<unsigned long long>(line_num));
+            r.require(e.lineNum == line_num,
+                      "unlimited LMT key %llu stores entry for line %llu",
+                      static_cast<unsigned long long>(line_num),
+                      static_cast<unsigned long long>(e.lineNum));
+            check_entry(e, "map entry",
+                        static_cast<unsigned long long>(line_num));
+        }
+    } else {
+        for (std::uint64_t slot = 0; slot < lmt_.size(); slot++) {
+            const LmtEntry &e = lmt_[slot];
+            if (!e.valid)
+                continue;
+            // Column-associativity: an entry must live in one of its
+            // line's two candidate slots.
+            std::uint64_t slots[2] = {0, 0};
+            slotsFor(e.lineNum, slots);
+            bool placed = slot == slots[0];
+            for (unsigned w = 1; w < cfg_.lmtWays; w++)
+                placed = placed || slot == slots[w];
+            r.require(placed,
+                      "LMT slot %llu holds line %llu whose ways are "
+                      "%llu/%llu",
+                      static_cast<unsigned long long>(slot),
+                      static_cast<unsigned long long>(e.lineNum),
+                      static_cast<unsigned long long>(slots[0]),
+                      static_cast<unsigned long long>(
+                          cfg_.lmtWays > 1 ? slots[1] : slots[0]));
+            check_entry(e, "LMT slot",
+                        static_cast<unsigned long long>(slot));
+        }
+    }
+    r.require(lmt_valid == valid_,
+              "%llu valid LMT entries for %llu valid lines",
+              static_cast<unsigned long long>(lmt_valid),
+              static_cast<unsigned long long>(valid_));
+    // Reverse direction: every valid line is reachable through the LMT.
+    for (std::uint32_t i = 0; i < logs_.size(); i++) {
+        for (const auto &line : logs_[i].lines) {
+            if (!line.valid)
+                continue;
+            std::uint32_t owners = 0;
+            if (cfg_.unlimitedMeta) {
+                const auto it = lmtMap_.find(line.lineNum);
+                if (it != lmtMap_.end() && it->second.valid &&
+                    it->second.logIdx == i &&
+                    it->second.lineNum == line.lineNum) {
+                    owners++;
+                }
+            } else {
+                std::uint64_t slots[2] = {0, 0};
+                slotsFor(line.lineNum, slots);
+                for (unsigned w = 0; w < cfg_.lmtWays; w++) {
+                    const LmtEntry &e = lmt_[slots[w]];
+                    if (e.valid && e.lineNum == line.lineNum &&
+                        e.logIdx == i) {
+                        owners++;
+                    }
+                }
+            }
+            r.require(owners == 1,
+                      "valid line %llu in log %u has %u owning LMT "
+                      "entries",
+                      static_cast<unsigned long long>(line.lineNum), i,
+                      owners);
+        }
+    }
+    return r;
+}
+
+bool
+LogCache::debugCorruptLmt(std::uint64_t seed)
+{
+    if (cfg_.unlimitedMeta) {
+        // Deterministic victim: the smallest resident line number.
+        const LmtEntry *target = nullptr;
+        Addr best = 0;
+        for (const auto &[line_num, e] : lmtMap_) {
+            if (!e.valid)
+                continue;
+            if (!target || line_num < best) {
+                target = &e;
+                best = line_num;
+            }
+        }
+        if (!target)
+            return false;
+        lmtMap_[best].lineNum ^= 1;
+        return true;
+    }
+    const std::uint64_t n = lmt_.size();
+    const std::uint64_t start = splitmix64(seed) & lmtMask_;
+    for (std::uint64_t off = 0; off < n; off++) {
+        LmtEntry &e = lmt_[(start + off) & lmtMask_];
+        if (e.valid) {
+            e.lineNum ^= 1;
+            return true;
+        }
+    }
+    return false;
 }
 
 comp::LbeStats

@@ -158,6 +158,24 @@ class LogCache : public cache::Llc
 
     LogSnapshot snapshot() const;
 
+    /**
+     * Full structural audit (check/auditor.hh): per-log space
+     * accounting against the data/tag budgets, tag-stream re-decode
+     * through the base-delta codec, LMT<->log cross-consistency in both
+     * directions, FIFO victim-queue integrity, and global counter
+     * conservation. Deterministic and side-effect free.
+     */
+    check::AuditReport audit() const override;
+
+    /**
+     * Test-only fault injection: corrupt one valid LMT entry (flip the
+     * low bit of its stored line number), chosen deterministically from
+     * @p seed. Returns false when no valid entry exists. Used by the
+     * morc_check mutation test to prove the auditor *detects* a broken
+     * LMT rather than silently passing.
+     */
+    bool debugCorruptLmt(std::uint64_t seed);
+
   private:
     /** One line appended to a log. */
     struct LogLine
@@ -180,6 +198,11 @@ class LogCache : public cache::Llc
         std::uint64_t closedSeq = 0;
         comp::LbeEncoder lbe;
         comp::TagCodec tags;
+        /** The log's actual compressed tag stream. The hardware decodes
+         *  it on every access; the simulator charges that latency from
+         *  counts, and the auditor re-decodes the stream to prove it
+         *  reproduces exactly the appended line numbers. */
+        BitWriter tagStream;
 
         Log(const comp::LbeConfig &lbe_cfg, unsigned bases)
             : lbe(lbe_cfg), tags(bases)

@@ -1,9 +1,9 @@
 #include "sim/system.hh"
 
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 
+#include "check/check.hh"
 #include "core/morc.hh"
 
 namespace morc {
@@ -47,7 +47,9 @@ System::System(const SystemConfig &cfg,
                cfg.dramCycles),
       ratioSampler_(cfg.ratioSampleInterval)
 {
-    assert(programs.size() == cfg.numCores);
+    MORC_CHECK(programs.size() == cfg.numCores,
+               "%zu trace programs supplied for %u cores",
+               programs.size(), cfg.numCores);
     cores_.resize(cfg.numCores);
     for (unsigned i = 0; i < cfg.numCores; i++) {
         cores_[i].trace =

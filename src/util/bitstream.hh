@@ -11,9 +11,11 @@
 #ifndef MORC_UTIL_BITSTREAM_HH
 #define MORC_UTIL_BITSTREAM_HH
 
-#include <cassert>
+#include <algorithm>
 #include <cstdint>
 #include <vector>
+
+#include "check/check.hh"
 
 namespace morc {
 
@@ -25,7 +27,10 @@ class BitWriter
     void
     put(std::uint64_t value, unsigned nbits)
     {
-        assert(nbits <= 64);
+        // Hot path: checked only in MORC_AUDIT builds. Writing more
+        // than a word's worth would shift by >= 64 below (UB).
+        MORC_DCHECK(nbits <= 64, "put of %u bits exceeds one word",
+                    nbits);
         if (nbits == 0)
             return;
         if (nbits < 64)
@@ -74,16 +79,28 @@ class BitReader
         : words_(&w.words()), limit_(w.sizeBits())
     {}
 
-    /** Read @p nbits bits; asserts the stream has that many left. */
+    /**
+     * Read @p nbits bits. Out-of-range reads are checked in MORC_AUDIT
+     * builds (loud failure with the offending position); in release the
+     * word-index clamp below keeps the access inside the backing vector
+     * so a violated limit yields garbage bits, not out-of-bounds UB.
+     */
     std::uint64_t
     get(unsigned nbits)
     {
-        assert(nbits <= 64);
-        assert(pos_ + nbits <= limit_);
+        MORC_DCHECK(nbits <= 64, "get of %u bits exceeds one word",
+                    nbits);
+        MORC_DCHECK(pos_ + nbits <= limit_,
+                    "read of %u bits at position %llu overruns the "
+                    "%llu-bit stream",
+                    nbits, static_cast<unsigned long long>(pos_),
+                    static_cast<unsigned long long>(limit_));
         std::uint64_t value = 0;
         unsigned got = 0;
         while (got < nbits) {
             const unsigned word = pos_ >> 6;
+            if (word >= words_->size())
+                break; // past the stream: only checked builds diagnose
             const unsigned off = pos_ & 63;
             const unsigned take = std::min(64 - off, nbits - got);
             std::uint64_t chunk = (*words_)[word] >> off;
