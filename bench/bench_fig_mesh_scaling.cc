@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Thin wrapper: runs the "mesh" sweep from the shared figure registry
+ * (see common/figures.cc) — tiled-substrate scaling from 1 to 64 tiles
+ * under a fixed total memory bandwidth. Accepts --jobs N and --out DIR.
+ */
+
+#include "common/figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return morc::bench::sweepMain(argc, argv, "mesh");
+}

@@ -76,6 +76,12 @@ simRecord(const sim::SystemConfig &cfg,
     rec.metric("energy_sram", e.sramJ);
     rec.metric("energy_comp", e.compJ);
     rec.metric("energy_decomp", e.decompJ);
+    if (r.meshed) {
+        rec.metric("noc_messages", static_cast<double>(r.nocMessages));
+        rec.metric("noc_mean_hops", r.nocMeanHops);
+        rec.histograms.emplace_back("noc_hops", r.nocHopHist);
+        rec.histograms.emplace_back("noc_queue_cycles", r.nocQueueHist);
+    }
     return rec;
 }
 
@@ -991,6 +997,99 @@ ablationPresent(const Report &rep)
     }
 }
 
+// ------------------------------------------------------------------
+// Mesh scaling: tiled substrate, 1 -> 64 tiles, fixed total bandwidth
+// ------------------------------------------------------------------
+
+/** Square mesh dimensions: 1, 4, 16, 64 tiles. */
+const unsigned kMeshDims[] = {1, 2, 4, 8};
+
+/** Tile workloads, assigned round-robin across cores. */
+const char *const kMeshPrograms[] = {"gcc", "mcf", "omnetpp", "soplex"};
+
+std::vector<Task>
+meshTasks()
+{
+    std::vector<Task> tasks;
+    for (unsigned dim : kMeshDims) {
+        for (sim::Scheme s :
+             {sim::Scheme::Uncompressed, sim::Scheme::Morc}) {
+            const unsigned tiles = dim * dim;
+            tasks.push_back(Task{
+                k({"mesh", std::to_string(tiles) + "t", schemeName(s)}),
+                [dim, s, tiles](std::uint64_t) -> RunRecord {
+                    // Total off-chip bandwidth is held at 1600 MB/s
+                    // regardless of tile count, so scaling stresses the
+                    // shared memory system exactly as the paper's
+                    // manycore argument requires.
+                    const std::uint64_t instr = std::max<std::uint64_t>(
+                        instrBudget() / 8, 10'000);
+                    const std::uint64_t warmup =
+                        std::max<std::uint64_t>(warmupBudget() / 8,
+                                                10'000);
+                    sim::SystemConfig cfg;
+                    cfg.scheme = s;
+                    cfg.useMesh = true;
+                    cfg.meshCfg.width = dim;
+                    cfg.meshCfg.height = dim;
+                    cfg.meshCfg.memControllers = std::max(1u, dim / 2);
+                    cfg.numCores = tiles;
+                    cfg.bandwidthPerCore = 1600e6 / tiles;
+                    cfg.llcBytesPerCore = 128 * 1024;
+                    cfg.interleaveQuantum = 1;
+                    cfg.ratioSampleInterval =
+                        std::max<std::uint64_t>(instr, 100'000);
+                    std::vector<trace::BenchmarkSpec> programs;
+                    for (unsigned c = 0; c < tiles; c++)
+                        programs.push_back(trace::resolveWorkload(
+                            kMeshPrograms[c % 4]));
+                    RunRecord rec =
+                        simRecord(cfg, programs, instr, warmup);
+                    rec.label("tiles", std::to_string(tiles));
+                    rec.label("mesh", std::to_string(dim) + "x" +
+                                          std::to_string(dim));
+                    rec.label("scheme", schemeName(s));
+                    // mean_throughput is already per-core (per-tile)
+                    // normalized; sys_ipc_per_tile is the raw
+                    // aggregate-rate analogue.
+                    rec.metric("sys_ipc_per_tile",
+                               rec.get("instructions") /
+                                   std::max(1.0,
+                                            rec.get("completion_cycles")) /
+                                   tiles);
+                    return rec;
+                }});
+        }
+    }
+    return tasks;
+}
+
+void
+meshPresent(const Report &rep)
+{
+    std::printf("%-6s | thr/tile: %-20s | IPC/tile: %-20s | MORC: ratio "
+                "hops  messages\n",
+                "tiles", "Unc   MORC  MORC/Unc", "Unc   MORC  MORC/Unc");
+    for (unsigned dim : kMeshDims) {
+        const unsigned tiles = dim * dim;
+        const std::string t = std::to_string(tiles) + "t";
+        const auto *u = rep.find(k({"mesh", t, "Uncompressed"}));
+        const auto *m = rep.find(k({"mesh", t, "MORC"}));
+        std::printf("%-6u | %5.2f %5.2f %9.2f  | %5.2f %5.2f %9.2f  | "
+                    "%10.2f %5.2f %9.0f\n",
+                    tiles, u->get("mean_throughput"),
+                    m->get("mean_throughput"),
+                    m->get("mean_throughput") /
+                        u->get("mean_throughput"),
+                    u->get("sys_ipc_per_tile"),
+                    m->get("sys_ipc_per_tile"),
+                    m->get("sys_ipc_per_tile") /
+                        u->get("sys_ipc_per_tile"),
+                    m->get("ratio"), m->get("noc_mean_hops"),
+                    m->get("noc_messages"));
+    }
+}
+
 } // namespace
 
 // ------------------------------------------------------------------
@@ -1060,6 +1159,11 @@ figures()
          "LZ ~ LBE (Section 6); C-Pack capped by per-word pointers; "
          "intra-line codecs (FPC/BDI) trail inter-line ones",
          ablationTasks, ablationPresent},
+        {"mesh", "Mesh scaling: tiled substrate (banked LLC over a 2D "
+                 "mesh, fixed 1600MB/s total bandwidth), 1 to 64 tiles",
+         "compression's benefit grows with core count as off-chip "
+         "bandwidth per tile shrinks (Section 1 manycore argument)",
+         meshTasks, meshPresent},
     };
     return kFigures;
 }

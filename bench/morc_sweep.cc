@@ -7,7 +7,7 @@
  *   morc_sweep --jobs $(nproc) all
  *
  * Budgets scale with MORC_BENCH_INSTR / MORC_BENCH_WARMUP. JSON reports
- * (schema morc.sweep.report/v1) are bit-identical for any --jobs value.
+ * (schema morc.sweep.report/v2) are bit-identical for any --jobs value.
  */
 
 #include "common/figures.hh"

@@ -12,16 +12,17 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 # --smoke: a fast end-to-end exercise of the sweep engine for CI. It
-# runs one representative figure on a tiny instruction budget — enough
-# to catch crashes, sweep-task failures, and schema regressions without
-# paying for paper-fidelity statistics. Must come before the defaults
-# below so the smoke budget wins unless the caller overrode it.
+# runs one representative single-program figure plus the mesh scaling
+# sweep (the tiled-substrate path) on a tiny instruction budget —
+# enough to catch crashes, sweep-task failures, and schema regressions
+# without paying for paper-fidelity statistics. Must come before the
+# defaults below so the smoke budget wins unless the caller overrode it.
 SMOKE_ARGS=()
 for arg in "$@"; do
     if [ "$arg" = "--smoke" ]; then
         export MORC_BENCH_INSTR=${MORC_BENCH_INSTR:-20000}
         export MORC_BENCH_WARMUP=${MORC_BENCH_WARMUP:-40000}
-        SMOKE_ARGS=(fig6)
+        SMOKE_ARGS=(fig6 mesh)
     fi
 done
 

@@ -78,7 +78,35 @@ struct LlcStats
     {
         *this = LlcStats{};
     }
+
+    LlcStats &
+    operator+=(const LlcStats &o)
+    {
+        reads += o.reads;
+        readHits += o.readHits;
+        inserts += o.inserts;
+        victimWritebacks += o.victimWritebacks;
+        linesCompressed += o.linesCompressed;
+        linesDecompressed += o.linesDecompressed;
+        bytesDecompressed += o.bytesDecompressed;
+        return *this;
+    }
 };
+
+/** Counter-wise difference (for before/after deltas; @p a >= @p b). */
+inline LlcStats
+operator-(const LlcStats &a, const LlcStats &b)
+{
+    LlcStats d;
+    d.reads = a.reads - b.reads;
+    d.readHits = a.readHits - b.readHits;
+    d.inserts = a.inserts - b.inserts;
+    d.victimWritebacks = a.victimWritebacks - b.victimWritebacks;
+    d.linesCompressed = a.linesCompressed - b.linesCompressed;
+    d.linesDecompressed = a.linesDecompressed - b.linesDecompressed;
+    d.bytesDecompressed = a.bytesDecompressed - b.bytesDecompressed;
+    return d;
+}
 
 /**
  * Abstract last-level cache.

@@ -25,6 +25,16 @@
  * audit *fails*. A checker that cannot see injected faults proves
  * nothing about the absence of real ones.
  *
+ * --mesh WxH shards the scheme into W*H address-interleaved banks
+ * behind a mesh::BankedLlc front (the tiled-substrate LLC), replays the
+ * same stream through the sharded instance, and additionally enforces
+ * the cross-bank exclusivity invariant: an address may be resident only
+ * in its home bank. Each audit probes every *foreign* bank for a ring
+ * of recently touched addresses (a hit is a violation), and the final
+ * audit sweeps the entire reference model the same way. With
+ * --inject-lmt-corruption the fault is injected into one bank's LMT and
+ * the merged banked audit must still catch it.
+ *
  * Exit codes: 0 = clean, 1 = divergence / audit failure / undetected
  * injected fault, 2 = usage error.
  */
@@ -46,6 +56,8 @@
 #include "cache/sc2.hh"
 #include "cache/uncompressed.hh"
 #include "core/morc.hh"
+#include "mesh/banked_llc.hh"
+#include "mesh/topology.hh"
 #include "sweep/sweep.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
@@ -59,8 +71,13 @@ struct Options
     std::uint64_t ops = 100000;
     std::uint64_t seed = 7;
     std::uint64_t auditEvery = 64;
+    /** 0 = flat scheme instance; WxH = banked behind mesh::BankedLlc. */
+    unsigned meshWidth = 0;
+    unsigned meshHeight = 0;
     bool injectLmtCorruption = false;
     bool verbose = false;
+
+    bool mesh() const { return meshWidth != 0 && meshHeight != 0; }
 };
 
 const char *const kSchemes[] = {
@@ -69,30 +86,68 @@ const char *const kSchemes[] = {
 };
 
 std::unique_ptr<cache::Llc>
-makeScheme(const std::string &name)
+makeScheme(const std::string &name, std::uint64_t capacity = 128 * 1024)
 {
     if (name == "uncompressed")
-        return std::make_unique<cache::UncompressedCache>(128 * 1024);
-    if (name == "adaptive")
-        return std::make_unique<cache::AdaptiveCache>();
-    if (name == "decoupled")
-        return std::make_unique<cache::DecoupledCache>();
-    if (name == "sc2")
-        return std::make_unique<cache::Sc2Cache>();
-    if (name == "morc")
-        return std::make_unique<core::LogCache>();
+        return std::make_unique<cache::UncompressedCache>(capacity);
+    if (name == "adaptive") {
+        cache::AdaptiveCache::Config cfg;
+        cfg.capacityBytes = capacity;
+        return std::make_unique<cache::AdaptiveCache>(cfg);
+    }
+    if (name == "decoupled") {
+        cache::DecoupledCache::Config cfg;
+        cfg.capacityBytes = capacity;
+        return std::make_unique<cache::DecoupledCache>(cfg);
+    }
+    if (name == "sc2") {
+        cache::Sc2Cache::Config cfg;
+        cfg.capacityBytes = capacity;
+        return std::make_unique<cache::Sc2Cache>(cfg);
+    }
+    if (name == "morc") {
+        core::MorcConfig cfg;
+        cfg.capacityBytes = capacity;
+        return std::make_unique<core::LogCache>(cfg);
+    }
     if (name == "morc-merged") {
         core::MorcConfig cfg;
         cfg.mergedTags = true;
+        cfg.capacityBytes = capacity;
         return std::make_unique<core::LogCache>(cfg);
     }
     if (name == "ideal" || name == "oracle-intra")
         return std::make_unique<cache::IdealCache>(
-            cache::OracleScope::IntraLine);
+            cache::OracleScope::IntraLine, capacity);
     if (name == "oracle-inter")
         return std::make_unique<cache::IdealCache>(
-            cache::OracleScope::InterLine);
+            cache::OracleScope::InterLine, capacity);
     return nullptr;
+}
+
+/** Per-bank data capacity under --mesh. Small enough that each bank
+ *  churns through evictions (the stressful regime), large enough for
+ *  every scheme's structural minimums (power-of-two set counts, MORC's
+ *  activeLogs <= numLogs). */
+constexpr std::uint64_t kMeshBankBytes = 16 * 1024;
+
+/** The cache under test: either a flat scheme instance or the same
+ *  scheme sharded into one bank per mesh tile. */
+std::unique_ptr<cache::Llc>
+makeCache(const std::string &scheme, const Options &opt)
+{
+    if (!opt.mesh())
+        return makeScheme(scheme);
+    if (!makeScheme(scheme)) // validate the name before sharding
+        return nullptr;
+    mesh::MeshConfig mc;
+    mc.width = opt.meshWidth;
+    mc.height = opt.meshHeight;
+    return std::make_unique<mesh::BankedLlc>(
+        mc, kMeshBankBytes * mc.tiles(),
+        [&scheme](unsigned, std::uint64_t bank_capacity) {
+            return makeScheme(scheme, bank_capacity);
+        });
 }
 
 /** Reference state for one line: last contents handed to the cache and
@@ -218,6 +273,7 @@ struct RunStats
     std::uint64_t writebacks = 0;
     std::uint64_t audits = 0;
     std::uint64_t auditChecks = 0;
+    std::uint64_t exclusivityProbes = 0;
 };
 
 /** Per-divergence context printer. Returns false for chaining. */
@@ -293,25 +349,59 @@ runAudit(const std::string &scheme, std::uint64_t op, cache::Llc &c,
     return false;
 }
 
+/** Cross-bank exclusivity: @p addr must miss in every bank except its
+ *  home bank. Foreign-bank probes only bump that bank's miss counter —
+ *  read() never mutates contents — so the differential model is
+ *  unaffected. A foreign-bank *hit* is the violation. */
+bool
+checkExclusivity(const std::string &scheme, std::uint64_t op,
+                 mesh::BankedLlc &banked, Addr addr, RunStats &st)
+{
+    const unsigned home = banked.homeBank(addr);
+    bool ok = true;
+    for (unsigned b = 0; b < banked.numBanks(); b++) {
+        if (b == home)
+            continue;
+        st.exclusivityProbes++;
+        if (banked.bank(b).read(addr).hit)
+            ok = diverged(scheme, op,
+                          "cross-bank exclusivity violation: 0x%" PRIx64
+                          " (home bank %u) is resident in bank %u",
+                          addr, home, b);
+    }
+    return ok;
+}
+
 /** Replay @p opt.ops operations; true when no divergence was observed. */
 bool
 runScheme(const std::string &scheme, const Options &opt)
 {
-    auto cache = makeScheme(scheme);
+    auto cache = makeCache(scheme, opt);
     if (!cache) {
         std::fprintf(stderr, "morc_check: unknown scheme '%s'\n",
                      scheme.c_str());
         return false;
     }
+    auto *banked = dynamic_cast<mesh::BankedLlc *>(cache.get());
+    const std::string label =
+        opt.mesh() ? scheme + "@" + std::to_string(opt.meshWidth) + "x" +
+                         std::to_string(opt.meshHeight)
+                   : scheme;
 
     // Same key discipline as the sweep engine: the stream depends only
-    // on (scheme, seed), never on host state.
-    Rng rng(sweep::stableSeed("check/" + scheme + "/" +
+    // on (label, seed), never on host state.
+    Rng rng(sweep::stableSeed("check/" + label + "/" +
                               std::to_string(opt.seed)));
     std::map<Addr, ModelLine> model;
     RunStats st;
     Phase phase = nextPhase(rng);
     bool ok = true;
+
+    /** Ring of the most recently touched addresses; each audit probes
+     *  all of them for cross-bank residency. */
+    constexpr std::size_t kRecentRing = 64;
+    std::vector<Addr> recent;
+    std::size_t recentNext = 0;
 
     for (std::uint64_t op = 0; op < opt.ops && ok; op++) {
         if (op % kPhaseOps == kPhaseOps - 1)
@@ -327,7 +417,7 @@ runScheme(const std::string &scheme, const Options &opt)
                 rng, phase.data, phase.salt + static_cast<std::uint32_t>(op));
             const auto fr = cache->insert(addr, data, true);
             st.inserts++;
-            ok = checkWritebacks(scheme, op, fr, model, st) && ok;
+            ok = checkWritebacks(label, op, fr, model, st) && ok;
             model[addr] = ModelLine{data, true};
         } else {
             const auto rr = cache->read(addr);
@@ -336,11 +426,11 @@ runScheme(const std::string &scheme, const Options &opt)
             if (rr.hit) {
                 st.hits++;
                 if (it == model.end()) {
-                    ok = diverged(scheme, op,
+                    ok = diverged(label, op,
                                   "hit on never-inserted address 0x%" PRIx64,
                                   addr);
                 } else if (!(rr.data == it->second.data)) {
-                    ok = diverged(scheme, op,
+                    ok = diverged(label, op,
                                   "hit on 0x%" PRIx64
                                   " returned corrupted contents (word0 "
                                   "0x%08x, expected 0x%08x)",
@@ -349,7 +439,7 @@ runScheme(const std::string &scheme, const Options &opt)
                 }
             } else {
                 if (it != model.end() && it->second.dirty)
-                    ok = diverged(scheme, op,
+                    ok = diverged(label, op,
                                   "dirty line 0x%" PRIx64
                                   " vanished without a write-back",
                                   addr);
@@ -361,45 +451,70 @@ runScheme(const std::string &scheme, const Options &opt)
                         : makeLine(rng, phase.data, phase.salt);
                 const auto fr = cache->insert(addr, data, false);
                 st.inserts++;
-                ok = checkWritebacks(scheme, op, fr, model, st) && ok;
+                ok = checkWritebacks(label, op, fr, model, st) && ok;
                 model[addr] = ModelLine{data, false};
             }
         }
 
-        if (opt.auditEvery != 0 && (op + 1) % opt.auditEvery == 0)
-            ok = runAudit(scheme, op, *cache, st) && ok;
+        if (banked) {
+            if (recent.size() < kRecentRing) {
+                recent.push_back(addr);
+            } else {
+                recent[recentNext] = addr;
+                recentNext = (recentNext + 1) % kRecentRing;
+            }
+        }
+
+        if (opt.auditEvery != 0 && (op + 1) % opt.auditEvery == 0) {
+            ok = runAudit(label, op, *cache, st) && ok;
+            if (banked)
+                for (const Addr a : recent)
+                    ok = checkExclusivity(label, op, *banked, a, st) && ok;
+        }
     }
 
     if (ok)
-        ok = runAudit(scheme, opt.ops, *cache, st);
+        ok = runAudit(label, opt.ops, *cache, st);
+
+    // Final exhaustive exclusivity sweep: every address the reference
+    // model has ever seen must be absent from all foreign banks.
+    if (ok && banked)
+        for (const auto &entry : model)
+            ok = checkExclusivity(label, opt.ops, *banked, entry.first, st) &&
+                 ok;
 
     if (ok && opt.injectLmtCorruption) {
-        auto *log_cache = dynamic_cast<core::LogCache *>(cache.get());
-        if (!log_cache) {
+        bool injected = false;
+        if (banked) {
+            injected = banked->debugCorruptLmt(opt.seed);
+        } else if (auto *log_cache =
+                       dynamic_cast<core::LogCache *>(cache.get())) {
+            injected = log_cache->debugCorruptLmt(opt.seed);
+        } else {
             std::fprintf(stderr,
                          "morc_check: --inject-lmt-corruption requires a "
                          "MORC scheme, not %s\n",
-                         scheme.c_str());
+                         label.c_str());
             return false;
         }
-        if (!log_cache->debugCorruptLmt(opt.seed)) {
+        if (!injected) {
             std::fprintf(stderr,
                          "morc_check: no valid LMT entry to corrupt "
                          "(stream left the cache empty?)\n");
             return false;
         }
-        const auto r = log_cache->audit();
+        const auto r = cache->audit();
         if (r.ok()) {
             std::fprintf(stderr,
                          "morc_check: MUTATION ESCAPED scheme=%s: auditor "
                          "reported a clean structure after LMT "
                          "corruption was injected\n",
-                         scheme.c_str());
+                         label.c_str());
             return false;
         }
         std::printf("%-13s injected LMT corruption detected: %" PRIu64
                     " violation(s)\n",
-                    scheme.c_str(), r.violations());
+                    label.c_str(), r.violations());
         if (opt.verbose)
             std::fputs(r.str().c_str(), stdout);
         return true;
@@ -408,9 +523,11 @@ runScheme(const std::string &scheme, const Options &opt)
     if (ok)
         std::printf("%-13s ops=%" PRIu64 " reads=%" PRIu64 " hits=%" PRIu64
                     " inserts=%" PRIu64 " writebacks=%" PRIu64
-                    " audits=%" PRIu64 " checks=%" PRIu64 " OK\n",
-                    scheme.c_str(), opt.ops, st.reads, st.hits, st.inserts,
-                    st.writebacks, st.audits, st.auditChecks);
+                    " audits=%" PRIu64 " checks=%" PRIu64
+                    " xprobes=%" PRIu64 " OK\n",
+                    label.c_str(), opt.ops, st.reads, st.hits, st.inserts,
+                    st.writebacks, st.audits, st.auditChecks,
+                    st.exclusivityProbes);
     return ok;
 }
 
@@ -420,12 +537,17 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--scheme NAME|all] [--ops N] [--seed S]\n"
-        "          [--audit-every N] [--inject-lmt-corruption] "
-        "[--verbose]\n"
+        "          [--audit-every N] [--mesh WxH]\n"
+        "          [--inject-lmt-corruption] [--verbose]\n"
         "\n"
         "Differential fuzz: replay a seeded adversarial access stream\n"
         "through a cache scheme in lockstep with a reference memory\n"
         "model, auditing structural invariants every N operations.\n"
+        "\n"
+        "--mesh WxH shards the scheme into W*H address-interleaved\n"
+        "banks (the tiled-substrate LLC) and additionally enforces\n"
+        "cross-bank exclusivity: a hit on any foreign bank is a\n"
+        "divergence.\n"
         "\n"
         "schemes: all",
         argv0);
@@ -464,6 +586,19 @@ run(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             opt.auditEvery = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--mesh") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            char *end = nullptr;
+            opt.meshWidth =
+                static_cast<unsigned>(std::strtoul(v, &end, 10));
+            if (!end || *end != 'x')
+                return usage(argv[0]);
+            opt.meshHeight =
+                static_cast<unsigned>(std::strtoul(end + 1, nullptr, 10));
+            if (!opt.mesh())
+                return usage(argv[0]);
         } else if (arg == "--inject-lmt-corruption") {
             opt.injectLmtCorruption = true;
         } else if (arg == "--verbose") {

@@ -1,0 +1,86 @@
+#include "mesh/noc.hh"
+
+#include <algorithm>
+
+#include "check/check.hh"
+
+namespace morc {
+namespace mesh {
+
+namespace {
+
+/** Fixed histogram bucketing keeps reports comparable across mesh
+ *  sizes (and byte-identical across thread counts). */
+const std::vector<std::uint64_t> kHopBounds = {0, 1, 2, 4, 8, 16, 32};
+const std::vector<std::uint64_t> kQueueBounds = {0,  2,   8,   32,
+                                                 128, 512, 2048};
+
+} // namespace
+
+Noc::Noc(const MeshConfig &cfg)
+    : cfg_(cfg), linkBusy_(static_cast<std::size_t>(cfg.tiles()) * 4, 0),
+      hops_(kHopBounds), queue_(kQueueBounds)
+{
+    cfg_.validate();
+}
+
+Cycles
+Noc::transfer(unsigned from, unsigned to, unsigned bytes, Cycles now)
+{
+    MORC_CHECK(from < cfg_.tiles() && to < cfg_.tiles(),
+               "transfer %u -> %u outside %ux%u mesh", from, to,
+               cfg_.width, cfg_.height);
+    messages_++;
+    if (from == to) {
+        hops_.record(0);
+        queue_.record(0);
+        return 0;
+    }
+
+    const Cycles ser = serializationCycles(bytes);
+    unsigned x = cfg_.tileX(from);
+    unsigned y = cfg_.tileY(from);
+    const unsigned tx = cfg_.tileX(to);
+    const unsigned ty = cfg_.tileY(to);
+    Cycles head = now;
+    Cycles queued = 0;
+    unsigned nhops = 0;
+    while (x != tx || y != ty) {
+        Dir d;
+        if (x != tx)
+            d = x < tx ? East : West;
+        else
+            d = y < ty ? South : North;
+        const unsigned link = linkIndex(cfg_.tileAt(x, y), d);
+        const Cycles start = std::max(head, linkBusy_[link]);
+        queued += start - head;
+        linkBusy_[link] = start + ser;
+        head = start + cfg_.hopCycles;
+        switch (d) {
+          case East: x++; break;
+          case West: x--; break;
+          case South: y++; break;
+          case North: y--; break;
+        }
+        nhops++;
+    }
+    hops_.record(nhops);
+    queue_.record(queued);
+    hopSum_ += nhops;
+    // Head-flit pipeline latency plus the tail draining over the last
+    // link.
+    return (head - now) + ser;
+}
+
+void
+Noc::clearCounters()
+{
+    std::fill(linkBusy_.begin(), linkBusy_.end(), 0);
+    hops_.clear();
+    queue_.clear();
+    messages_ = 0;
+    hopSum_ = 0;
+}
+
+} // namespace mesh
+} // namespace morc

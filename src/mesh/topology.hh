@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tiled-manycore geometry: a width x height 2D mesh of tiles, each
+ * holding one core and one LLC bank slice, with memory controllers at
+ * edge tiles (the PriME-style substrate the paper evaluates MORC on).
+ *
+ * Everything here is a pure function of the configuration, so address ->
+ * bank and address -> controller mappings are deterministic and shared
+ * by the simulator, the bank director, and the morc_check cross-bank
+ * exclusivity audit.
+ *
+ * Home-bank interleaving is at @ref interleaveBytes granularity (a page
+ * by default) rather than per line: MORC's tag base-delta compression
+ * and value-locality log selection both rely on consecutive fills being
+ * address-adjacent, and per-line striping would shred every fill burst
+ * across all banks.
+ */
+
+#ifndef MORC_MESH_TOPOLOGY_HH
+#define MORC_MESH_TOPOLOGY_HH
+
+#include <cstdint>
+
+#include "check/check.hh"
+#include "util/types.hh"
+
+namespace morc {
+namespace mesh {
+
+/** Geometry and NoC timing of the tiled substrate. */
+struct MeshConfig
+{
+    /** Mesh dimensions; tiles = width x height, bank b lives at tile b. */
+    unsigned width = 4;
+    unsigned height = 4;
+
+    /** Memory controllers placed at edge tiles (bottom row first, then
+     *  top row, evenly spaced). Each owns one MemoryChannel. */
+    unsigned memControllers = 2;
+
+    /** Home-bank address interleaving granule (page-sized by default;
+     *  see file comment). */
+    std::uint64_t interleaveBytes = 4096;
+
+    /** Per-hop router + link traversal latency for the head flit. */
+    Cycles hopCycles = 2;
+
+    /** Link bandwidth: payload bytes accepted per cycle. */
+    unsigned linkBytesPerCycle = 16;
+
+    /** Header/command flit overhead added to every message. */
+    unsigned headerBytes = 8;
+
+    unsigned tiles() const { return width * height; }
+
+    unsigned tileX(unsigned tile) const { return tile % width; }
+    unsigned tileY(unsigned tile) const { return tile / width; }
+
+    unsigned
+    tileAt(unsigned x, unsigned y) const
+    {
+        return y * width + x;
+    }
+
+    /** XY-routed hop count (Manhattan distance). */
+    unsigned
+    hops(unsigned from, unsigned to) const
+    {
+        const auto d = [](unsigned a, unsigned b) {
+            return a > b ? a - b : b - a;
+        };
+        return d(tileX(from), tileX(to)) + d(tileY(from), tileY(to));
+    }
+
+    /** Lines per home-bank interleave granule. */
+    std::uint64_t
+    interleaveLines() const
+    {
+        return interleaveBytes / kLineSize;
+    }
+
+    /** Bank (== tile) owning @p addr: granule-interleaved round-robin. */
+    unsigned
+    homeBank(Addr addr) const
+    {
+        return static_cast<unsigned>(
+            (lineNumber(addr) / interleaveLines()) % tiles());
+    }
+
+    /** Memory controller owning @p addr. Striding by a different level
+     *  of the granule index decouples the controller map from the bank
+     *  map, so one bank's misses spread over all channels. */
+    unsigned
+    controllerFor(Addr addr) const
+    {
+        return static_cast<unsigned>(
+            (lineNumber(addr) / interleaveLines() / tiles()) %
+            memControllers);
+    }
+
+    /**
+     * Tile of controller @p c: even controllers on the bottom edge,
+     * odd ones on the top edge, each group evenly spaced along its row.
+     */
+    unsigned
+    controllerTile(unsigned c) const
+    {
+        const bool top = (c & 1) != 0;
+        const unsigned group = top ? memControllers / 2
+                                   : (memControllers + 1) / 2;
+        const unsigned slot = c / 2;
+        const unsigned col = ((2 * slot + 1) * width) / (2 * group);
+        return tileAt(col, top ? height - 1 : 0);
+    }
+
+    /** Abort (in checked builds) on a nonsensical configuration. */
+    void
+    validate() const
+    {
+        MORC_CHECK(width >= 1 && height >= 1, "empty mesh %ux%u", width,
+                   height);
+        MORC_CHECK(memControllers >= 1 &&
+                       memControllers <= 2 * width,
+                   "%u memory controllers do not fit the %u-wide edge "
+                   "rows",
+                   memControllers, width);
+        MORC_CHECK(interleaveBytes >= kLineSize &&
+                       interleaveBytes % kLineSize == 0,
+                   "interleaveBytes %llu is not a multiple of the %u B "
+                   "line",
+                   static_cast<unsigned long long>(interleaveBytes),
+                   kLineSize);
+        MORC_CHECK(linkBytesPerCycle >= 1, "zero link bandwidth");
+    }
+};
+
+} // namespace mesh
+} // namespace morc
+
+#endif // MORC_MESH_TOPOLOGY_HH

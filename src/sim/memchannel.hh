@@ -43,23 +43,21 @@ class MemoryChannel
     Cycles
     readAccess(Cycles now, unsigned bytes = kLineSize)
     {
-        const Cycles start = std::max(now, busyUntil_);
-        const auto occupancy =
-            static_cast<Cycles>(cyclesPerByte_ * bytes);
-        busyUntil_ = start + occupancy;
+        const Cycles queued = occupy(now, bytes);
         reads_++;
-        return (start - now) + accessCycles_ + occupancy;
+        return queued + accessCycles_ + occupancyCycles(bytes);
     }
 
     /**
-     * A posted write (write-back): occupies bandwidth but completes
-     * asynchronously; the caller observes no latency.
+     * A posted write (write-back): completes asynchronously, so the
+     * caller observes no latency, but the channel is occupied exactly
+     * as a read of the same size would occupy it — later accesses
+     * queue behind the write's data transfer.
      */
     void
     writeAccess(Cycles now, unsigned bytes = kLineSize)
     {
-        const Cycles start = std::max(now, busyUntil_);
-        busyUntil_ = start + static_cast<Cycles>(cyclesPerByte_ * bytes);
+        occupy(now, bytes);
         writes_++;
     }
 
@@ -70,27 +68,47 @@ class MemoryChannel
     {
         reads_ = 0;
         writes_ = 0;
+        bytes_ = 0;
         busyUntil_ = 0;
     }
 
     std::uint64_t reads() const { return reads_; }
     std::uint64_t writes() const { return writes_; }
 
-    /** Total bytes moved. */
-    std::uint64_t
-    bytesTransferred() const
-    {
-        return (reads_ + writes_) * kLineSize;
-    }
+    /** Total bytes moved (reads and writes both count). */
+    std::uint64_t bytesTransferred() const { return bytes_; }
 
     double cyclesPerByte() const { return cyclesPerByte_; }
 
+    /** Data-transfer cycles a @p bytes transfer holds the channel for. */
+    Cycles
+    occupancyCycles(unsigned bytes) const
+    {
+        return static_cast<Cycles>(cyclesPerByte_ * bytes);
+    }
+
+    /** First cycle the channel is free again (for tests/telemetry). */
+    Cycles busyUntil() const { return busyUntil_; }
+
   private:
+    /** FCFS-claim the channel for one transfer; returns the queueing
+     *  delay. Shared by reads and writes so their occupancy can never
+     *  drift apart. */
+    Cycles
+    occupy(Cycles now, unsigned bytes)
+    {
+        const Cycles start = std::max(now, busyUntil_);
+        busyUntil_ = start + occupancyCycles(bytes);
+        bytes_ += bytes;
+        return start - now;
+    }
+
     double cyclesPerByte_;
     Cycles accessCycles_;
     Cycles busyUntil_ = 0;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
+    std::uint64_t bytes_ = 0;
 };
 
 } // namespace sim

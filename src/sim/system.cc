@@ -36,13 +36,34 @@ RunResult::meanThroughput() const
     return stats::amean(v);
 }
 
+namespace {
+
+/** Flat or banked LLC, per the config. */
+std::unique_ptr<cache::Llc>
+buildLlc(const SystemConfig &cfg)
+{
+    const std::uint64_t total =
+        cfg.llcBytesPerCore * cfg.numCores *
+        (cfg.scheme == Scheme::Uncompressed8x ? 8 : 1);
+    const core::MorcConfig *morc =
+        cfg.useMorcOverride ? &cfg.morc : nullptr;
+    if (!cfg.useMesh)
+        return makeLlc(cfg.scheme, total, morc);
+    // Each bank slice is a full scheme instance (own log stores, LMT,
+    // tag store) sized to its share of the capacity.
+    return std::make_unique<mesh::BankedLlc>(
+        cfg.meshCfg, total,
+        [&cfg, morc](unsigned, std::uint64_t bank_bytes) {
+            return makeLlc(cfg.scheme, bank_bytes, morc);
+        });
+}
+
+} // namespace
+
 System::System(const SystemConfig &cfg,
                const std::vector<trace::BenchmarkSpec> &programs)
     : cfg_(cfg),
-      llc_(makeLlc(cfg.scheme,
-                   cfg.llcBytesPerCore * cfg.numCores *
-                       (cfg.scheme == Scheme::Uncompressed8x ? 8 : 1),
-                   cfg.useMorcOverride ? &cfg.morc : nullptr)),
+      llc_(buildLlc(cfg)),
       channel_(cfg.bandwidthPerCore * cfg.numCores, cfg.clockHz,
                cfg.dramCycles),
       ratioSampler_(cfg.ratioSampleInterval)
@@ -56,6 +77,20 @@ System::System(const SystemConfig &cfg,
             std::make_unique<trace::ThreadTrace>(programs[i], i, i);
         cores_[i].l1 = L1Cache(cfg.l1Bytes, cfg.l1Ways);
         cores_[i].result.program = programs[i].name;
+    }
+    if (cfg_.useMesh) {
+        banked_ = dynamic_cast<mesh::BankedLlc *>(llc_.get());
+        MORC_CHECK(banked_ != nullptr, "mesh path without a banked LLC");
+        noc_ = std::make_unique<mesh::Noc>(cfg_.meshCfg);
+        // The same aggregate bandwidth budget as the flat channel,
+        // split evenly over the edge controllers.
+        const double per_channel = cfg_.bandwidthPerCore *
+                                   cfg_.numCores /
+                                   cfg_.meshCfg.memControllers;
+        channels_.reserve(cfg_.meshCfg.memControllers);
+        for (unsigned c = 0; c < cfg_.meshCfg.memControllers; c++)
+            channels_.emplace_back(per_channel, cfg_.clockHz,
+                                   cfg_.dramCycles);
     }
 }
 
@@ -79,9 +114,35 @@ void
 System::handleWritebacks(const cache::FillResult &fr, Cycles now)
 {
     for (const auto &wb : fr.writebacks) {
-        channel_.writeAccess(now);
+        if (noc_) {
+            // Cross-bank exclusivity guarantees the victim was evicted
+            // from its home bank; the write-back is posted over the
+            // mesh to the owning controller and occupies both NoC
+            // links and channel bandwidth, invisible to core latency.
+            const unsigned bank_tile = banked_->homeBank(wb.addr);
+            const unsigned ctrl = cfg_.meshCfg.controllerFor(wb.addr);
+            const Cycles arrival =
+                now + noc_->transfer(bank_tile,
+                                     cfg_.meshCfg.controllerTile(ctrl),
+                                     kLineSize, now);
+            channels_[ctrl].writeAccess(arrival);
+        } else {
+            channel_.writeAccess(now);
+        }
         dramWrite(wb.addr, wb.data);
     }
+}
+
+Cycles
+System::meshMemoryRead(Addr addr, unsigned bank_tile, Cycles now)
+{
+    const unsigned ctrl = cfg_.meshCfg.controllerFor(addr);
+    const unsigned ctrl_tile = cfg_.meshCfg.controllerTile(ctrl);
+    const Cycles req = noc_->transfer(bank_tile, ctrl_tile, 0, now);
+    const Cycles mem = channels_[ctrl].readAccess(now + req);
+    const Cycles rsp = noc_->transfer(ctrl_tile, bank_tile, kLineSize,
+                                      now + req + mem);
+    return req + mem + rsp;
 }
 
 void
@@ -127,7 +188,15 @@ System::step(unsigned core_idx)
         static_cast<double>(m.cycles - core.lastMissCycle);
     core.gapSum += gap;
 
-    Cycles latency = cfg_.llcLatency;
+    Cycles latency = 0;
+    unsigned home_tile = 0;
+    if (noc_) {
+        // Request flit from the core's tile to the line's home bank.
+        home_tile = banked_->homeBank(ref.addr);
+        latency += noc_->transfer(coreTile(core_idx), home_tile, 0,
+                                  m.cycles);
+    }
+    latency += cfg_.llcLatency;
     CacheLine data;
 
     cache::ReadResult rr = llc_->read(ref.addr);
@@ -139,15 +208,24 @@ System::step(unsigned core_idx)
             cfg_.latencyHistogram->record(rr.bytesDecompressed);
     } else {
         m.llcMisses++;
-        latency += channel_.readAccess(m.cycles + cfg_.llcLatency);
+        if (noc_)
+            latency += meshMemoryRead(ref.addr, home_tile,
+                                      m.cycles + latency);
+        else
+            latency += channel_.readAccess(m.cycles + cfg_.llcLatency);
         data = dramFetch(core_idx, ref.addr);
         // Non-inclusive fill policy (Section 5.4.2): read misses fill
         // the LLC; write misses fill only the L1 unless the inclusive
         // mode of the Figure 12 study is on.
         if (!ref.write || cfg_.inclusiveWriteFills) {
             handleWritebacks(llc_->insert(ref.addr, data, false),
-                             m.cycles);
+                             noc_ ? m.cycles + latency : m.cycles);
         }
+    }
+    if (noc_) {
+        // Data response from the home bank back to the core's tile.
+        latency += noc_->transfer(home_tile, coreTile(core_idx),
+                                  kLineSize, m.cycles + latency);
     }
 
     if (cfg_.checkFunctional && !ref.write) {
@@ -170,6 +248,14 @@ System::step(unsigned core_idx)
     // the (non-inclusive) LLC.
     if (auto victim = core.l1.fill(ref.addr, data, ref.write)) {
         if (victim->dirty) {
+            // Over the mesh the victim line is a posted transfer from
+            // the core's tile to its own home bank (which need not be
+            // the bank the miss was served from).
+            if (noc_) {
+                noc_->transfer(coreTile(core_idx),
+                               banked_->homeBank(victim->addr),
+                               kLineSize, m.cycles);
+            }
             handleWritebacks(
                 llc_->insert(victim->addr, victim->data, true),
                 m.cycles);
@@ -240,6 +326,12 @@ System::run(std::uint64_t instructions_per_core,
         }
         llc_->stats().clear();
         channel_.clearCounters();
+        if (banked_)
+            banked_->clearAllStats();
+        for (auto &ch : channels_)
+            ch.clearCounters();
+        if (noc_)
+            noc_->clearCounters();
         totalInstructions_ = 0;
         ratioSampler_.restart(0);
     }
@@ -250,8 +342,20 @@ System::run(std::uint64_t instructions_per_core,
         out.cores.push_back(core.result);
     out.compressionRatio =
         ratioSampler_.mean(llc_->compressionRatio());
-    out.memReads = channel_.reads();
-    out.memWrites = channel_.writes();
+    if (noc_) {
+        for (const auto &ch : channels_) {
+            out.memReads += ch.reads();
+            out.memWrites += ch.writes();
+        }
+        out.meshed = true;
+        out.nocMessages = noc_->messages();
+        out.nocMeanHops = noc_->meanHops();
+        out.nocHopHist = noc_->hopHistogram();
+        out.nocQueueHist = noc_->queueHistogram();
+    } else {
+        out.memReads = channel_.reads();
+        out.memWrites = channel_.writes();
+    }
     out.totalInstructions = totalInstructions_;
     for (const auto &core : cores_)
         out.completionCycles =
@@ -283,6 +387,8 @@ System::run(std::uint64_t instructions_per_core,
 
     if (auto *log_cache = dynamic_cast<core::LogCache *>(llc_.get()))
         out.invalidLineFraction = log_cache->invalidLineFraction();
+    else if (banked_)
+        out.invalidLineFraction = banked_->invalidLineFraction();
     return out;
 }
 

@@ -4,6 +4,15 @@
  * one shared LLC and one FCFS bandwidth-capped memory channel, executing
  * synthetic benchmark traces (Table 5 configuration).
  *
+ * With SystemConfig::useMesh the flat LLC is replaced by the tiled
+ * substrate (src/mesh): one LLC bank slice per tile over a 2D mesh NoC,
+ * with multiple memory controllers at edge tiles. Every L1 miss is then
+ * routed core tile -> home-bank tile -> (controller tile) and the NoC's
+ * hop latency and per-link bandwidth contention are charged into the
+ * same per-access timing model; scheduling (interleaveQuantum) and seed
+ * discipline are unchanged, so banked runs stay deterministic across
+ * sweep thread counts.
+ *
  * Timing is per-access: non-memory instructions cost one cycle (batched
  * via the trace's geometric gaps), L1 hits one cycle, LLC hits the base
  * latency plus the scheme's decompression annotation, and misses add the
@@ -22,6 +31,9 @@
 
 #include "cache/llc.hh"
 #include "energy/energy.hh"
+#include "mesh/banked_llc.hh"
+#include "mesh/noc.hh"
+#include "mesh/topology.hh"
 #include "stats/histogram.hh"
 #include "sim/l1.hh"
 #include "sim/memchannel.hh"
@@ -72,6 +84,13 @@ struct SystemConfig
     /** MORC parameter override for Morc/MorcMerged schemes. */
     core::MorcConfig morc{};
     bool useMorcOverride = false;
+
+    /** Tiled-manycore substrate: shard the LLC into one bank per tile
+     *  over a 2D-mesh NoC with meshCfg.memControllers memory channels
+     *  (total bandwidth = bandwidthPerCore x numCores, split evenly).
+     *  Core i runs on tile i % tiles; bank b lives at tile b. */
+    mesh::MeshConfig meshCfg{};
+    bool useMesh = false;
 
     /** Optional: record decompressor bytes per LLC read hit (the
      *  Figure 14 access-latency distribution). Not owned. */
@@ -128,6 +147,13 @@ struct RunResult
 
     /** MORC-only extras (zero otherwise). */
     double invalidLineFraction = 0.0;
+
+    /** Mesh-substrate extras (meshed == false for the flat path). */
+    bool meshed = false;
+    std::uint64_t nocMessages = 0;
+    double nocMeanHops = 0.0;
+    stats::Histogram nocHopHist = stats::Histogram({});
+    stats::Histogram nocQueueHist = stats::Histogram({});
 
     /** Off-chip traffic in GB per billion instructions (Figure 6b). */
     double
@@ -193,6 +219,18 @@ class System
     void step(unsigned core_idx);
     void runUntil(std::uint64_t instructions_per_core);
 
+    /** Tile hosting core @p core_idx (mesh path only). */
+    unsigned
+    coreTile(unsigned core_idx) const
+    {
+        return core_idx % cfg_.meshCfg.tiles();
+    }
+
+    /** Off-chip read routed over the mesh: home bank -> controller ->
+     *  home bank, charging NoC contention plus channel queueing.
+     *  @return Latency from @p now until the line is back at the bank. */
+    Cycles meshMemoryRead(Addr addr, unsigned bank_tile, Cycles now);
+
     SystemConfig cfg_;
     std::unique_ptr<cache::Llc> llc_;
     MemoryChannel channel_;
@@ -200,6 +238,11 @@ class System
     std::unordered_map<Addr, CacheLine> dram_;
     std::uint64_t totalInstructions_ = 0;
     stats::PeriodicSampler ratioSampler_;
+
+    /** Mesh-substrate state (null/empty on the flat path). */
+    std::unique_ptr<mesh::Noc> noc_;
+    std::vector<MemoryChannel> channels_;
+    mesh::BankedLlc *banked_ = nullptr; // owned by llc_
 };
 
 } // namespace sim

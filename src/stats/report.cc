@@ -128,7 +128,7 @@ Report::toJson() const
 {
     std::string out;
     out.reserve(4096 + runs.size() * 256);
-    out += "{\n  \"schema\": \"morc.sweep.report/v1\",\n";
+    out += "{\n  \"schema\": \"morc.sweep.report/v2\",\n";
     out += "  \"figure\": \"" + jsonEscape(figure) + "\",\n";
     out += "  \"title\": \"" + jsonEscape(title) + "\",\n";
     out += "  \"instr_budget\": " + std::to_string(instrBudget) + ",\n";

@@ -10,10 +10,10 @@
  * that compute identical values emit byte-identical reports regardless
  * of thread count or scheduling.
  *
- * Schema (morc.sweep.report/v1):
+ * Schema (morc.sweep.report/v2):
  *
  *   {
- *     "schema": "morc.sweep.report/v1",
+ *     "schema": "morc.sweep.report/v2",
  *     "figure": "<name>",
  *     "title": "<one-line description>",
  *     "instr_budget": <per-core measured instructions>,
@@ -31,6 +31,14 @@
  *   }
  *
  * "histograms" is omitted when a record has none.
+ *
+ * v2 (tiled-substrate PR): mesh runs add the NoC telemetry histograms
+ * "noc_hops" (per-message XY hop count) and "noc_queue_cycles"
+ * (per-message link-queueing delay) plus the flat metrics
+ * "noc_mean_hops" / "noc_messages". The layout is unchanged — v1
+ * consumers that ignore unknown histogram/metric names can read v2
+ * reports — but the version is bumped so golden-file and downstream
+ * tooling diffs are deliberate.
  */
 
 #ifndef MORC_STATS_REPORT_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * MemoryChannel occupancy tests: reads and posted writes must charge
+ * the channel symmetrically, so their queueing interaction is pinned
+ * here — a write occupies the channel exactly like a read of the same
+ * size, and later accesses of either kind queue behind it.
+ *
+ * The channel below is configured so cyclesPerByte == 1 (bandwidth ==
+ * clock): a 64 B line occupies the channel for exactly 64 cycles and
+ * every expectation is an exact integer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memchannel.hh"
+#include "util/types.hh"
+
+namespace morc {
+namespace {
+
+constexpr double kClock = 2e9;
+constexpr Cycles kDram = 70;
+
+sim::MemoryChannel
+unitChannel()
+{
+    return sim::MemoryChannel(/*bytes_per_sec=*/kClock, kClock, kDram);
+}
+
+TEST(Channel, UnloadedReadPaysAccessPlusTransfer)
+{
+    auto ch = unitChannel();
+    EXPECT_EQ(ch.occupancyCycles(kLineSize), kLineSize);
+    EXPECT_EQ(ch.readAccess(0), kDram + kLineSize);
+    EXPECT_EQ(ch.busyUntil(), kLineSize);
+    EXPECT_EQ(ch.reads(), 1u);
+    EXPECT_EQ(ch.bytesTransferred(), kLineSize);
+}
+
+TEST(Channel, PostedWriteAdvancesBusyUntilLikeARead)
+{
+    auto read_ch = unitChannel();
+    auto write_ch = unitChannel();
+    read_ch.readAccess(0);
+    write_ch.writeAccess(0);
+    // Symmetry: identical occupancy for identical bytes.
+    EXPECT_EQ(write_ch.busyUntil(), read_ch.busyUntil());
+    EXPECT_EQ(write_ch.bytesTransferred(), read_ch.bytesTransferred());
+    EXPECT_EQ(write_ch.writes(), 1u);
+}
+
+TEST(Channel, ReadQueuesBehindEarlierWrite)
+{
+    auto ch = unitChannel();
+    ch.writeAccess(0); // occupies [0, 64)
+    // A read issued at t=0 waits out the write's transfer, then pays
+    // its own access + transfer: 64 (queue) + 70 + 64.
+    EXPECT_EQ(ch.readAccess(0), kLineSize + kDram + kLineSize);
+    EXPECT_EQ(ch.busyUntil(), 2 * kLineSize);
+}
+
+TEST(Channel, WriteQueuesBehindEarlierRead)
+{
+    auto ch = unitChannel();
+    ch.readAccess(0); // occupies [0, 64)
+    ch.writeAccess(0);
+    // The posted write claims the next slot even though its caller
+    // observes no latency.
+    EXPECT_EQ(ch.busyUntil(), 2 * kLineSize);
+    // And a third access queues behind both.
+    EXPECT_EQ(ch.readAccess(0), 2 * kLineSize + kDram + kLineSize);
+}
+
+TEST(Channel, QueueingAccumulatesAcrossMixedSequences)
+{
+    auto ch = unitChannel();
+    // read, write, read, write at the same instant: FCFS slots at
+    // 0, 64, 128, 192.
+    EXPECT_EQ(ch.readAccess(0), kDram + kLineSize);
+    ch.writeAccess(0);
+    EXPECT_EQ(ch.readAccess(0), 2 * kLineSize + kDram + kLineSize);
+    ch.writeAccess(0);
+    EXPECT_EQ(ch.busyUntil(), 4 * kLineSize);
+    EXPECT_EQ(ch.bytesTransferred(), 4u * kLineSize);
+
+    // Once the backlog drains, latency returns to the unloaded cost.
+    EXPECT_EQ(ch.readAccess(4 * kLineSize), kDram + kLineSize);
+}
+
+TEST(Channel, IdleGapsAreNotBanked)
+{
+    auto ch = unitChannel();
+    ch.writeAccess(0); // busy until 64
+    // An access far in the future sees an idle channel — occupancy
+    // never credits past idle time.
+    EXPECT_EQ(ch.readAccess(1000), kDram + kLineSize);
+    EXPECT_EQ(ch.busyUntil(), 1000 + kLineSize);
+}
+
+TEST(Channel, ClearCountersRebasesEverything)
+{
+    auto ch = unitChannel();
+    ch.readAccess(0);
+    ch.writeAccess(0);
+    ch.clearCounters();
+    EXPECT_EQ(ch.reads(), 0u);
+    EXPECT_EQ(ch.writes(), 0u);
+    EXPECT_EQ(ch.bytesTransferred(), 0u);
+    EXPECT_EQ(ch.busyUntil(), 0u);
+    // Time restarted at zero: an immediate read is unloaded again.
+    EXPECT_EQ(ch.readAccess(0), kDram + kLineSize);
+}
+
+} // namespace
+} // namespace morc

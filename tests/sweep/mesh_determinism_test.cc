@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Mesh-substrate determinism regression tests.
+ *
+ * The banked-LLC / NoC path adds per-link and per-channel busy-until
+ * state to the simulation; these tests pin that none of it leaks host
+ * nondeterminism into the results:
+ *
+ * (a) a 4x4 banked sweep serialized on 1 thread and on 8 threads must
+ *     be byte-identical JSON, and
+ * (b) a checked-in golden report (tests/sweep/golden/mesh_report.json)
+ *     catches silent drift in the mesh timing model. Regenerate
+ *     deliberately with MORC_UPDATE_GOLDEN=1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/system.hh"
+#include "stats/report.hh"
+#include "sweep/sweep.hh"
+
+#ifndef MORC_GOLDEN_DIR
+#error "MORC_GOLDEN_DIR must point at tests/sweep/golden"
+#endif
+
+namespace morc {
+namespace {
+
+constexpr std::uint64_t kInstr = 6'000;
+constexpr std::uint64_t kWarmup = 6'000;
+
+stats::RunRecord
+meshRun(sim::Scheme scheme)
+{
+    sim::SystemConfig cfg;
+    cfg.scheme = scheme;
+    cfg.useMesh = true;
+    cfg.meshCfg.width = 4;
+    cfg.meshCfg.height = 4;
+    cfg.meshCfg.memControllers = 2;
+    cfg.numCores = cfg.meshCfg.tiles();
+    cfg.llcBytesPerCore = 32 * 1024;
+    cfg.bandwidthPerCore = 1600e6 / cfg.numCores;
+    cfg.ratioSampleInterval = 20'000;
+
+    const char *const programs[] = {"gcc", "mcf", "omnetpp", "soplex"};
+    std::vector<trace::BenchmarkSpec> specs;
+    for (unsigned c = 0; c < cfg.numCores; c++)
+        specs.push_back(trace::resolveWorkload(programs[c % 4]));
+
+    sim::System sys(cfg, specs);
+    const sim::RunResult r = sys.run(kInstr, kWarmup);
+    EXPECT_TRUE(r.meshed);
+
+    stats::RunRecord rec;
+    rec.label("mesh", "4x4");
+    rec.label("scheme", sim::schemeName(scheme));
+    rec.metric("ratio", r.compressionRatio);
+    rec.metric("gb_per_binstr", r.gbPerBillionInstr());
+    rec.metric("mean_ipc", r.meanIpc());
+    rec.metric("mean_throughput", r.meanThroughput());
+    rec.metric("completion_cycles",
+               static_cast<double>(r.completionCycles));
+    rec.metric("mem_reads", static_cast<double>(r.memReads));
+    rec.metric("mem_writes", static_cast<double>(r.memWrites));
+    rec.metric("noc_messages", static_cast<double>(r.nocMessages));
+    rec.metric("noc_mean_hops", r.nocMeanHops);
+    rec.histograms.emplace_back("noc_hops", r.nocHopHist);
+    rec.histograms.emplace_back("noc_queue_cycles", r.nocQueueHist);
+    return rec;
+}
+
+std::vector<sweep::Task>
+meshTasks()
+{
+    std::vector<sweep::Task> tasks;
+    for (sim::Scheme scheme :
+         {sim::Scheme::Uncompressed, sim::Scheme::Morc}) {
+        tasks.push_back(sweep::Task{
+            std::string("mesh-mini/4x4/") + sim::schemeName(scheme),
+            [scheme](std::uint64_t) { return meshRun(scheme); }});
+    }
+    return tasks;
+}
+
+stats::Report
+meshReport(unsigned jobs)
+{
+    stats::Report rep;
+    rep.figure = "mesh-mini";
+    rep.title = "4x4 banked-substrate determinism configuration";
+    rep.instrBudget = kInstr;
+    rep.warmupBudget = kWarmup;
+    rep.runs = sweep::Engine(jobs).run(meshTasks());
+    return rep;
+}
+
+TEST(MeshDeterminism, SerialAndParallelReportsAreByteIdentical)
+{
+    const std::string serial = meshReport(1).toJson();
+    const std::string parallel = meshReport(8).toJson();
+    ASSERT_EQ(serial, parallel);
+    // Re-running is stable: no NoC/bank state leaks between sweeps.
+    EXPECT_EQ(serial, meshReport(8).toJson());
+}
+
+TEST(MeshDeterminism, MatchesGoldenReport)
+{
+    const std::string path =
+        std::string(MORC_GOLDEN_DIR) + "/mesh_report.json";
+    const std::string fresh = meshReport(8).toJson();
+    if (std::getenv("MORC_UPDATE_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary);
+        out << fresh;
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        GTEST_SKIP() << "golden updated, re-run without "
+                        "MORC_UPDATE_GOLDEN";
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << path << " missing; run once with MORC_UPDATE_GOLDEN=1";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), fresh)
+        << "mesh stats drifted from the checked-in golden report; if "
+           "the change is intentional, regenerate with "
+           "MORC_UPDATE_GOLDEN=1";
+}
+
+TEST(MeshDeterminism, MorcOutperformsUncompressedPerTile)
+{
+    // The acceptance property of the tiled substrate: under the fixed
+    // total bandwidth cap, the compressed LLC sustains at least the
+    // uncompressed throughput per tile (strictly better at full-scale
+    // budgets; >= here keeps the tiny CI budget robust).
+    const stats::Report rep = meshReport(8);
+    EXPECT_GE(rep.metric("mesh-mini/4x4/MORC", "mean_throughput"),
+              rep.metric("mesh-mini/4x4/Uncompressed",
+                         "mean_throughput"));
+}
+
+} // namespace
+} // namespace morc
