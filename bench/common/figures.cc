@@ -18,6 +18,7 @@
 #include "compress/tagcodec.hh"
 #include "core/morc.hh"
 #include "energy/energy.hh"
+#include "telemetry/tracer.hh"
 #include "util/rng.hh"
 
 namespace morc {
@@ -32,6 +33,12 @@ using sweep::Task;
 // ------------------------------------------------------------------
 // Shared task plumbing
 // ------------------------------------------------------------------
+
+/** Telemetry requested via --telemetry-epoch / --trace-out. Set once by
+ *  sweepMain before any task runs, then only read by (parallel) tasks,
+ *  so plain globals are race-free. */
+std::uint64_t g_telemetryEpoch = 0;
+bool g_traceEvents = false;
 
 /** Join key parts with '/'. */
 std::string
@@ -52,7 +59,10 @@ simRecord(const sim::SystemConfig &cfg,
           const std::vector<trace::BenchmarkSpec> &programs,
           std::uint64_t instr, std::uint64_t warmup)
 {
-    sim::System sys(cfg, programs);
+    sim::SystemConfig effective = cfg;
+    effective.telemetryEpoch = g_telemetryEpoch;
+    effective.traceEvents = g_traceEvents;
+    sim::System sys(effective, programs);
     const sim::RunResult r = sys.run(instr, warmup);
     RunRecord rec;
     rec.metric("ratio", r.compressionRatio);
@@ -76,12 +86,17 @@ simRecord(const sim::SystemConfig &cfg,
     rec.metric("energy_sram", e.sramJ);
     rec.metric("energy_comp", e.compJ);
     rec.metric("energy_decomp", e.decompJ);
+    rec.metric("log_flushes", static_cast<double>(r.llcStats.logFlushes));
+    rec.metric("lmt_conflict_evicts",
+               static_cast<double>(r.llcStats.lmtConflictEvicts));
     if (r.meshed) {
         rec.metric("noc_messages", static_cast<double>(r.nocMessages));
         rec.metric("noc_mean_hops", r.nocMeanHops);
         rec.histograms.emplace_back("noc_hops", r.nocHopHist);
         rec.histograms.emplace_back("noc_queue_cycles", r.nocQueueHist);
     }
+    rec.series = r.series;
+    rec.trace = r.trace;
     return rec;
 }
 
@@ -708,6 +723,11 @@ fig13Present(const Report &rep)
 const std::vector<std::uint64_t> kFig14Bounds = {64,  128, 196, 256,
                                                  320, 384, 448, 512};
 
+/** Hit-latency bounds in cycles: log-decompression costs cluster in the
+ *  tens of cycles, so buckets fan out from the uncompressed hit time. */
+const std::vector<std::uint64_t> kFig14LatencyBounds = {
+    16, 24, 32, 48, 64, 96, 128, 192, 256};
+
 std::vector<Task>
 fig14Tasks()
 {
@@ -717,15 +737,19 @@ fig14Tasks()
             k({"fig14", spec.name}),
             [spec](std::uint64_t) -> RunRecord {
                 stats::Histogram hist(kFig14Bounds);
+                stats::Histogram latHist(kFig14LatencyBounds);
                 sim::SystemConfig cfg;
                 cfg.scheme = sim::Scheme::Morc;
-                cfg.latencyHistogram = &hist;
+                cfg.decompressedBytesHistogram = &hist;
+                cfg.hitLatencyHistogram = &latHist;
                 cfg.ratioSampleInterval = instrBudget();
                 sim::System sys(cfg, {spec});
                 sys.run(instrBudget(), warmupBudget());
                 RunRecord rec;
                 rec.label("workload", spec.name);
                 rec.histograms.emplace_back("log_position_bytes", hist);
+                rec.histograms.emplace_back("hit_latency_cycles",
+                                            latHist);
                 return rec;
             }});
     }
@@ -745,6 +769,22 @@ fig14Present(const Report &rep)
     for (const auto &spec : trace::spec2006()) {
         const auto *r = rep.find(k({"fig14", spec.name}));
         const stats::Histogram &hist = r->histograms.front().second;
+        std::printf("%-10s", spec.name.c_str());
+        for (std::size_t i = 0; i < hist.numBuckets(); i++)
+            std::printf("   %5.1f%%", 100.0 * hist.fraction(i));
+        std::printf("\n");
+    }
+    std::printf("\nhit latency (cycles):\n");
+    {
+        stats::Histogram proto(kFig14LatencyBounds);
+        std::printf("%-10s", "bench");
+        for (std::size_t i = 0; i < proto.numBuckets(); i++)
+            std::printf(" %8s", proto.label(i).c_str());
+        std::printf("\n");
+    }
+    for (const auto &spec : trace::spec2006()) {
+        const auto *r = rep.find(k({"fig14", spec.name}));
+        const stats::Histogram &hist = r->histograms.back().second;
         std::printf("%-10s", spec.name.c_str());
         for (std::size_t i = 0; i < hist.numBuckets(); i++)
             std::printf("   %5.1f%%", 100.0 * hist.fraction(i));
@@ -1196,6 +1236,7 @@ sweepMain(int argc, char **argv, const char *only)
 {
     unsigned jobs = 0; // hardware_concurrency
     std::string outDir;
+    std::string traceOut;
     std::vector<std::string> names;
     const auto parseJobs = [&jobs](const char *s) {
         char *end = nullptr;
@@ -1206,6 +1247,16 @@ sweepMain(int argc, char **argv, const char *only)
         }
         jobs = static_cast<unsigned>(v);
         return true;
+    };
+    const auto parseEpoch = [](const char *s) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(s, &end, 10);
+        if (end == s || *end != '\0' || v == 0) {
+            std::fprintf(stderr, "--telemetry-epoch: bad value '%s'\n",
+                         s);
+            return std::uint64_t{0};
+        }
+        return static_cast<std::uint64_t>(v);
     };
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -1219,6 +1270,24 @@ sweepMain(int argc, char **argv, const char *only)
         } else if (arg.rfind("--jobs=", 0) == 0) {
             if (!parseJobs(arg.c_str() + 7))
                 return 1;
+        } else if (arg == "--telemetry-epoch") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                return 1;
+            }
+            if ((g_telemetryEpoch = parseEpoch(argv[++i])) == 0)
+                return 1;
+        } else if (arg.rfind("--telemetry-epoch=", 0) == 0) {
+            if ((g_telemetryEpoch = parseEpoch(arg.c_str() + 18)) == 0)
+                return 1;
+        } else if (arg == "--trace-out") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                return 1;
+            }
+            traceOut = argv[++i];
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            traceOut = arg.substr(12);
         } else if (arg == "--out" || arg == "-o") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s needs a value\n", arg.c_str());
@@ -1233,8 +1302,9 @@ sweepMain(int argc, char **argv, const char *only)
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: %s [--jobs N] [--out DIR] [--list] "
-                "[figure...|all]\n",
+                "usage: %s [--jobs N] [--out DIR] "
+                "[--telemetry-epoch CYCLES] [--trace-out FILE] "
+                "[--list] [figure...|all]\n",
                 argv[0]);
             return 0;
         } else if (arg.rfind("--", 0) == 0) {
@@ -1279,7 +1349,10 @@ sweepMain(int argc, char **argv, const char *only)
             return 1;
         }
     }
+    g_traceEvents = !traceOut.empty();
 
+    // Traces from every selected figure, in deterministic task order.
+    std::vector<std::pair<std::string, telemetry::TraceBuffer>> traces;
     const auto t0 = std::chrono::steady_clock::now();
     for (const Figure *fig : selected) {
         const auto f0 = std::chrono::steady_clock::now();
@@ -1293,6 +1366,11 @@ sweepMain(int argc, char **argv, const char *only)
         }
         banner(*fig);
         fig->present(rep);
+        if (g_traceEvents) {
+            for (const auto &run : rep.runs)
+                if (!run.trace.empty())
+                    traces.emplace_back(run.key, run.trace);
+        }
         if (!outDir.empty()) {
             const std::string path =
                 outDir + "/" + fig->name + ".json";
@@ -1311,6 +1389,16 @@ sweepMain(int argc, char **argv, const char *only)
                      rep.runs.size(), secs);
         std::printf("\n");
         std::fflush(stdout);
+    }
+    if (!traceOut.empty()) {
+        std::ofstream out(traceOut, std::ios::binary);
+        out << telemetry::chromeTraceJson(traces);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", traceOut.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "trace: %zu traced runs -> %s\n",
+                     traces.size(), traceOut.c_str());
     }
     if (selected.size() > 1) {
         const double secs =

@@ -18,11 +18,13 @@ cd "$(dirname "$0")"
 # without paying for paper-fidelity statistics. Must come before the
 # defaults below so the smoke budget wins unless the caller overrode it.
 SMOKE_ARGS=()
+SMOKE=0
 for arg in "$@"; do
     if [ "$arg" = "--smoke" ]; then
         export MORC_BENCH_INSTR=${MORC_BENCH_INSTR:-20000}
         export MORC_BENCH_WARMUP=${MORC_BENCH_WARMUP:-40000}
         SMOKE_ARGS=(fig6 mesh)
+        SMOKE=1
     fi
 done
 
@@ -47,6 +49,22 @@ while [ $# -gt 0 ]; do
 done
 if [ ${#ARGS[@]} -eq 0 ] && [ ${#SMOKE_ARGS[@]} -gt 0 ]; then
     ARGS=("${SMOKE_ARGS[@]}")
+fi
+
+# Smoke also exercises the telemetry path end to end: a traced mesh
+# sweep must produce a parseable Chrome trace JSON with events in it.
+if [ "$SMOKE" = 1 ]; then
+    TRACE=$(mktemp /tmp/morc_smoke_trace.XXXXXX.json)
+    "$SWEEP" --jobs "$JOBS" --telemetry-epoch 100000 \
+        --trace-out "$TRACE" mesh > /dev/null
+    python3 - "$TRACE" <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+events = t["traceEvents"]
+assert any(e.get("ph") == "i" for e in events), "no instant events"
+print(f"smoke trace OK: {len(events)} events")
+EOF
+    rm -f "$TRACE"
 fi
 
 exec "$SWEEP" --jobs "$JOBS" "${ARGS[@]+"${ARGS[@]}"}"

@@ -53,6 +53,17 @@ class AdaptiveCache : public Llc
     /** Exposed for tests: current compress/don't-compress bias. */
     std::int64_t predictor() const { return predictor_; }
 
+    /** Adds the adaptive predictor bias on top of the base catalog. */
+    void
+    registerProbes(telemetry::Registry &reg,
+                   const std::string &prefix) override
+    {
+        Llc::registerProbes(reg, prefix);
+        reg.gauge(prefix + ".predictor", [this](Cycles) {
+            return static_cast<double>(predictor_);
+        });
+    }
+
   private:
     struct LineEntry
     {

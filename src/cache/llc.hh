@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "check/auditor.hh"
+#include "telemetry/telemetry.hh"
+#include "telemetry/tracer.hh"
 #include "util/types.hh"
 
 namespace morc {
@@ -73,6 +75,12 @@ struct LlcStats
     std::uint64_t linesDecompressed = 0;
     std::uint64_t bytesDecompressed = 0;
 
+    /** Whole-log evictions (MORC/MORCMerged only; zero elsewhere). */
+    std::uint64_t logFlushes = 0;
+
+    /** LMT conflict evictions (MORC/MORCMerged only; zero elsewhere). */
+    std::uint64_t lmtConflictEvicts = 0;
+
     void
     clear()
     {
@@ -89,6 +97,8 @@ struct LlcStats
         linesCompressed += o.linesCompressed;
         linesDecompressed += o.linesDecompressed;
         bytesDecompressed += o.bytesDecompressed;
+        logFlushes += o.logFlushes;
+        lmtConflictEvicts += o.lmtConflictEvicts;
         return *this;
     }
 };
@@ -105,6 +115,8 @@ operator-(const LlcStats &a, const LlcStats &b)
     d.linesCompressed = a.linesCompressed - b.linesCompressed;
     d.linesDecompressed = a.linesDecompressed - b.linesDecompressed;
     d.bytesDecompressed = a.bytesDecompressed - b.bytesDecompressed;
+    d.logFlushes = a.logFlushes - b.logFlushes;
+    d.lmtConflictEvicts = a.lmtConflictEvicts - b.lmtConflictEvicts;
     return d;
 }
 
@@ -150,8 +162,53 @@ class Llc : public check::Auditable
     LlcStats &stats() { return stats_; }
     const LlcStats &stats() const { return stats_; }
 
+    /**
+     * Publish this model's telemetry probes into @p reg, each named
+     * "<prefix>.<probe>". The base implementation registers what every
+     * model maintains — the valid-lines gauge and the LlcStats
+     * counters; schemes override to add their own state (and should
+     * call the base first so the common catalog stays uniform).
+     *
+     * Probes capture `this`: the registry must not outlive the cache.
+     */
+    virtual void
+    registerProbes(telemetry::Registry &reg, const std::string &prefix)
+    {
+        reg.gauge(prefix + ".valid_lines",
+                  [this](Cycles) { return double(validLines()); });
+        reg.counter(prefix + ".reads",
+                    [this](Cycles) { return double(stats_.reads); });
+        reg.counter(prefix + ".read_hits",
+                    [this](Cycles) { return double(stats_.readHits); });
+        reg.counter(prefix + ".inserts",
+                    [this](Cycles) { return double(stats_.inserts); });
+        reg.counter(prefix + ".victim_writebacks", [this](Cycles) {
+            return double(stats_.victimWritebacks);
+        });
+        reg.counter(prefix + ".bytes_decompressed", [this](Cycles) {
+            return double(stats_.bytesDecompressed);
+        });
+    }
+
+    /**
+     * Attach an event tracer; the model records its structured events
+     * (see telemetry::EventKind) onto track @p track. Pass nullptr to
+     * detach. The default stores the lane for models that emit events;
+     * composite models (BankedLlc) fan the tracer out instead.
+     */
+    virtual void
+    attachTracer(telemetry::Tracer *tracer, std::uint16_t track)
+    {
+        tracer_ = tracer;
+        traceTrack_ = track;
+    }
+
   protected:
     LlcStats stats_;
+
+    /** Event sink (null = tracing off; emission must be zero-cost). */
+    telemetry::Tracer *tracer_ = nullptr;
+    std::uint16_t traceTrack_ = 0;
 };
 
 } // namespace cache

@@ -55,6 +55,19 @@ class Sc2Cache : public Llc
     bool trained() const { return trained_; }
     std::uint64_t retrainings() const { return retrainings_; }
 
+    /** Adds dictionary training state on top of the base catalog. */
+    void
+    registerProbes(telemetry::Registry &reg,
+                   const std::string &prefix) override
+    {
+        Llc::registerProbes(reg, prefix);
+        reg.gauge(prefix + ".trained",
+                  [this](Cycles) { return trained_ ? 1.0 : 0.0; });
+        reg.counter(prefix + ".retrainings", [this](Cycles) {
+            return static_cast<double>(retrainings_);
+        });
+    }
+
   private:
     struct LineEntry
     {

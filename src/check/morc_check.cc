@@ -35,6 +35,15 @@
  * --inject-lmt-corruption the fault is injected into one bank's LMT and
  * the merged banked audit must still catch it.
  *
+ * --events attaches the telemetry event tracer (telemetry/tracer.hh)
+ * to the cache under test and cross-checks it against the counters the
+ * same run maintains: the traced log_flush / lmt_conflict_evict event
+ * counts must equal LlcStats::logFlushes / lmtConflictEvicts, no event
+ * may be dropped (the buffer is sized to the stream), and stamps must
+ * be monotone. This pins the tracer to the model the auditor already
+ * trusts — a tracer that lies about flushes fails here, not in a
+ * Perfetto screenshot.
+ *
  * Exit codes: 0 = clean, 1 = divergence / audit failure / undetected
  * injected fault, 2 = usage error.
  */
@@ -59,6 +68,7 @@
 #include "mesh/banked_llc.hh"
 #include "mesh/topology.hh"
 #include "sweep/sweep.hh"
+#include "telemetry/tracer.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
 
@@ -75,6 +85,7 @@ struct Options
     unsigned meshWidth = 0;
     unsigned meshHeight = 0;
     bool injectLmtCorruption = false;
+    bool events = false;
     bool verbose = false;
 
     bool mesh() const { return meshWidth != 0 && meshHeight != 0; }
@@ -372,6 +383,55 @@ checkExclusivity(const std::string &scheme, std::uint64_t op,
     return ok;
 }
 
+/** Cross-check the traced event stream against the counters the cache
+ *  maintained over the same run. Tracer and counters are independent
+ *  observers of the same structural transitions, so any disagreement
+ *  means one of them lies. */
+bool
+checkEvents(const std::string &scheme, const telemetry::Tracer &tracer,
+            const cache::Llc &c, std::uint64_t ops)
+{
+    bool ok = true;
+    if (tracer.dropped() != 0)
+        ok = diverged(scheme, ops,
+                      "event tracer dropped %" PRIu64
+                      " events despite a buffer sized to the stream",
+                      tracer.dropped());
+    const telemetry::TraceBuffer buf = tracer.snapshot();
+    const cache::LlcStats &st = c.stats();
+    const std::uint64_t flushes =
+        buf.countKind(telemetry::EventKind::LogFlush);
+    if (flushes != st.logFlushes)
+        ok = diverged(scheme, ops,
+                      "tracer saw %" PRIu64
+                      " log_flush events but LlcStats counted %" PRIu64,
+                      flushes, st.logFlushes);
+    const std::uint64_t evicts =
+        buf.countKind(telemetry::EventKind::LmtConflictEvict);
+    if (evicts != st.lmtConflictEvicts)
+        ok = diverged(scheme, ops,
+                      "tracer saw %" PRIu64 " lmt_conflict_evict events "
+                      "but LlcStats counted %" PRIu64,
+                      evicts, st.lmtConflictEvicts);
+    Cycles prev = 0;
+    for (const auto &e : buf.events) {
+        if (e.cycles < prev) {
+            ok = diverged(scheme, ops,
+                          "event stamps went backwards (%" PRIu64
+                          " after %" PRIu64 ")",
+                          e.cycles, prev);
+            break;
+        }
+        prev = e.cycles;
+    }
+    if (ok)
+        std::printf("%-13s events: %" PRIu64 " recorded (%" PRIu64
+                    " log_flush, %" PRIu64
+                    " lmt_conflict_evict) consistent with counters\n",
+                    scheme.c_str(), tracer.recorded(), flushes, evicts);
+    return ok;
+}
+
 /** Replay @p opt.ops operations; true when no divergence was observed. */
 bool
 runScheme(const std::string &scheme, const Options &opt)
@@ -387,6 +447,17 @@ runScheme(const std::string &scheme, const Options &opt)
         opt.mesh() ? scheme + "@" + std::to_string(opt.meshWidth) + "x" +
                          std::to_string(opt.meshHeight)
                    : scheme;
+
+    // --events: trace with a buffer sized so nothing can drop (each op
+    // records at most a handful of events), stamped with the op index
+    // as the "cycle" — monotone, deterministic, and meaningful for a
+    // cycle-less replay.
+    std::unique_ptr<telemetry::Tracer> tracer;
+    if (opt.events) {
+        tracer = std::make_unique<telemetry::Tracer>(
+            static_cast<std::size_t>(opt.ops) * 4 + 64);
+        cache->attachTracer(tracer.get(), tracer->track("llc"));
+    }
 
     // Same key discipline as the sweep engine: the stream depends only
     // on (label, seed), never on host state.
@@ -404,6 +475,8 @@ runScheme(const std::string &scheme, const Options &opt)
     std::size_t recentNext = 0;
 
     for (std::uint64_t op = 0; op < opt.ops && ok; op++) {
+        if (tracer)
+            tracer->setNow(op);
         if (op % kPhaseOps == kPhaseOps - 1)
             phase = nextPhase(rng);
         const Addr addr = nextAddr(rng, phase);
@@ -476,6 +549,9 @@ runScheme(const std::string &scheme, const Options &opt)
     if (ok)
         ok = runAudit(label, opt.ops, *cache, st);
 
+    if (ok && tracer)
+        ok = checkEvents(label, *tracer, *cache, opt.ops);
+
     // Final exhaustive exclusivity sweep: every address the reference
     // model has ever seen must be absent from all foreign banks.
     if (ok && banked)
@@ -537,7 +613,7 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--scheme NAME|all] [--ops N] [--seed S]\n"
-        "          [--audit-every N] [--mesh WxH]\n"
+        "          [--audit-every N] [--mesh WxH] [--events]\n"
         "          [--inject-lmt-corruption] [--verbose]\n"
         "\n"
         "Differential fuzz: replay a seeded adversarial access stream\n"
@@ -548,6 +624,10 @@ usage(const char *argv0)
         "banks (the tiled-substrate LLC) and additionally enforces\n"
         "cross-bank exclusivity: a hit on any foreign bank is a\n"
         "divergence.\n"
+        "\n"
+        "--events attaches the telemetry event tracer and cross-checks\n"
+        "traced log_flush / lmt_conflict_evict counts against the\n"
+        "scheme's own counters at the end of the run.\n"
         "\n"
         "schemes: all",
         argv0);
@@ -599,6 +679,8 @@ run(int argc, char **argv)
                 static_cast<unsigned>(std::strtoul(end + 1, nullptr, 10));
             if (!opt.mesh())
                 return usage(argv[0]);
+        } else if (arg == "--events") {
+            opt.events = true;
         } else if (arg == "--inject-lmt-corruption") {
             opt.injectLmtCorruption = true;
         } else if (arg == "--verbose") {

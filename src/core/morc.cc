@@ -169,7 +169,11 @@ void
 LogCache::flushLog(std::uint32_t log_idx, cache::FillResult &result)
 {
     Log &g = logs_[log_idx];
-    logFlushes_++;
+    stats_.logFlushes++;
+    if (tracer_) {
+        tracer_->record(telemetry::EventKind::LogFlush, traceTrack_,
+                        log_idx, g.validCount);
+    }
     // A whole-log eviction decompresses the entire stream once.
     const std::uint64_t bytes = divCeil(g.dataBits, 8);
     result.bytesDecompressed += bytes;
@@ -258,6 +262,10 @@ LogCache::rotateLog(unsigned active_slot, cache::FillResult &result)
                           static_cast<std::ptrdiff_t>(k));
         if (!g.lines.empty()) {
             logReuses_++;
+            if (tracer_) {
+                tracer_->record(telemetry::EventKind::LogReuse,
+                                traceTrack_, idx, g.lines.size());
+            }
             g.lines.clear();
             g.dataBits = 0;
             g.tagBits = 0;
@@ -436,7 +444,12 @@ LogCache::insert(Addr addr, const CacheLine &data, bool dirty)
                     }
                 }
                 if (!relocated) {
-                    lmtConflicts_++;
+                    stats_.lmtConflictEvicts++;
+                    if (tracer_) {
+                        tracer_->record(
+                            telemetry::EventKind::LmtConflictEvict,
+                            traceTrack_, slot, lmt_[slot].lineNum);
+                    }
                     invalidateEntry(slot, result);
                 }
             }
@@ -478,6 +491,12 @@ LogCache::insert(Addr addr, const CacheLine &data, bool dirty)
                     best_slot = static_cast<int>(i);
                 }
             }
+            if (tracer_) {
+                tracer_->record(telemetry::EventKind::FudgeNearTie,
+                                traceTrack_,
+                                active_[static_cast<unsigned>(best_slot)],
+                                worst - best);
+            }
         }
         return best_slot;
     };
@@ -515,6 +534,87 @@ LogCache::insert(Addr addr, const CacheLine &data, bool dirty)
                slot);
     result.linesCompressed++;
     return result;
+}
+
+std::uint64_t
+LogCache::liveLogs() const
+{
+    std::uint64_t n = 0;
+    for (const auto &g : logs_)
+        n += g.validCount > 0 ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+LogCache::allInvalidLogs() const
+{
+    std::uint64_t n = 0;
+    for (const auto &g : logs_)
+        n += (!g.lines.empty() && g.validCount == 0) ? 1 : 0;
+    return n;
+}
+
+double
+LogCache::lmtOccupancy() const
+{
+    const double entries = cfg_.unlimitedMeta
+                               ? static_cast<double>(cfg_.lmtEntries())
+                               : static_cast<double>(lmt_.size());
+    return entries == 0.0 ? 0.0
+                          : static_cast<double>(valid_) / entries;
+}
+
+double
+LogCache::activeFillRatio() const
+{
+    const double data_budget =
+        static_cast<double>(cfg_.logBytes) * 8.0;
+    const double budget =
+        cfg_.mergedTags
+            ? data_budget
+            : data_budget + static_cast<double>(cfg_.tagBudgetBits());
+    if (budget == 0.0 || active_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const std::uint32_t idx : active_) {
+        const Log &g = logs_[idx];
+        sum += static_cast<double>(g.dataBits + g.tagBits) / budget;
+    }
+    return sum / static_cast<double>(active_.size());
+}
+
+std::uint64_t
+LogCache::compressedBytesResident() const
+{
+    std::uint64_t bits = 0;
+    for (const auto &g : logs_)
+        bits += g.dataBits + g.tagBits;
+    return divCeil(bits, 8);
+}
+
+void
+LogCache::registerProbes(telemetry::Registry &reg,
+                         const std::string &prefix)
+{
+    cache::Llc::registerProbes(reg, prefix);
+    reg.gauge(prefix + ".live_logs",
+              [this](Cycles) { return double(liveLogs()); });
+    reg.gauge(prefix + ".all_invalid_logs",
+              [this](Cycles) { return double(allInvalidLogs()); });
+    reg.gauge(prefix + ".lmt_occupancy",
+              [this](Cycles) { return lmtOccupancy(); });
+    reg.gauge(prefix + ".active_fill_ratio",
+              [this](Cycles) { return activeFillRatio(); });
+    reg.gauge(prefix + ".compressed_bytes", [this](Cycles) {
+        return double(compressedBytesResident());
+    });
+    reg.counter(prefix + ".log_flushes",
+                [this](Cycles) { return double(stats_.logFlushes); });
+    reg.counter(prefix + ".log_reuses",
+                [this](Cycles) { return double(logReuses_); });
+    reg.counter(prefix + ".lmt_conflict_evicts", [this](Cycles) {
+        return double(stats_.lmtConflictEvicts);
+    });
 }
 
 double

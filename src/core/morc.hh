@@ -127,16 +127,43 @@ class LogCache : public cache::Llc
     double invalidLineFraction() const;
 
     /** Whole-log evictions (flushes) so far. */
-    std::uint64_t logFlushes() const { return logFlushes_; }
+    std::uint64_t logFlushes() const { return stats_.logFlushes; }
 
     /** All-invalid log reuses (flush avoided). */
     std::uint64_t logReuses() const { return logReuses_; }
 
     /** LMT conflict evictions. */
-    std::uint64_t lmtConflictEvictions() const { return lmtConflicts_; }
+    std::uint64_t
+    lmtConflictEvictions() const
+    {
+        return stats_.lmtConflictEvicts;
+    }
 
     /** Reads that found a valid LMT entry but missed on the tag check. */
     std::uint64_t lmtAliasedMisses() const { return lmtAliasedMisses_; }
+
+    /** Logs holding at least one valid line. */
+    std::uint64_t liveLogs() const;
+
+    /** Non-empty logs whose every line is invalid (free to reuse). */
+    std::uint64_t allInvalidLogs() const;
+
+    /** Fraction of LMT entries in use (valid lines over capacity;
+     *  unlimited-metadata mode reports against lmtEntries()). */
+    double lmtOccupancy() const;
+
+    /** Mean fill (data + tag bits over the data+tag budget) of the
+     *  active logs — how full the append frontier runs. */
+    double activeFillRatio() const;
+
+    /** Compressed bytes currently resident across all logs. */
+    std::uint64_t compressedBytesResident() const;
+
+    /** MORC probe catalog on top of the base Llc set: live_logs,
+     *  all_invalid_logs, lmt_occupancy, active_fill_ratio,
+     *  compressed_bytes plus the flush/reuse/conflict counters. */
+    void registerProbes(telemetry::Registry &reg,
+                        const std::string &prefix) override;
 
     /** Aggregated LBE symbol statistics across all logs (Figure 7). */
     comp::LbeStats lbeStats() const;
@@ -264,9 +291,9 @@ class LogCache : public cache::Llc
     std::uint64_t valid_ = 0;
     std::uint64_t appended_ = 0;
     std::uint64_t seqCounter_ = 0;
-    std::uint64_t logFlushes_ = 0;
+    // Flush and conflict-evict counts live in stats_ (LlcStats) so the
+    // banked director and the report see them like any other counter.
     std::uint64_t logReuses_ = 0;
-    std::uint64_t lmtConflicts_ = 0;
     std::uint64_t lmtAliasedMisses_ = 0;
 };
 

@@ -97,6 +97,76 @@ BankedLlc::audit() const
 }
 
 void
+BankedLlc::registerProbes(telemetry::Registry &reg,
+                          const std::string &prefix)
+{
+    // Base catalog against the director's stats_, which accumulates
+    // per-access deltas from every bank (see read()/insert()).
+    cache::Llc::registerProbes(reg, prefix);
+    bool morc_banks = false;
+    for (const auto &b : banks_)
+        morc_banks |= dynamic_cast<core::LogCache *>(b.get()) != nullptr;
+    if (!morc_banks)
+        return;
+    const auto sum_over =
+        [this](double (*f)(const core::LogCache &)) {
+            double sum = 0.0;
+            for (const auto &b : banks_) {
+                if (auto *lc =
+                        dynamic_cast<const core::LogCache *>(b.get()))
+                    sum += f(*lc);
+            }
+            return sum;
+        };
+    reg.gauge(prefix + ".live_logs", [sum_over](Cycles) {
+        return sum_over([](const core::LogCache &lc) {
+            return double(lc.liveLogs());
+        });
+    });
+    reg.gauge(prefix + ".all_invalid_logs", [sum_over](Cycles) {
+        return sum_over([](const core::LogCache &lc) {
+            return double(lc.allInvalidLogs());
+        });
+    });
+    // Occupancy and fill are means over banks, not sums.
+    const double n = static_cast<double>(banks_.size());
+    reg.gauge(prefix + ".lmt_occupancy", [sum_over, n](Cycles) {
+        return sum_over([](const core::LogCache &lc) {
+                   return lc.lmtOccupancy();
+               }) /
+               n;
+    });
+    reg.gauge(prefix + ".active_fill_ratio", [sum_over, n](Cycles) {
+        return sum_over([](const core::LogCache &lc) {
+                   return lc.activeFillRatio();
+               }) /
+               n;
+    });
+    reg.gauge(prefix + ".compressed_bytes", [sum_over](Cycles) {
+        return sum_over([](const core::LogCache &lc) {
+            return double(lc.compressedBytesResident());
+        });
+    });
+    reg.counter(prefix + ".log_flushes", [this](Cycles) {
+        return double(stats_.logFlushes);
+    });
+    reg.counter(prefix + ".lmt_conflict_evicts", [this](Cycles) {
+        return double(stats_.lmtConflictEvicts);
+    });
+}
+
+void
+BankedLlc::attachTracer(telemetry::Tracer *tracer, std::uint16_t track)
+{
+    cache::Llc::attachTracer(tracer, track);
+    for (std::size_t b = 0; b < banks_.size(); b++) {
+        banks_[b]->attachTracer(
+            tracer,
+            tracer ? tracer->track("bank" + std::to_string(b)) : 0);
+    }
+}
+
+void
 BankedLlc::clearAllStats()
 {
     stats_.clear();

@@ -60,6 +60,20 @@ class BankedLlc : public cache::Llc
      *  director's own capacity-partition checks. */
     check::AuditReport audit() const override;
 
+    /** Aggregate probes: the base Llc catalog reads the director's
+     *  accumulated stats (sum over banks), and when the banks are MORC
+     *  instances the scheme gauges (live_logs, lmt_occupancy, ...) are
+     *  published as cross-bank aggregates under the same names the flat
+     *  scheme uses, so series stay comparable flat vs. banked. */
+    void registerProbes(telemetry::Registry &reg,
+                        const std::string &prefix) override;
+
+    /** Fan the tracer out: each bank records onto its own
+     *  "<base>.bankN" track so per-bank event timelines stay separable
+     *  in the exported trace. */
+    void attachTracer(telemetry::Tracer *tracer,
+                      std::uint16_t track) override;
+
     unsigned numBanks() const
     {
         return static_cast<unsigned>(banks_.size());

@@ -19,7 +19,8 @@ const std::vector<std::uint64_t> kQueueBounds = {0,  2,   8,   32,
 
 Noc::Noc(const MeshConfig &cfg)
     : cfg_(cfg), linkBusy_(static_cast<std::size_t>(cfg.tiles()) * 4, 0),
-      hops_(kHopBounds), queue_(kQueueBounds)
+      linkBusyCycles_(linkBusy_.size(), 0), hops_(kHopBounds),
+      queue_(kQueueBounds)
 {
     cfg_.validate();
 }
@@ -53,8 +54,14 @@ Noc::transfer(unsigned from, unsigned to, unsigned bytes, Cycles now)
             d = y < ty ? South : North;
         const unsigned link = linkIndex(cfg_.tileAt(x, y), d);
         const Cycles start = std::max(head, linkBusy_[link]);
+        if (tracer_ && start - head >= stallThreshold_ &&
+            stallThreshold_ > 0) {
+            tracer_->record(telemetry::EventKind::NocStall, traceTrack_,
+                            link, start - head);
+        }
         queued += start - head;
         linkBusy_[link] = start + ser;
+        linkBusyCycles_[link] += ser;
         head = start + cfg_.hopCycles;
         switch (d) {
           case East: x++; break;
@@ -67,6 +74,7 @@ Noc::transfer(unsigned from, unsigned to, unsigned bytes, Cycles now)
     hops_.record(nhops);
     queue_.record(queued);
     hopSum_ += nhops;
+    queueSum_ += queued;
     // Head-flit pipeline latency plus the tail draining over the last
     // link.
     return (head - now) + ser;
@@ -76,10 +84,43 @@ void
 Noc::clearCounters()
 {
     std::fill(linkBusy_.begin(), linkBusy_.end(), 0);
+    std::fill(linkBusyCycles_.begin(), linkBusyCycles_.end(), 0);
     hops_.clear();
     queue_.clear();
     messages_ = 0;
     hopSum_ = 0;
+    queueSum_ = 0;
+}
+
+void
+Noc::registerProbes(telemetry::Registry &reg, const std::string &prefix,
+                    unsigned max_per_link_probes)
+{
+    reg.counter(prefix + ".messages",
+                [this](Cycles) { return double(messages_); });
+    reg.counter(prefix + ".queue_cycles",
+                [this](Cycles) { return double(queueSum_); });
+    reg.counter(prefix + ".max_link_busy_cycles", [this](Cycles) {
+        std::uint64_t m = 0;
+        for (const std::uint64_t b : linkBusyCycles_)
+            m = std::max(m, b);
+        return double(m);
+    });
+    reg.gauge(prefix + ".links_busy", [this](Cycles now) {
+        std::uint64_t n = 0;
+        for (const Cycles b : linkBusy_)
+            n += b > now ? 1 : 0;
+        return double(n);
+    });
+    if (linkBusyCycles_.size() > max_per_link_probes)
+        return;
+    for (unsigned i = 0; i < linkBusyCycles_.size(); i++) {
+        reg.counter(prefix + ".link" + std::to_string(i) +
+                        ".busy_cycles",
+                    [this, i](Cycles) {
+                        return double(linkBusyCycles_[i]);
+                    });
+    }
 }
 
 } // namespace mesh

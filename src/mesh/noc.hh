@@ -24,6 +24,8 @@
 
 #include "mesh/topology.hh"
 #include "stats/histogram.hh"
+#include "telemetry/telemetry.hh"
+#include "telemetry/tracer.hh"
 #include "util/types.hh"
 
 namespace morc {
@@ -81,6 +83,46 @@ class Noc
      *  clock in the system to zero). */
     void clearCounters();
 
+    /** Cumulative serialization cycles charged to directed link @p i
+     *  (differencing adjacent epoch samples yields the link's busy
+     *  fraction for that epoch). */
+    std::uint64_t linkBusyCycles(unsigned i) const
+    {
+        return linkBusyCycles_[i];
+    }
+
+    unsigned numLinks() const
+    {
+        return static_cast<unsigned>(linkBusy_.size());
+    }
+
+    /** Cumulative link-queueing delay over all messages. */
+    std::uint64_t queueCycleSum() const { return queueSum_; }
+
+    /**
+     * NoC probe catalog: aggregate message/queue counters, the
+     * busiest-link cumulative occupancy (hot-spot detector), and — for
+     * meshes of up to @p max_per_link_probes links — one busy-cycles
+     * counter per directed link ("<prefix>.linkN.busy_cycles"; the
+     * per-link series are what the issue's per-link busy fraction is
+     * derived from). Larger meshes publish aggregates only, so series
+     * counts stay bounded.
+     */
+    void registerProbes(telemetry::Registry &reg,
+                        const std::string &prefix,
+                        unsigned max_per_link_probes = 128);
+
+    /** Record NocStall events (queueing >= @p threshold cycles) onto
+     *  @p track of @p tracer. */
+    void
+    attachTracer(telemetry::Tracer *tracer, std::uint16_t track,
+                 Cycles threshold)
+    {
+        tracer_ = tracer;
+        traceTrack_ = track;
+        stallThreshold_ = threshold;
+    }
+
   private:
     /** Directed-link index: 4 outgoing links per tile. */
     enum Dir { East, West, North, South };
@@ -92,10 +134,16 @@ class Noc
 
     MeshConfig cfg_;
     std::vector<Cycles> linkBusy_;
+    std::vector<std::uint64_t> linkBusyCycles_;
     stats::Histogram hops_;
     stats::Histogram queue_;
     std::uint64_t messages_ = 0;
     std::uint64_t hopSum_ = 0;
+    std::uint64_t queueSum_ = 0;
+
+    telemetry::Tracer *tracer_ = nullptr;
+    std::uint16_t traceTrack_ = 0;
+    Cycles stallThreshold_ = 0;
 };
 
 } // namespace mesh

@@ -14,7 +14,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 
+#include "telemetry/telemetry.hh"
 #include "util/types.hh"
 
 namespace morc {
@@ -89,6 +91,22 @@ class MemoryChannel
 
     /** First cycle the channel is free again (for tests/telemetry). */
     Cycles busyUntil() const { return busyUntil_; }
+
+    /** Channel probe catalog: read/write/byte counters plus the
+     *  queue-depth gauge (cycles of backlog at the sample instant). */
+    void
+    registerProbes(telemetry::Registry &reg, const std::string &prefix)
+    {
+        reg.counter(prefix + ".reads",
+                    [this](Cycles) { return double(reads_); });
+        reg.counter(prefix + ".writes",
+                    [this](Cycles) { return double(writes_); });
+        reg.counter(prefix + ".bytes",
+                    [this](Cycles) { return double(bytes_); });
+        reg.gauge(prefix + ".queue_depth_cycles", [this](Cycles now) {
+            return busyUntil_ > now ? double(busyUntil_ - now) : 0.0;
+        });
+    }
 
   private:
     /** FCFS-claim the channel for one transfer; returns the queueing

@@ -92,6 +92,47 @@ System::System(const SystemConfig &cfg,
             channels_.emplace_back(per_channel, cfg_.clockHz,
                                    cfg_.dramCycles);
     }
+    setupTelemetry();
+}
+
+void
+System::setupTelemetry()
+{
+    if (cfg_.traceEvents) {
+        tracer_ =
+            std::make_unique<telemetry::Tracer>(cfg_.traceCapacity);
+        sysTrack_ = tracer_->track("sys");
+        llc_->attachTracer(tracer_.get(), tracer_->track("llc"));
+        if (noc_) {
+            noc_->attachTracer(tracer_.get(), tracer_->track("noc"),
+                               cfg_.nocStallThreshold);
+        }
+    }
+    if (cfg_.telemetryEpoch == 0)
+        return;
+    telemetry_ = std::make_unique<telemetry::Registry>(
+        cfg_.telemetryEpoch, cfg_.telemetryMaxSamples);
+    // Registration order fixes the series order in reports: system,
+    // LLC (scheme), NoC, channels.
+    telemetry_->counter("sys.instructions", [this](Cycles) {
+        return double(totalInstructions_);
+    });
+    telemetry_->counter("sys.l1_misses", [this](Cycles) {
+        std::uint64_t n = 0;
+        for (const auto &c : cores_)
+            n += c.result.l1Misses;
+        return double(n);
+    });
+    llc_->registerProbes(*telemetry_, "llc");
+    if (noc_) {
+        noc_->registerProbes(*telemetry_, "noc");
+        for (std::size_t c = 0; c < channels_.size(); c++) {
+            channels_[c].registerProbes(*telemetry_,
+                                        "mem" + std::to_string(c));
+        }
+    } else {
+        channel_.registerProbes(*telemetry_, "mem");
+    }
 }
 
 CacheLine
@@ -113,6 +154,11 @@ System::dramWrite(Addr addr, const CacheLine &data)
 void
 System::handleWritebacks(const cache::FillResult &fr, Cycles now)
 {
+    if (tracer_ &&
+        fr.writebacks.size() >= cfg_.writebackBurstThreshold) {
+        tracer_->record(telemetry::EventKind::WritebackBurst, sysTrack_,
+                        fr.writebacks.size(), fr.linesDecompressed);
+    }
     for (const auto &wb : fr.writebacks) {
         if (noc_) {
             // Cross-bank exclusivity guarantees the victim was evicted
@@ -188,6 +234,11 @@ System::step(unsigned core_idx)
         static_cast<double>(m.cycles - core.lastMissCycle);
     core.gapSum += gap;
 
+    // Components below know no clock; stamp the stepping core's local
+    // time so their events carry simulated cycles.
+    if (tracer_)
+        tracer_->setNow(m.cycles);
+
     Cycles latency = 0;
     unsigned home_tile = 0;
     if (noc_) {
@@ -204,8 +255,9 @@ System::step(unsigned core_idx)
     if (rr.hit) {
         m.llcHits++;
         data = rr.data;
-        if (cfg_.latencyHistogram)
-            cfg_.latencyHistogram->record(rr.bytesDecompressed);
+        if (cfg_.decompressedBytesHistogram)
+            cfg_.decompressedBytesHistogram->record(
+                rr.bytesDecompressed);
     } else {
         m.llcMisses++;
         if (noc_)
@@ -227,6 +279,8 @@ System::step(unsigned core_idx)
         latency += noc_->transfer(home_tile, coreTile(core_idx),
                                   kLineSize, m.cycles + latency);
     }
+    if (rr.hit && cfg_.hitLatencyHistogram)
+        cfg_.hitLatencyHistogram->record(latency);
 
     if (cfg_.checkFunctional && !ref.write) {
         const std::uint32_t ver = [&] {
@@ -299,6 +353,12 @@ System::runUntil(std::uint64_t target)
         }
         if (done)
             break;
+        // min_cycles is the global simulated-time front (the picked
+        // core is the furthest behind and it only moves forward), so
+        // sampling here hits every epoch boundary exactly once, in
+        // order, independent of sweep threading.
+        if (telemetry_)
+            telemetry_->advanceTo(min_cycles);
         for (unsigned q = 0; q < cfg_.interleaveQuantum; q++) {
             step(pick);
             if (cores_[pick].result.instructions >= target)
@@ -316,6 +376,12 @@ System::run(std::uint64_t instructions_per_core,
 {
     if (warmup_per_core > 0) {
         runUntil(warmup_per_core);
+        // Snapshot the caller-owned histograms: warm-up samples are
+        // subtracted from the final distributions below.
+        if (cfg_.decompressedBytesHistogram)
+            warmupDecompBytes_ = *cfg_.decompressedBytesHistogram;
+        if (cfg_.hitLatencyHistogram)
+            warmupHitLatency_ = *cfg_.hitLatencyHistogram;
         // Reset measurement state; architectural state stays warm.
         for (auto &core : cores_) {
             const std::string program = core.result.program;
@@ -334,8 +400,24 @@ System::run(std::uint64_t instructions_per_core,
             noc_->clearCounters();
         totalInstructions_ = 0;
         ratioSampler_.restart(0);
+        if (telemetry_)
+            telemetry_->restart();
+        if (tracer_)
+            tracer_->clear();
     }
     runUntil(instructions_per_core);
+
+    // Rebase the caller-owned histograms to the measured phase.
+    if (warmup_per_core > 0) {
+        if (cfg_.decompressedBytesHistogram) {
+            *cfg_.decompressedBytesHistogram =
+                *cfg_.decompressedBytesHistogram - warmupDecompBytes_;
+        }
+        if (cfg_.hitLatencyHistogram) {
+            *cfg_.hitLatencyHistogram =
+                *cfg_.hitLatencyHistogram - warmupHitLatency_;
+        }
+    }
 
     RunResult out;
     for (auto &core : cores_)
@@ -389,6 +471,11 @@ System::run(std::uint64_t instructions_per_core,
         out.invalidLineFraction = log_cache->invalidLineFraction();
     else if (banked_)
         out.invalidLineFraction = banked_->invalidLineFraction();
+
+    if (telemetry_)
+        out.series = telemetry_->snapshot();
+    if (tracer_)
+        out.trace = tracer_->snapshot();
     return out;
 }
 

@@ -39,6 +39,8 @@
 #include "sim/memchannel.hh"
 #include "sim/scheme.hh"
 #include "stats/summary.hh"
+#include "telemetry/telemetry.hh"
+#include "telemetry/tracer.hh"
 #include "trace/workload.hh"
 
 namespace morc {
@@ -92,9 +94,38 @@ struct SystemConfig
     mesh::MeshConfig meshCfg{};
     bool useMesh = false;
 
-    /** Optional: record decompressor bytes per LLC read hit (the
-     *  Figure 14 access-latency distribution). Not owned. */
-    stats::Histogram *latencyHistogram = nullptr;
+    /** Optional: record decompressor output bytes per LLC read hit
+     *  (the Figure 14 log-position distribution). Not owned. */
+    stats::Histogram *decompressedBytesHistogram = nullptr;
+
+    /** Optional: record the total LLC hit latency in cycles (base +
+     *  decompression + NoC on the mesh path). Not owned. */
+    stats::Histogram *hitLatencyHistogram = nullptr;
+
+    /** Simulated cycles between telemetry samples; 0 = sampling off
+     *  (zero cost: no registry is built). Epoch boundaries are global
+     *  simulated time, so series are identical for any --jobs. */
+    Cycles telemetryEpoch = 0;
+
+    /** Series capacity; epochs beyond it are counted as dropped. */
+    std::size_t telemetryMaxSamples =
+        telemetry::Registry::kDefaultMaxSamples;
+
+    /** Record cycle-stamped structured events (RunResult::trace);
+     *  off = no tracer is built and emission sites cost one null
+     *  check. */
+    bool traceEvents = false;
+
+    /** Event ring capacity (flight recorder: oldest dropped first). */
+    std::size_t traceCapacity = telemetry::Tracer::kDefaultCapacity;
+
+    /** An insert surfacing this many write-backs at once is traced as
+     *  a WritebackBurst event. */
+    std::size_t writebackBurstThreshold = 4;
+
+    /** A message queueing this long at one link is traced as a
+     *  NocStall event (mesh path only). */
+    Cycles nocStallThreshold = 64;
 };
 
 /** Per-core outcome metrics. */
@@ -154,6 +185,12 @@ struct RunResult
     double nocMeanHops = 0.0;
     stats::Histogram nocHopHist = stats::Histogram({});
     stats::Histogram nocQueueHist = stats::Histogram({});
+
+    /** Epoch-sampled probe series (empty unless telemetryEpoch > 0). */
+    telemetry::SeriesSet series;
+
+    /** Structured event trace (empty unless traceEvents). */
+    telemetry::TraceBuffer trace;
 
     /** Off-chip traffic in GB per billion instructions (Figure 6b). */
     double
@@ -243,6 +280,21 @@ class System
     std::unique_ptr<mesh::Noc> noc_;
     std::vector<MemoryChannel> channels_;
     mesh::BankedLlc *banked_ = nullptr; // owned by llc_
+
+    /** Telemetry (null when off). Declared after every probed member:
+     *  probes capture raw pointers into them, so the registry and
+     *  tracer must be destroyed first. */
+    std::unique_ptr<telemetry::Registry> telemetry_;
+    std::unique_ptr<telemetry::Tracer> tracer_;
+    std::uint16_t sysTrack_ = 0;
+
+    /** Warm-up snapshots of the caller-owned histograms, subtracted at
+     *  the end of the run so reported distributions cover only the
+     *  measured phase. */
+    stats::Histogram warmupDecompBytes_ = stats::Histogram({});
+    stats::Histogram warmupHitLatency_ = stats::Histogram({});
+
+    void setupTelemetry();
 };
 
 } // namespace sim

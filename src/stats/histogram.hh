@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hh"
+
 namespace morc {
 namespace stats {
 
@@ -56,10 +58,13 @@ class Histogram
                          static_cast<double>(total_);
     }
 
-    /** Human-readable label for bucket @p i ("<=64", "65-128", ">512"). */
+    /** Human-readable label for bucket @p i ("<=64", "65-128", ">512").
+     *  With no bounds there is a single catch-all bucket, "all". */
     std::string
     label(std::size_t i) const
     {
+        if (bounds_.empty())
+            return "all";
         if (i == counts_.size() - 1)
             return ">" + std::to_string(bounds_.back());
         const std::uint64_t lo = i == 0 ? 0 : bounds_[i - 1] + 1;
@@ -70,6 +75,8 @@ class Histogram
 
     std::uint64_t total() const { return total_; }
 
+    const std::vector<std::uint64_t> &bounds() const { return bounds_; }
+
     void
     clear()
     {
@@ -78,11 +85,46 @@ class Histogram
         total_ = 0;
     }
 
+    /** Merge another histogram's counts; bucketing must match. */
+    Histogram &
+    operator+=(const Histogram &o)
+    {
+        MORC_CHECK(bounds_ == o.bounds_,
+                   "merging histograms with different bucketing "
+                   "(%zu vs %zu bounds)",
+                   bounds_.size(), o.bounds_.size());
+        for (std::size_t i = 0; i < counts_.size(); i++)
+            counts_[i] += o.counts_[i];
+        total_ += o.total_;
+        return *this;
+    }
+
   private:
     std::vector<std::uint64_t> bounds_;
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
+
+    friend Histogram operator-(const Histogram &a, const Histogram &b);
 };
+
+/** Bucket-wise difference (before/after rebasing, e.g. subtracting a
+ *  warm-up snapshot); @p a must dominate @p b bucket by bucket. */
+inline Histogram
+operator-(const Histogram &a, const Histogram &b)
+{
+    MORC_CHECK(a.bounds_ == b.bounds_,
+               "differencing histograms with different bucketing "
+               "(%zu vs %zu bounds)",
+               a.bounds_.size(), b.bounds_.size());
+    Histogram d(a.bounds_);
+    for (std::size_t i = 0; i < a.counts_.size(); i++) {
+        MORC_CHECK(a.counts_[i] >= b.counts_[i],
+                   "histogram difference underflows bucket %zu", i);
+        d.counts_[i] = a.counts_[i] - b.counts_[i];
+    }
+    d.total_ = a.total_ - b.total_;
+    return d;
+}
 
 } // namespace stats
 } // namespace morc

@@ -121,6 +121,31 @@ appendHistogram(std::string &out, const Histogram &h)
     out += '}';
 }
 
+void
+appendSeries(std::string &out, const telemetry::SeriesSet &s)
+{
+    out += "{\"epoch_cycles\":" + std::to_string(s.epochCycles);
+    out += ",\"samples\":" + std::to_string(s.samples);
+    out += ",\"dropped_epochs\":" + std::to_string(s.droppedEpochs);
+    out += ",\"probes\":{";
+    for (std::size_t i = 0; i < s.series.size(); i++) {
+        const telemetry::Series &p = s.series[i];
+        if (i)
+            out += ',';
+        out += "\"" + jsonEscape(p.name) + "\":{\"kind\":\"";
+        out += p.kind == telemetry::ProbeKind::Counter ? "counter"
+                                                       : "gauge";
+        out += "\",\"values\":[";
+        for (std::size_t j = 0; j < p.values.size(); j++) {
+            if (j)
+                out += ',';
+            out += formatDouble(p.values[j]);
+        }
+        out += "]}";
+    }
+    out += "}}";
+}
+
 } // namespace
 
 std::string
@@ -128,7 +153,7 @@ Report::toJson() const
 {
     std::string out;
     out.reserve(4096 + runs.size() * 256);
-    out += "{\n  \"schema\": \"morc.sweep.report/v2\",\n";
+    out += "{\n  \"schema\": \"morc.sweep.report/v3\",\n";
     out += "  \"figure\": \"" + jsonEscape(figure) + "\",\n";
     out += "  \"title\": \"" + jsonEscape(title) + "\",\n";
     out += "  \"instr_budget\": " + std::to_string(instrBudget) + ",\n";
@@ -161,6 +186,10 @@ Report::toJson() const
                 appendHistogram(out, r.histograms[j].second);
             }
             out += "}";
+        }
+        if (!r.series.empty()) {
+            out += ", \"series\": ";
+            appendSeries(out, r.series);
         }
         out += "}";
     }

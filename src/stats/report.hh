@@ -10,10 +10,10 @@
  * that compute identical values emit byte-identical reports regardless
  * of thread count or scheduling.
  *
- * Schema (morc.sweep.report/v2):
+ * Schema (morc.sweep.report/v3):
  *
  *   {
- *     "schema": "morc.sweep.report/v2",
+ *     "schema": "morc.sweep.report/v3",
  *     "figure": "<name>",
  *     "title": "<one-line description>",
  *     "instr_budget": <per-core measured instructions>,
@@ -25,12 +25,21 @@
  *         "metrics": {"ratio": 2.9, ...},
  *         "histograms": {
  *           "<name>": {"bounds": [...], "counts": [...], "total": N}
+ *         },
+ *         "series": {
+ *           "epoch_cycles": N,
+ *           "samples": S,
+ *           "dropped_epochs": D,
+ *           "probes": {
+ *             "<name>": {"kind": "gauge"|"counter", "values": [...]}
+ *           }
  *         }
  *       }, ...
  *     ]
  *   }
  *
- * "histograms" is omitted when a record has none.
+ * "histograms" is omitted when a record has none; "series" is omitted
+ * unless the run sampled telemetry (morc_sweep --telemetry-epoch).
  *
  * v2 (tiled-substrate PR): mesh runs add the NoC telemetry histograms
  * "noc_hops" (per-message XY hop count) and "noc_queue_cycles"
@@ -39,6 +48,12 @@
  * consumers that ignore unknown histogram/metric names can read v2
  * reports — but the version is bumped so golden-file and downstream
  * tooling diffs are deliberate.
+ *
+ * v3 (telemetry PR): the optional per-run "series" section above
+ * (epoch time-series from the probe registry; sample k covers cycle
+ * (k+1) * epoch_cycles), and every run gains the "log_flushes" /
+ * "lmt_conflict_evicts" metrics (nonzero for MORC/MORCMerged). Again
+ * purely additive for consumers that ignore unknown names.
  */
 
 #ifndef MORC_STATS_REPORT_HH
@@ -50,6 +65,8 @@
 #include <vector>
 
 #include "stats/histogram.hh"
+#include "telemetry/telemetry.hh"
+#include "telemetry/tracer.hh"
 
 namespace morc {
 namespace stats {
@@ -74,6 +91,15 @@ struct RunRecord
 
     /** Optional named histograms. */
     std::vector<std::pair<std::string, Histogram>> histograms;
+
+    /** Optional epoch time-series (serialized when non-empty). */
+    telemetry::SeriesSet series;
+
+    /** Optional event trace. Not part of the report JSON — the sweep
+     *  CLI collects these into the --trace-out file — but carried on
+     *  the record so traces ride the same deterministic task-order
+     *  assembly as everything else. */
+    telemetry::TraceBuffer trace;
 
     void
     label(const std::string &k, const std::string &v)

@@ -40,8 +40,11 @@ miniRun(sim::Scheme scheme, const std::string &workload,
     cfg.llcBytesPerCore = 64 * 1024;
     cfg.ratioSampleInterval = 10'000;
     stats::Histogram hist({64, 128, 256, 512});
-    if (with_histogram)
-        cfg.latencyHistogram = &hist;
+    stats::Histogram latHist({16, 32, 64, 128});
+    if (with_histogram) {
+        cfg.decompressedBytesHistogram = &hist;
+        cfg.hitLatencyHistogram = &latHist;
+    }
     sim::System sys(cfg, {trace::resolveWorkload(workload)});
     const sim::RunResult r = sys.run(kInstr, kWarmup);
 
@@ -56,8 +59,10 @@ miniRun(sim::Scheme scheme, const std::string &workload,
                static_cast<double>(r.completionCycles));
     rec.metric("mem_reads", static_cast<double>(r.memReads));
     rec.metric("mem_writes", static_cast<double>(r.memWrites));
-    if (with_histogram)
+    if (with_histogram) {
         rec.histograms.emplace_back("log_position_bytes", hist);
+        rec.histograms.emplace_back("hit_latency_cycles", latHist);
+    }
     return rec;
 }
 

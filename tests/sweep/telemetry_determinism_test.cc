@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Telemetry determinism regression tests.
+ *
+ * The telemetry layer samples probes at simulated-cycle epoch
+ * boundaries and records cycle-stamped events; both are advertised as
+ * pure functions of the simulated configuration. These tests pin that:
+ *
+ * (a) a 4x4 banked sweep with telemetry *and* tracing enabled is
+ *     byte-identical (report JSON and Chrome trace JSON) on 1 thread
+ *     and on 8 threads,
+ * (b) a checked-in golden report with series sections
+ *     (tests/sweep/golden/telemetry_report.json) catches silent drift
+ *     in probe wiring or sampling arithmetic — regenerate deliberately
+ *     with MORC_UPDATE_GOLDEN=1,
+ * (c) the MORC series actually evolve (a flat-lined LMT-occupancy
+ *     series would satisfy determinism while observing nothing), and
+ * (d) the trace carries the advertised log_flush events.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/system.hh"
+#include "stats/report.hh"
+#include "sweep/sweep.hh"
+#include "telemetry/tracer.hh"
+
+#ifndef MORC_GOLDEN_DIR
+#error "MORC_GOLDEN_DIR must point at tests/sweep/golden"
+#endif
+
+namespace morc {
+namespace {
+
+constexpr std::uint64_t kInstr = 6'000;
+constexpr std::uint64_t kWarmup = 6'000;
+constexpr std::uint64_t kEpoch = 100'000; // ~20 samples per mini run
+
+stats::RunRecord
+telemetryRun(sim::Scheme scheme)
+{
+    // Same configuration as the mesh determinism mini sweep, plus
+    // telemetry sampling and event tracing.
+    sim::SystemConfig cfg;
+    cfg.scheme = scheme;
+    cfg.useMesh = true;
+    cfg.meshCfg.width = 4;
+    cfg.meshCfg.height = 4;
+    cfg.meshCfg.memControllers = 2;
+    cfg.numCores = cfg.meshCfg.tiles();
+    cfg.llcBytesPerCore = 32 * 1024;
+    cfg.bandwidthPerCore = 1600e6 / cfg.numCores;
+    cfg.ratioSampleInterval = 20'000;
+    cfg.telemetryEpoch = kEpoch;
+    cfg.traceEvents = true;
+
+    const char *const programs[] = {"gcc", "mcf", "omnetpp", "soplex"};
+    std::vector<trace::BenchmarkSpec> specs;
+    for (unsigned c = 0; c < cfg.numCores; c++)
+        specs.push_back(trace::resolveWorkload(programs[c % 4]));
+
+    sim::System sys(cfg, specs);
+    const sim::RunResult r = sys.run(kInstr, kWarmup);
+
+    stats::RunRecord rec;
+    rec.label("mesh", "4x4");
+    rec.label("scheme", sim::schemeName(scheme));
+    rec.metric("ratio", r.compressionRatio);
+    rec.metric("completion_cycles",
+               static_cast<double>(r.completionCycles));
+    rec.metric("log_flushes",
+               static_cast<double>(r.llcStats.logFlushes));
+    rec.metric("lmt_conflict_evicts",
+               static_cast<double>(r.llcStats.lmtConflictEvicts));
+    rec.series = r.series;
+    rec.trace = r.trace;
+    return rec;
+}
+
+std::vector<sweep::Task>
+telemetryTasks()
+{
+    std::vector<sweep::Task> tasks;
+    for (sim::Scheme scheme :
+         {sim::Scheme::Uncompressed, sim::Scheme::Morc}) {
+        tasks.push_back(sweep::Task{
+            std::string("telemetry-mini/4x4/") + sim::schemeName(scheme),
+            [scheme](std::uint64_t) { return telemetryRun(scheme); }});
+    }
+    return tasks;
+}
+
+stats::Report
+telemetryReport(unsigned jobs)
+{
+    stats::Report rep;
+    rep.figure = "telemetry-mini";
+    rep.title = "4x4 telemetry determinism configuration";
+    rep.instrBudget = kInstr;
+    rep.warmupBudget = kWarmup;
+    rep.runs = sweep::Engine(jobs).run(telemetryTasks());
+    return rep;
+}
+
+std::string
+traceJson(const stats::Report &rep)
+{
+    std::vector<std::pair<std::string, telemetry::TraceBuffer>> traces;
+    for (const auto &r : rep.runs)
+        traces.emplace_back(r.key, r.trace);
+    return telemetry::chromeTraceJson(traces);
+}
+
+const telemetry::Series *
+findSeries(const stats::RunRecord &r, const std::string &name)
+{
+    for (const auto &s : r.series.series)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+TEST(TelemetryDeterminism, SerialAndParallelOutputsAreByteIdentical)
+{
+    const stats::Report serial = telemetryReport(1);
+    const stats::Report parallel = telemetryReport(8);
+    ASSERT_EQ(serial.toJson(), parallel.toJson());
+    ASSERT_EQ(traceJson(serial), traceJson(parallel));
+    // Re-running is stable: no sampler/tracer state leaks.
+    EXPECT_EQ(serial.toJson(), telemetryReport(8).toJson());
+}
+
+TEST(TelemetryDeterminism, MatchesGoldenReport)
+{
+    const std::string path =
+        std::string(MORC_GOLDEN_DIR) + "/telemetry_report.json";
+    const std::string fresh = telemetryReport(8).toJson();
+    if (std::getenv("MORC_UPDATE_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary);
+        out << fresh;
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        GTEST_SKIP() << "golden updated, re-run without "
+                        "MORC_UPDATE_GOLDEN";
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << path << " missing; run once with MORC_UPDATE_GOLDEN=1";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), fresh)
+        << "telemetry series drifted from the checked-in golden report; "
+           "if the change is intentional, regenerate with "
+           "MORC_UPDATE_GOLDEN=1";
+}
+
+TEST(TelemetryDeterminism, MorcSeriesEvolveOverEpochs)
+{
+    const stats::Report rep = telemetryReport(8);
+    const stats::RunRecord *morc =
+        rep.find("telemetry-mini/4x4/MORC");
+    ASSERT_NE(morc, nullptr);
+    ASSERT_FALSE(morc->series.empty());
+    EXPECT_EQ(morc->series.epochCycles, kEpoch);
+    EXPECT_GE(morc->series.samples, 4u);
+
+    // Live-log population and LMT occupancy must move over the run —
+    // static series would mean the probes read dead state.
+    for (const char *name : {"llc.live_logs", "llc.lmt_occupancy"}) {
+        const telemetry::Series *s = findSeries(*morc, name);
+        ASSERT_NE(s, nullptr) << name;
+        ASSERT_GE(s->values.size(), 2u) << name;
+        bool moved = false;
+        for (std::size_t i = 1; i < s->values.size() && !moved; i++)
+            moved = s->values[i] != s->values[0];
+        EXPECT_TRUE(moved) << name << " never changed";
+    }
+
+    // Counters sample cumulatively, so they must be nondecreasing.
+    const telemetry::Series *flushes =
+        findSeries(*morc, "llc.log_flushes");
+    ASSERT_NE(flushes, nullptr);
+    for (std::size_t i = 1; i < flushes->values.size(); i++)
+        EXPECT_GE(flushes->values[i], flushes->values[i - 1]);
+    EXPECT_GT(flushes->values.back(), 0.0);
+
+    // Uncompressed runs carry the base catalog only (no MORC probes).
+    const stats::RunRecord *unc =
+        rep.find("telemetry-mini/4x4/Uncompressed");
+    ASSERT_NE(unc, nullptr);
+    EXPECT_EQ(findSeries(*unc, "llc.live_logs"), nullptr);
+    EXPECT_NE(findSeries(*unc, "llc.valid_lines"), nullptr);
+}
+
+TEST(TelemetryDeterminism, TraceCarriesLogFlushEvents)
+{
+    const stats::Report rep = telemetryReport(8);
+    const stats::RunRecord *morc =
+        rep.find("telemetry-mini/4x4/MORC");
+    ASSERT_NE(morc, nullptr);
+    EXPECT_GT(morc->trace.countKind(telemetry::EventKind::LogFlush), 0u);
+    // Trace counts must agree with the counters the same run kept.
+    EXPECT_EQ(morc->trace.dropped, 0u);
+    EXPECT_EQ(morc->trace.countKind(telemetry::EventKind::LogFlush),
+              static_cast<std::uint64_t>(morc->get("log_flushes")));
+    // Stamps carry the cycle of the core being stepped, and cores
+    // interleave within a step quantum, so the stream is only
+    // quasi-ordered: small per-quantum jitter is expected, global
+    // time must still advance.
+    ASSERT_FALSE(morc->trace.events.empty());
+    EXPECT_GT(morc->trace.events.back().cycles,
+              morc->trace.events.front().cycles);
+}
+
+TEST(TelemetryDeterminism, TelemetryOffLeavesReportUntouched)
+{
+    // The whole layer must be invisible when disabled: a telemetry-off
+    // run serializes without a "series" section and records no trace.
+    sim::SystemConfig cfg;
+    cfg.scheme = sim::Scheme::Morc;
+    cfg.llcBytesPerCore = 64 * 1024;
+    cfg.ratioSampleInterval = 10'000;
+    sim::System sys(cfg, {trace::resolveWorkload("gcc")});
+    const sim::RunResult r = sys.run(kInstr, kWarmup);
+    EXPECT_TRUE(r.series.empty());
+    EXPECT_TRUE(r.trace.empty());
+    stats::RunRecord rec;
+    rec.series = r.series;
+    stats::Report rep;
+    rep.runs.push_back(rec);
+    EXPECT_EQ(rep.toJson().find("\"series\""), std::string::npos);
+}
+
+} // namespace
+} // namespace morc

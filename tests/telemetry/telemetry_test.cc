@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the telemetry layer: the epoch sampler's boundary
+ * arithmetic (the determinism-critical part), the flight-recorder ring
+ * tracer, and the Chrome trace-event export shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/telemetry.hh"
+#include "telemetry/tracer.hh"
+
+namespace morc {
+namespace {
+
+/* ------------------------------------------------------------------ */
+/* Registry / epoch sampler                                           */
+/* ------------------------------------------------------------------ */
+
+TEST(TelemetryRegistry, SamplesAtEpochBoundariesOnly)
+{
+    telemetry::Registry reg(100);
+    std::vector<Cycles> sampledAt;
+    reg.gauge("g", [&sampledAt](Cycles now) {
+        sampledAt.push_back(now);
+        return static_cast<double>(now);
+    });
+    reg.advanceTo(99); // before the first boundary
+    EXPECT_EQ(reg.samples(), 0u);
+    reg.advanceTo(100); // exactly on it
+    EXPECT_EQ(reg.samples(), 1u);
+    reg.advanceTo(150); // between boundaries: no new sample
+    EXPECT_EQ(reg.samples(), 1u);
+    reg.advanceTo(200);
+    EXPECT_EQ(reg.samples(), 2u);
+    EXPECT_EQ(sampledAt, (std::vector<Cycles>{100, 200}));
+}
+
+TEST(TelemetryRegistry, MultiEpochJumpRecordsEveryCrossedBoundary)
+{
+    // The sweep driver advances in quanta that can skip several epochs;
+    // each crossed boundary must still get its own sample, evaluated
+    // *at the boundary cycle*, or series would depend on quantum size.
+    telemetry::Registry reg(10);
+    std::vector<Cycles> sampledAt;
+    reg.counter("c", [&sampledAt](Cycles now) {
+        sampledAt.push_back(now);
+        return 1.0;
+    });
+    reg.advanceTo(35);
+    EXPECT_EQ(reg.samples(), 3u);
+    EXPECT_EQ(sampledAt, (std::vector<Cycles>{10, 20, 30}));
+}
+
+TEST(TelemetryRegistry, CapacityOverflowCountsDroppedEpochs)
+{
+    telemetry::Registry reg(10, 2);
+    reg.gauge("g", [](Cycles) { return 1.0; });
+    reg.advanceTo(50); // boundaries 10..50: 2 recorded, 3 dropped
+    EXPECT_EQ(reg.samples(), 2u);
+    EXPECT_EQ(reg.droppedEpochs(), 3u);
+    const telemetry::SeriesSet s = reg.snapshot();
+    ASSERT_EQ(s.series.size(), 1u);
+    EXPECT_EQ(s.series[0].values.size(), 2u);
+    EXPECT_EQ(s.droppedEpochs, 3u);
+}
+
+TEST(TelemetryRegistry, RestartDropsSamplesAndKeepsProbes)
+{
+    telemetry::Registry reg(10);
+    reg.gauge("g", [](Cycles now) { return static_cast<double>(now); });
+    reg.advanceTo(25);
+    ASSERT_EQ(reg.samples(), 2u);
+    reg.restart(); // end-of-warm-up rebase
+    EXPECT_EQ(reg.samples(), 0u);
+    EXPECT_EQ(reg.numProbes(), 1u);
+    reg.advanceTo(10);
+    const telemetry::SeriesSet s = reg.snapshot();
+    ASSERT_EQ(s.samples, 1u);
+    EXPECT_DOUBLE_EQ(s.series[0].values[0], 10.0);
+}
+
+TEST(TelemetryRegistry, SnapshotPreservesRegistrationOrderAndKinds)
+{
+    telemetry::Registry reg(10);
+    reg.counter("b_counter", [](Cycles) { return 2.0; });
+    reg.gauge("a_gauge", [](Cycles) { return 1.0; });
+    reg.advanceTo(10);
+    const telemetry::SeriesSet s = reg.snapshot();
+    ASSERT_EQ(s.series.size(), 2u);
+    EXPECT_EQ(s.series[0].name, "b_counter");
+    EXPECT_EQ(s.series[0].kind, telemetry::ProbeKind::Counter);
+    EXPECT_EQ(s.series[1].name, "a_gauge");
+    EXPECT_EQ(s.series[1].kind, telemetry::ProbeKind::Gauge);
+    EXPECT_DOUBLE_EQ(s.series[0].values[0], 2.0);
+    EXPECT_DOUBLE_EQ(s.series[1].values[0], 1.0);
+}
+
+TEST(TelemetryRegistry, EmptySeriesSetSemantics)
+{
+    telemetry::SeriesSet s;
+    EXPECT_TRUE(s.empty()); // epochCycles == 0
+    telemetry::Registry reg(10);
+    EXPECT_TRUE(reg.snapshot().empty()); // no probes registered
+    reg.gauge("g", [](Cycles) { return 0.0; });
+    EXPECT_FALSE(reg.snapshot().empty()); // probes, even with 0 samples
+}
+
+/* ------------------------------------------------------------------ */
+/* Tracer ring buffer                                                 */
+/* ------------------------------------------------------------------ */
+
+TEST(Tracer, RecordsStampedEventsOnNamedTracks)
+{
+    telemetry::Tracer tr(8);
+    const std::uint16_t llc = tr.track("llc");
+    const std::uint16_t noc = tr.track("noc");
+    EXPECT_EQ(tr.track("llc"), llc); // lookup, not re-registration
+    tr.setNow(42);
+    tr.record(telemetry::EventKind::LogFlush, llc, 3, 17);
+    tr.setNow(50);
+    tr.record(telemetry::EventKind::NocStall, noc, 1, 99);
+    const telemetry::TraceBuffer buf = tr.snapshot();
+    ASSERT_EQ(buf.events.size(), 2u);
+    EXPECT_EQ(buf.tracks, (std::vector<std::string>{"llc", "noc"}));
+    EXPECT_EQ(buf.events[0].cycles, 42u);
+    EXPECT_EQ(buf.events[0].kind, telemetry::EventKind::LogFlush);
+    EXPECT_EQ(buf.events[0].a0, 3u);
+    EXPECT_EQ(buf.events[0].a1, 17u);
+    EXPECT_EQ(buf.events[1].track, noc);
+    EXPECT_EQ(buf.countKind(telemetry::EventKind::LogFlush), 1u);
+    EXPECT_EQ(buf.countKind(telemetry::EventKind::LogReuse), 0u);
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDropped)
+{
+    telemetry::Tracer tr(4);
+    const std::uint16_t t = tr.track("llc");
+    for (Cycles c = 1; c <= 6; c++) {
+        tr.setNow(c * 10);
+        tr.record(telemetry::EventKind::LogFlush, t, c, 0);
+    }
+    EXPECT_EQ(tr.recorded(), 6u);
+    EXPECT_EQ(tr.dropped(), 2u);
+    const telemetry::TraceBuffer buf = tr.snapshot();
+    ASSERT_EQ(buf.events.size(), 4u);
+    // The two *oldest* events were overwritten; the rest are in order.
+    EXPECT_EQ(buf.events.front().cycles, 30u);
+    EXPECT_EQ(buf.events.back().cycles, 60u);
+    EXPECT_EQ(buf.dropped, 2u);
+    EXPECT_FALSE(buf.empty());
+}
+
+TEST(Tracer, ClearKeepsTracksAndCycleStamp)
+{
+    telemetry::Tracer tr(4);
+    const std::uint16_t t = tr.track("llc");
+    tr.setNow(100);
+    tr.record(telemetry::EventKind::LogFlush, t);
+    tr.clear(); // end-of-warm-up rebase
+    EXPECT_EQ(tr.recorded(), 0u);
+    EXPECT_EQ(tr.dropped(), 0u);
+    EXPECT_EQ(tr.now(), 100u);
+    const telemetry::TraceBuffer buf = tr.snapshot();
+    EXPECT_TRUE(buf.events.empty());
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.tracks, (std::vector<std::string>{"llc"}));
+}
+
+TEST(Tracer, EventNamesAreStable)
+{
+    // Exported trace names are an interface (Perfetto queries, the CI
+    // gate); renames must be deliberate.
+    using telemetry::EventKind;
+    using telemetry::eventName;
+    EXPECT_STREQ(eventName(EventKind::LogFlush), "log_flush");
+    EXPECT_STREQ(eventName(EventKind::LogReuse), "log_reuse");
+    EXPECT_STREQ(eventName(EventKind::FudgeNearTie), "fudge_near_tie");
+    EXPECT_STREQ(eventName(EventKind::LmtConflictEvict),
+                 "lmt_conflict_evict");
+    EXPECT_STREQ(eventName(EventKind::WritebackBurst), "writeback_burst");
+    EXPECT_STREQ(eventName(EventKind::NocStall), "noc_stall");
+}
+
+/* ------------------------------------------------------------------ */
+/* Chrome trace-event export                                          */
+/* ------------------------------------------------------------------ */
+
+TEST(ChromeTrace, ExportContainsMetadataAndInstantEvents)
+{
+    telemetry::Tracer tr(8);
+    const std::uint16_t llc = tr.track("llc");
+    tr.setNow(1234);
+    tr.record(telemetry::EventKind::LogFlush, llc, 7, 3);
+    const std::string json = telemetry::chromeTraceJson(
+        {{"fig6/gcc/MORC", tr.snapshot()}});
+    // Shape, not full parse: the wrapper object, process/thread naming
+    // metadata, and the stamped instant event.
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    EXPECT_NE(json.find("fig6/gcc/MORC"), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("\"llc\""), std::string::npos);
+    EXPECT_NE(json.find("\"log_flush\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1234"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(ChromeTrace, MultipleRunsGetDistinctPids)
+{
+    telemetry::Tracer a(4), b(4);
+    a.track("llc");
+    b.track("llc");
+    const std::string json = telemetry::chromeTraceJson(
+        {{"run_a", a.snapshot()}, {"run_b", b.snapshot()}});
+    EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+    EXPECT_NE(json.find("run_a"), std::string::npos);
+    EXPECT_NE(json.find("run_b"), std::string::npos);
+}
+
+TEST(ChromeTrace, DeterministicForIdenticalInput)
+{
+    telemetry::Tracer tr(8);
+    const std::uint16_t t = tr.track("llc");
+    tr.setNow(5);
+    tr.record(telemetry::EventKind::FudgeNearTie, t, 1, 2);
+    const auto buf = tr.snapshot();
+    EXPECT_EQ(telemetry::chromeTraceJson({{"r", buf}}),
+              telemetry::chromeTraceJson({{"r", buf}}));
+}
+
+} // namespace
+} // namespace morc
