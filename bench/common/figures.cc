@@ -5,7 +5,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "cache/overheads.hh"
@@ -18,6 +20,8 @@
 #include "compress/tagcodec.hh"
 #include "core/morc.hh"
 #include "energy/energy.hh"
+#include "snapshot/snapshot.hh"
+#include "sweep/journal.hh"
 #include "telemetry/tracer.hh"
 #include "util/rng.hh"
 
@@ -39,6 +43,166 @@ using sweep::Task;
  *  so plain globals are race-free. */
 std::uint64_t g_telemetryEpoch = 0;
 bool g_traceEvents = false;
+
+/** Warm-snapshot directory (--checkpoint-dir DIR => DIR/warm), empty =
+ *  warm checkpointing off. Set once before any task runs. */
+std::string g_warmDir;
+
+/**
+ * Canonical description of everything that determines a warmed-up
+ * system: the full effective config, the programs, and the warm-up
+ * budget. Hashed (stableSeed) into the warm-snapshot filename, so
+ * identical warm-up phases — across figures or across invocations —
+ * simulate once and restore thereafter. A hash collision is harmless:
+ * System::restore() validates the complete config fingerprint inside
+ * the snapshot and the caller falls back to a cold warm-up.
+ */
+std::string
+warmFingerprint(const sim::SystemConfig &cfg,
+                const std::vector<trace::BenchmarkSpec> &programs,
+                std::uint64_t warmup)
+{
+    std::string f;
+    const auto add = [&f](const std::string &part) {
+        f += part;
+        f += '\x1f';
+    };
+    const auto u = [&](std::uint64_t v) { add(std::to_string(v)); };
+    const auto d = [&](double v) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        add(buf);
+    };
+    u(static_cast<std::uint64_t>(cfg.scheme));
+    u(cfg.numCores);
+    u(cfg.llcBytesPerCore);
+    d(cfg.bandwidthPerCore);
+    d(cfg.clockHz);
+    u(cfg.l1Bytes);
+    u(cfg.l1Ways);
+    u(cfg.l1Latency);
+    u(cfg.llcLatency);
+    u(cfg.dramCycles);
+    u(cfg.threadsPerCore);
+    u(cfg.interleaveQuantum);
+    u(cfg.inclusiveWriteFills ? 1 : 0);
+    u(cfg.ratioSampleInterval);
+    u(cfg.checkFunctional ? 1 : 0);
+    u(cfg.useMorcOverride ? 1 : 0);
+    if (cfg.useMorcOverride) {
+        u(cfg.morc.capacityBytes);
+        u(cfg.morc.logBytes);
+        u(cfg.morc.activeLogs);
+        u(cfg.morc.lmtFactor);
+        u(cfg.morc.lmtWays);
+        u(cfg.morc.mergedTags ? 1 : 0);
+        d(cfg.morc.tagStoreFactor);
+        u(cfg.morc.tagBases);
+        d(cfg.morc.fudge);
+        u(cfg.morc.compressionEnabled ? 1 : 0);
+        u(cfg.morc.unlimitedMeta ? 1 : 0);
+        u(cfg.morc.decompressBytesPerCycle);
+        u(cfg.morc.tagsPerCycle);
+        u(cfg.morc.parallelTagData ? 1 : 0);
+    }
+    u(cfg.useMesh ? 1 : 0);
+    if (cfg.useMesh) {
+        u(cfg.meshCfg.width);
+        u(cfg.meshCfg.height);
+        u(cfg.meshCfg.memControllers);
+    }
+    u(cfg.telemetryEpoch);
+    u(cfg.telemetryMaxSamples);
+    u(cfg.traceEvents ? 1 : 0);
+    u(cfg.traceCapacity);
+    u(cfg.writebackBurstThreshold);
+    u(cfg.nocStallThreshold);
+    for (const stats::Histogram *h :
+         {cfg.decompressedBytesHistogram, cfg.hitLatencyHistogram}) {
+        if (!h) {
+            add("-");
+            continue;
+        }
+        for (std::uint64_t b : h->bounds())
+            u(b);
+        add(";");
+    }
+    for (const auto &p : programs)
+        add(p.name);
+    u(warmup);
+    return f;
+}
+
+/** One mutex per warm fingerprint, so concurrent tasks that share a
+ *  warm-up phase simulate it exactly once; everyone else restores. The
+ *  map only grows and node references are stable, so the returned
+ *  reference outlives the master lock. */
+std::mutex &
+warmMutex(const std::string &fingerprint)
+{
+    static std::mutex master;
+    static std::map<std::string, std::mutex> locks;
+    std::lock_guard<std::mutex> lock(master);
+    return locks[fingerprint];
+}
+
+/**
+ * Warm-up via the snapshot cache: restore DIR/warm/<hash>.morcsnp when
+ * present, else simulate the warm-up once and save it. Any rejected or
+ * unwritable snapshot degrades to a cold warm-up — never an abort.
+ */
+void
+warmViaCheckpoint(std::unique_ptr<sim::System> &sys,
+                  const sim::SystemConfig &cfg,
+                  const std::vector<trace::BenchmarkSpec> &programs,
+                  std::uint64_t warmup)
+{
+    const std::string fp = warmFingerprint(cfg, programs, warmup);
+    char name[32];
+    std::snprintf(name, sizeof name, "%016llx.morcsnp",
+                  static_cast<unsigned long long>(sweep::stableSeed(fp)));
+    const std::string path = g_warmDir + "/" + name;
+
+    std::lock_guard<std::mutex> lock(warmMutex(fp));
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) {
+        std::string err;
+        if (sys->restore(path, &err))
+            return;
+        std::fprintf(stderr,
+                     "[checkpoint] warm snapshot %s rejected (%s); "
+                     "cold warm-up\n",
+                     path.c_str(), err.c_str());
+        // The failed restore may have partially written the system and
+        // the caller-owned histograms: rebuild both from scratch.
+        if (cfg.decompressedBytesHistogram)
+            cfg.decompressedBytesHistogram->clear();
+        if (cfg.hitLatencyHistogram)
+            cfg.hitLatencyHistogram->clear();
+        sys = std::make_unique<sim::System>(cfg, programs);
+    }
+    sys->warmup(warmup);
+    std::string err;
+    if (!sys->save(path, &err)) {
+        std::fprintf(stderr,
+                     "[checkpoint] cannot save warm snapshot %s (%s)\n",
+                     path.c_str(), err.c_str());
+    }
+}
+
+/** System::run() routed through the warm-snapshot cache when enabled.
+ *  @p cfg and @p programs must be exactly what @p sys was built from. */
+sim::RunResult
+runSystem(std::unique_ptr<sim::System> &sys,
+          const sim::SystemConfig &cfg,
+          const std::vector<trace::BenchmarkSpec> &programs,
+          std::uint64_t instr, std::uint64_t warmup)
+{
+    if (g_warmDir.empty() || warmup == 0)
+        return sys->run(instr, warmup);
+    warmViaCheckpoint(sys, cfg, programs, warmup);
+    return sys->measure(instr);
+}
 
 /** Join key parts with '/'. */
 std::string
@@ -62,8 +226,9 @@ simRecord(const sim::SystemConfig &cfg,
     sim::SystemConfig effective = cfg;
     effective.telemetryEpoch = g_telemetryEpoch;
     effective.traceEvents = g_traceEvents;
-    sim::System sys(effective, programs);
-    const sim::RunResult r = sys.run(instr, warmup);
+    auto sys = std::make_unique<sim::System>(effective, programs);
+    const sim::RunResult r =
+        runSystem(sys, effective, programs, instr, warmup);
     RunRecord rec;
     rec.metric("ratio", r.compressionRatio);
     rec.metric("gb_per_binstr", r.gbPerBillionInstr());
@@ -283,9 +448,11 @@ fig7Tasks()
                 sim::SystemConfig cfg;
                 cfg.scheme = sim::Scheme::Morc;
                 cfg.ratioSampleInterval = instrBudget();
-                sim::System sys(cfg, {spec});
-                sys.run(instrBudget(), warmupBudget());
-                auto *lc = dynamic_cast<core::LogCache *>(&sys.llc());
+                const std::vector<trace::BenchmarkSpec> progs{spec};
+                auto sys = std::make_unique<sim::System>(cfg, progs);
+                runSystem(sys, cfg, progs, instrBudget(),
+                          warmupBudget());
+                auto *lc = dynamic_cast<core::LogCache *>(&sys->llc());
                 const comp::LbeStats st = lc->lbeStats();
 
                 constexpr int n =
@@ -743,8 +910,10 @@ fig14Tasks()
                 cfg.decompressedBytesHistogram = &hist;
                 cfg.hitLatencyHistogram = &latHist;
                 cfg.ratioSampleInterval = instrBudget();
-                sim::System sys(cfg, {spec});
-                sys.run(instrBudget(), warmupBudget());
+                const std::vector<trace::BenchmarkSpec> progs{spec};
+                auto sys = std::make_unique<sim::System>(cfg, progs);
+                runSystem(sys, cfg, progs, instrBudget(),
+                          warmupBudget());
                 RunRecord rec;
                 rec.label("workload", spec.name);
                 rec.histograms.emplace_back("log_position_bytes", hist);
@@ -1219,15 +1388,39 @@ findFigure(const std::string &name)
 }
 
 stats::Report
-runFigure(const Figure &fig, unsigned jobs)
+runFigure(const Figure &fig, unsigned jobs, sweep::Journal *journal)
 {
     stats::Report rep;
     rep.figure = fig.name;
     rep.title = fig.title;
     rep.instrBudget = instrBudget();
     rep.warmupBudget = warmupBudget();
+    std::vector<Task> tasks = fig.tasks();
+    if (journal) {
+        std::size_t resumed = 0;
+        for (Task &t : tasks) {
+            if (const RunRecord *done = journal->lookup(t.key)) {
+                resumed++;
+                t.run = [done](std::uint64_t) { return *done; };
+                continue;
+            }
+            t.run = [journal, key = t.key,
+                     inner = std::move(t.run)](std::uint64_t seed) {
+                RunRecord rec = inner(seed);
+                rec.key = key; // the engine stamps it only afterwards
+                journal->append(rec);
+                return rec;
+            };
+        }
+        if (resumed > 0) {
+            std::fprintf(stderr,
+                         "[checkpoint] %s: resuming, %zu/%zu tasks "
+                         "already journaled\n",
+                         fig.name, resumed, tasks.size());
+        }
+    }
     sweep::Engine engine(jobs);
-    rep.runs = engine.run(fig.tasks());
+    rep.runs = engine.run(tasks);
     return rep;
 }
 
@@ -1237,6 +1430,7 @@ sweepMain(int argc, char **argv, const char *only)
     unsigned jobs = 0; // hardware_concurrency
     std::string outDir;
     std::string traceOut;
+    std::string checkpointDir;
     std::vector<std::string> names;
     const auto parseJobs = [&jobs](const char *s) {
         char *end = nullptr;
@@ -1288,6 +1482,14 @@ sweepMain(int argc, char **argv, const char *only)
             traceOut = argv[++i];
         } else if (arg.rfind("--trace-out=", 0) == 0) {
             traceOut = arg.substr(12);
+        } else if (arg == "--checkpoint-dir") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                return 1;
+            }
+            checkpointDir = argv[++i];
+        } else if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+            checkpointDir = arg.substr(17);
         } else if (arg == "--out" || arg == "-o") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s needs a value\n", arg.c_str());
@@ -1303,8 +1505,13 @@ sweepMain(int argc, char **argv, const char *only)
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--jobs N] [--out DIR] "
+                "[--checkpoint-dir DIR] "
                 "[--telemetry-epoch CYCLES] [--trace-out FILE] "
-                "[--list] [figure...|all]\n",
+                "[--list] [figure...|all]\n"
+                "  --checkpoint-dir DIR  journal finished tasks and "
+                "cache warm-up snapshots\n"
+                "                        under DIR; a killed run "
+                "resumes where it stopped\n",
                 argv[0]);
             return 0;
         } else if (arg.rfind("--", 0) == 0) {
@@ -1349,6 +1556,17 @@ sweepMain(int argc, char **argv, const char *only)
             return 1;
         }
     }
+    if (!checkpointDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(checkpointDir + "/warm",
+                                            ec);
+        if (ec) {
+            std::fprintf(stderr, "cannot create %s: %s\n",
+                         checkpointDir.c_str(), ec.message().c_str());
+            return 1;
+        }
+        g_warmDir = checkpointDir + "/warm";
+    }
     g_traceEvents = !traceOut.empty();
 
     // Traces from every selected figure, in deterministic task order.
@@ -1356,9 +1574,15 @@ sweepMain(int argc, char **argv, const char *only)
     const auto t0 = std::chrono::steady_clock::now();
     for (const Figure *fig : selected) {
         const auto f0 = std::chrono::steady_clock::now();
+        std::unique_ptr<sweep::Journal> journal;
+        if (!checkpointDir.empty()) {
+            journal = std::make_unique<sweep::Journal>(
+                checkpointDir + "/" + fig->name + ".journal");
+            journal->load();
+        }
         stats::Report rep;
         try {
-            rep = runFigure(*fig, jobs);
+            rep = runFigure(*fig, jobs, journal.get());
         } catch (const std::exception &e) {
             std::fprintf(stderr, "[%s] FAILED: %s\n", fig->name,
                          e.what());
@@ -1374,9 +1598,9 @@ sweepMain(int argc, char **argv, const char *only)
         if (!outDir.empty()) {
             const std::string path =
                 outDir + "/" + fig->name + ".json";
-            std::ofstream out(path, std::ios::binary);
-            out << rep.toJson();
-            if (!out) {
+            const std::string json = rep.toJson();
+            if (!snap::atomicWriteFile(path, json.data(),
+                                       json.size())) {
                 std::fprintf(stderr, "cannot write %s\n", path.c_str());
                 return 1;
             }
@@ -1391,9 +1615,9 @@ sweepMain(int argc, char **argv, const char *only)
         std::fflush(stdout);
     }
     if (!traceOut.empty()) {
-        std::ofstream out(traceOut, std::ios::binary);
-        out << telemetry::chromeTraceJson(traces);
-        if (!out) {
+        const std::string json = telemetry::chromeTraceJson(traces);
+        if (!snap::atomicWriteFile(traceOut, json.data(),
+                                   json.size())) {
             std::fprintf(stderr, "cannot write %s\n", traceOut.c_str());
             return 1;
         }

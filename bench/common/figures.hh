@@ -23,6 +23,10 @@
 #include "sweep/sweep.hh"
 
 namespace morc {
+namespace sweep {
+class Journal;
+}
+
 namespace bench {
 
 struct Figure
@@ -40,13 +44,23 @@ const std::vector<Figure> &figures();
 /** Lookup by name; nullptr if unknown. */
 const Figure *findFigure(const std::string &name);
 
-/** Run one figure's sweep on @p jobs threads and assemble its report. */
-stats::Report runFigure(const Figure &fig, unsigned jobs);
+/**
+ * Run one figure's sweep on @p jobs threads and assemble its report.
+ *
+ * With a @p journal (--checkpoint-dir), tasks whose key is already
+ * journaled return their stored record without simulating, and every
+ * freshly finished task is appended to the journal before the sweep
+ * moves on — so a killed run resumes where it left off and reproduces
+ * the uninterrupted report byte for byte.
+ */
+stats::Report runFigure(const Figure &fig, unsigned jobs,
+                        sweep::Journal *journal = nullptr);
 
 /**
- * Shared CLI driver: `[--jobs N] [--out DIR] [--list] [figure...|all]`.
- * When @p only is set (the per-figure bench binaries), positional
- * figure names are rejected and just that figure runs.
+ * Shared CLI driver: `[--jobs N] [--out DIR] [--checkpoint-dir DIR]
+ * [--list] [figure...|all]`. When @p only is set (the per-figure bench
+ * binaries), positional figure names are rejected and just that figure
+ * runs.
  *
  * @return 0 on success; 1 on bad usage, unknown figure, or a failed
  *         sweep task.

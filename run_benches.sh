@@ -65,6 +65,19 @@ assert any(e.get("ph") == "i" for e in events), "no instant events"
 print(f"smoke trace OK: {len(events)} events")
 EOF
     rm -f "$TRACE"
+
+    # ...and the checkpoint path: the same figure swept twice against
+    # one --checkpoint-dir must serve the second run from the journal
+    # ("resuming" on stderr) and emit byte-identical JSON.
+    CKPT=$(mktemp -d /tmp/morc_smoke_ckpt.XXXXXX)
+    "$SWEEP" --jobs "$JOBS" --checkpoint-dir "$CKPT" \
+        --out "$CKPT/first" fig6 > /dev/null
+    "$SWEEP" --jobs "$JOBS" --checkpoint-dir "$CKPT" \
+        --out "$CKPT/second" fig6 > /dev/null 2> "$CKPT/resume.log"
+    grep -q 'resuming' "$CKPT/resume.log"
+    cmp "$CKPT/first/fig6.json" "$CKPT/second/fig6.json"
+    echo "smoke checkpoint OK: resumed report is byte-identical"
+    rm -rf "$CKPT"
 fi
 
 exec "$SWEEP" --jobs "$JOBS" "${ARGS[@]+"${ARGS[@]}"}"

@@ -275,5 +275,77 @@ AdaptiveCache::audit() const
     return r;
 }
 
+void
+AdaptiveCache::saveState(snap::Serializer &s) const
+{
+    s.beginSection("ADPT");
+    s.u64(cfg_.capacityBytes);
+    s.u32(cfg_.ways);
+    s.u32(cfg_.tagFactor);
+    s.u32(cfg_.segmentBytes);
+    s.u64(useClock_);
+    s.u64(valid_);
+    s.i64(predictor_);
+    stats_.save(s);
+    s.vec(sets_, [&](const Set &set) {
+        s.vec(set.lines, [&](const LineEntry &l) {
+            s.u64(l.tag);
+            s.boolean(l.hasData);
+            s.boolean(l.dirty);
+            s.boolean(l.compressed);
+            s.u32(l.segments);
+            s.u64(l.lastUse);
+            s.bytes(l.data.bytes.data(), kLineSize);
+        });
+    });
+    s.endSection();
+}
+
+void
+AdaptiveCache::restoreState(snap::Deserializer &d)
+{
+    if (!d.beginSection("ADPT"))
+        return;
+    const std::uint64_t capacity = d.u64();
+    const std::uint32_t ways = d.u32();
+    const std::uint32_t tagFactor = d.u32();
+    const std::uint32_t segBytes = d.u32();
+    const std::uint64_t useClock = d.u64();
+    const std::uint64_t valid = d.u64();
+    const std::int64_t predictor = d.i64();
+    LlcStats stats;
+    stats.restore(d);
+    std::vector<Set> sets;
+    d.readVec(sets, 8, [&] {
+        Set set;
+        d.readVec(set.lines, 8 + 3 + 4 + 8 + kLineSize, [&] {
+            LineEntry l;
+            l.tag = d.u64();
+            l.hasData = d.boolean();
+            l.dirty = d.boolean();
+            l.compressed = d.boolean();
+            l.segments = d.u32();
+            l.lastUse = d.u64();
+            d.bytes(l.data.bytes.data(), kLineSize);
+            return l;
+        });
+        return set;
+    });
+    if (d.ok() && (capacity != cfg_.capacityBytes || ways != cfg_.ways ||
+                   tagFactor != cfg_.tagFactor ||
+                   segBytes != cfg_.segmentBytes ||
+                   sets.size() != sets_.size())) {
+        d.fail("adaptive cache geometry mismatch");
+    }
+    d.endSection();
+    if (!d.ok())
+        return;
+    useClock_ = useClock;
+    valid_ = valid;
+    predictor_ = predictor;
+    stats_ = stats;
+    sets_ = std::move(sets);
+}
+
 } // namespace cache
 } // namespace morc

@@ -49,6 +49,8 @@ class AdaptiveCache : public Llc
     std::uint64_t capacityBytes() const override { return cfg_.capacityBytes; }
     std::string name() const override { return "Adaptive"; }
     check::AuditReport audit() const override;
+    void saveState(snap::Serializer &s) const override;
+    void restoreState(snap::Deserializer &d) override;
 
     /** Exposed for tests: current compress/don't-compress bias. */
     std::int64_t predictor() const { return predictor_; }

@@ -47,6 +47,8 @@ class DecoupledCache : public Llc
     std::uint64_t capacityBytes() const override { return cfg_.capacityBytes; }
     std::string name() const override { return "Decoupled"; }
     check::AuditReport audit() const override;
+    void saveState(snap::Serializer &s) const override;
+    void restoreState(snap::Deserializer &d) override;
 
   private:
     struct SubLine

@@ -162,5 +162,79 @@ IdealCache::audit() const
     return r;
 }
 
+void
+IdealCache::saveState(snap::Serializer &s) const
+{
+    s.beginSection("IDEA");
+    s.u8(scope_ == OracleScope::InterLine ? 1 : 0);
+    s.u64(capacity_);
+    s.u64(setBits_);
+    s.u64(useClock_);
+    s.u64(valid_);
+    stats_.save(s);
+    // dict_ is derived state (word refcounts of resident lines); the
+    // restore path rebuilds it from the sets below.
+    s.vec(sets_, [&](const Set &set) {
+        s.u64(set.usedBits);
+        s.vec(set.lines, [&](const LineEntry &l) {
+            s.u64(l.tag);
+            s.boolean(l.dirty);
+            s.u32(l.bits);
+            s.u64(l.lastUse);
+            s.bytes(l.data.bytes.data(), kLineSize);
+        });
+    });
+    s.endSection();
+}
+
+void
+IdealCache::restoreState(snap::Deserializer &d)
+{
+    if (!d.beginSection("IDEA"))
+        return;
+    const std::uint8_t inter = d.u8();
+    const std::uint64_t capacity = d.u64();
+    const std::uint64_t setBits = d.u64();
+    const std::uint64_t useClock = d.u64();
+    const std::uint64_t valid = d.u64();
+    LlcStats stats;
+    stats.restore(d);
+    std::vector<Set> sets;
+    d.readVec(sets, 8 + 8, [&] {
+        Set set;
+        set.usedBits = d.u64();
+        d.readVec(set.lines, 8 + 1 + 4 + 8 + kLineSize, [&] {
+            LineEntry l;
+            l.tag = d.u64();
+            l.dirty = d.boolean();
+            l.bits = d.u32();
+            l.lastUse = d.u64();
+            d.bytes(l.data.bytes.data(), kLineSize);
+            return l;
+        });
+        return set;
+    });
+    if (d.ok() &&
+        (inter != (scope_ == OracleScope::InterLine ? 1 : 0) ||
+         capacity != capacity_ || setBits != setBits_ ||
+         sets.size() != sets_.size())) {
+        d.fail("ideal cache geometry mismatch");
+    }
+    d.endSection();
+    if (!d.ok())
+        return;
+    useClock_ = useClock;
+    valid_ = valid;
+    stats_ = stats;
+    sets_ = std::move(sets);
+    dict_.clear();
+    if (scope_ == OracleScope::InterLine) {
+        for (const Set &set : sets_) {
+            for (const LineEntry &l : set.lines)
+                dict_.addLine(l.data);
+        }
+    }
+}
+
 } // namespace cache
 } // namespace morc

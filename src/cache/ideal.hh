@@ -40,6 +40,8 @@ class IdealCache : public Llc
     std::uint64_t validLines() const override { return valid_; }
     std::uint64_t capacityBytes() const override { return capacity_; }
     check::AuditReport audit() const override;
+    void saveState(snap::Serializer &s) const override;
+    void restoreState(snap::Deserializer &d) override;
 
     std::string
     name() const override

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "check/auditor.hh"
+#include "snapshot/snapshot.hh"
 #include "telemetry/telemetry.hh"
 #include "telemetry/tracer.hh"
 #include "util/types.hh"
@@ -87,6 +88,37 @@ struct LlcStats
         *this = LlcStats{};
     }
 
+    void
+    save(snap::Serializer &s) const
+    {
+        s.u64(reads);
+        s.u64(readHits);
+        s.u64(inserts);
+        s.u64(victimWritebacks);
+        s.u64(linesCompressed);
+        s.u64(linesDecompressed);
+        s.u64(bytesDecompressed);
+        s.u64(logFlushes);
+        s.u64(lmtConflictEvicts);
+    }
+
+    void
+    restore(snap::Deserializer &d)
+    {
+        LlcStats v;
+        v.reads = d.u64();
+        v.readHits = d.u64();
+        v.inserts = d.u64();
+        v.victimWritebacks = d.u64();
+        v.linesCompressed = d.u64();
+        v.linesDecompressed = d.u64();
+        v.bytesDecompressed = d.u64();
+        v.logFlushes = d.u64();
+        v.lmtConflictEvicts = d.u64();
+        if (d.ok())
+            *this = v;
+    }
+
     LlcStats &
     operator+=(const LlcStats &o)
     {
@@ -128,7 +160,7 @@ operator-(const LlcStats &a, const LlcStats &b)
  * check/auditor.hh). The morc_check differential fuzzer runs it
  * periodically while replaying adversarial access streams.
  */
-class Llc : public check::Auditable
+class Llc : public check::Auditable, public snap::Snapshottable
 {
   public:
     ~Llc() override = default;

@@ -14,6 +14,7 @@
 #define MORC_CACHE_SC2_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/llc.hh"
@@ -50,6 +51,8 @@ class Sc2Cache : public Llc
     std::uint64_t capacityBytes() const override { return cfg_.capacityBytes; }
     std::string name() const override { return "SC2"; }
     check::AuditReport audit() const override;
+    void saveState(snap::Serializer &s) const override;
+    void restoreState(snap::Deserializer &d) override;
 
     /** Exposed for tests. */
     bool trained() const { return trained_; }
@@ -96,6 +99,11 @@ class Sc2Cache : public Llc
 
     comp::ValueSampler sampler_;
     comp::HuffmanTable table_;
+    /** Exact counts table_ was trained from. The sampler keeps evolving
+     *  after a (re)train, so restoring the table from the *current*
+     *  counts would diverge; HuffmanTable::build is deterministic, so
+     *  rebuilding from these reproduces table_ exactly. */
+    std::unordered_map<std::uint32_t, std::uint64_t> trainFreqs_;
     bool trained_ = false;
     std::uint64_t fillsSinceTrain_ = 0;
     std::uint64_t retrainings_ = 0;

@@ -139,5 +139,58 @@ UncompressedCache::audit() const
     return r;
 }
 
+void
+UncompressedCache::saveState(snap::Serializer &s) const
+{
+    s.beginSection("UNCP");
+    s.u64(capacity_);
+    s.u32(ways_);
+    s.u64(useClock_);
+    s.u64(valid_);
+    stats_.save(s);
+    s.vec(store_, [&](const Way &w) {
+        s.u64(w.tag);
+        s.boolean(w.valid);
+        s.boolean(w.dirty);
+        s.u64(w.lastUse);
+        s.bytes(w.data.bytes.data(), kLineSize);
+    });
+    s.endSection();
+}
+
+void
+UncompressedCache::restoreState(snap::Deserializer &d)
+{
+    if (!d.beginSection("UNCP"))
+        return;
+    const std::uint64_t capacity = d.u64();
+    const std::uint32_t ways = d.u32();
+    const std::uint64_t useClock = d.u64();
+    const std::uint64_t valid = d.u64();
+    LlcStats stats;
+    stats.restore(d);
+    std::vector<Way> store;
+    d.readVec(store, 8 + 1 + 1 + 8 + kLineSize, [&] {
+        Way w;
+        w.tag = d.u64();
+        w.valid = d.boolean();
+        w.dirty = d.boolean();
+        w.lastUse = d.u64();
+        d.bytes(w.data.bytes.data(), kLineSize);
+        return w;
+    });
+    if (d.ok() && (capacity != capacity_ || ways != ways_ ||
+                   store.size() != store_.size())) {
+        d.fail("uncompressed cache geometry mismatch");
+    }
+    d.endSection();
+    if (!d.ok())
+        return;
+    useClock_ = useClock;
+    valid_ = valid;
+    stats_ = stats;
+    store_ = std::move(store);
+}
+
 } // namespace cache
 } // namespace morc

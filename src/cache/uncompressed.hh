@@ -33,6 +33,8 @@ class UncompressedCache : public Llc
     std::uint64_t capacityBytes() const override { return capacity_; }
     std::string name() const override { return "Uncompressed"; }
     check::AuditReport audit() const override;
+    void saveState(snap::Serializer &s) const override;
+    void restoreState(snap::Deserializer &d) override;
 
   private:
     struct Way

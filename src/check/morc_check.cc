@@ -35,6 +35,18 @@
  * --inject-lmt-corruption the fault is injected into one bank's LMT and
  * the merged banked audit must still catch it.
  *
+ * --snapshot is the differential test for the checkpoint subsystem
+ * (src/snapshot): halfway through the stream the cache's state is
+ * serialized, restored into a freshly constructed twin, and both are
+ * audited and re-serialized (the twin's bytes must equal the
+ * original's). The remainder of the stream then drives cache and twin
+ * in lockstep — any divergence in hit/miss outcome, returned contents,
+ * latency annotation, or write-back set means save/restore lost state.
+ * At the end both serialize byte-identically once more, and a
+ * one-byte-tampered copy of the snapshot must be *rejected* by the
+ * frame CRC — a restore path that accepts corrupted bytes proves
+ * nothing.
+ *
  * --events attaches the telemetry event tracer (telemetry/tracer.hh)
  * to the cache under test and cross-checks it against the counters the
  * same run maintains: the traced log_flush / lmt_conflict_evict event
@@ -67,6 +79,7 @@
 #include "core/morc.hh"
 #include "mesh/banked_llc.hh"
 #include "mesh/topology.hh"
+#include "snapshot/snapshot.hh"
 #include "sweep/sweep.hh"
 #include "telemetry/tracer.hh"
 #include "util/rng.hh"
@@ -86,6 +99,7 @@ struct Options
     unsigned meshHeight = 0;
     bool injectLmtCorruption = false;
     bool events = false;
+    bool snapshot = false;
     bool verbose = false;
 
     bool mesh() const { return meshWidth != 0 && meshHeight != 0; }
@@ -432,6 +446,82 @@ checkEvents(const std::string &scheme, const telemetry::Tracer &tracer,
     return ok;
 }
 
+/** Serialize @p c into a sealed frame. */
+std::vector<std::uint8_t>
+snapshotBytes(const cache::Llc &c)
+{
+    snap::Serializer s;
+    c.saveState(s);
+    return s.frame();
+}
+
+/** Two FillResults must agree exactly: same victims (order included,
+ *  eviction order is deterministic), same codec work. */
+bool
+sameFill(const cache::FillResult &a, const cache::FillResult &b)
+{
+    if (a.writebacks.size() != b.writebacks.size() ||
+        a.linesCompressed != b.linesCompressed ||
+        a.linesDecompressed != b.linesDecompressed ||
+        a.bytesDecompressed != b.bytesDecompressed)
+        return false;
+    for (std::size_t i = 0; i < a.writebacks.size(); i++) {
+        if (a.writebacks[i].addr != b.writebacks[i].addr ||
+            !(a.writebacks[i].data == b.writebacks[i].data))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * --snapshot fork: serialize @p cache, restore into a fresh twin,
+ * audit the twin, verify it re-serializes to the very same bytes, and
+ * verify a one-byte-tampered frame is rejected. Returns the twin (to
+ * be driven in lockstep for the rest of the stream), or nullptr after
+ * reporting a failure.
+ */
+std::unique_ptr<cache::Llc>
+forkViaSnapshot(const std::string &label, std::uint64_t op,
+                const std::string &scheme, const Options &opt,
+                cache::Llc &cache, RunStats &st)
+{
+    const std::vector<std::uint8_t> frame = snapshotBytes(cache);
+
+    auto twin = makeCache(scheme, opt);
+    snap::Deserializer d(frame);
+    twin->restoreState(d);
+    if (!d.ok()) {
+        diverged(label, op, "snapshot restore rejected its own bytes: %s",
+                 d.error().c_str());
+        return nullptr;
+    }
+    if (!runAudit(label + "(restored)", op, *twin, st))
+        return nullptr;
+    if (snapshotBytes(*twin) != frame) {
+        diverged(label, op,
+                 "restored cache re-serializes to different bytes");
+        return nullptr;
+    }
+
+    // A flipped byte anywhere in the frame must fail the CRC (or the
+    // header checks) — silently accepting tampered state would defeat
+    // the whole guard.
+    std::vector<std::uint8_t> tampered = frame;
+    tampered[tampered.size() / 2] ^= 0x01;
+    auto victim = makeCache(scheme, opt);
+    snap::Deserializer dt(std::move(tampered));
+    victim->restoreState(dt);
+    if (dt.ok()) {
+        diverged(label, op, "tampered snapshot was accepted");
+        return nullptr;
+    }
+
+    std::printf("%-13s snapshot fork at op=%" PRIu64 ": %zu bytes, "
+                "restore + audit + tamper-reject OK\n",
+                label.c_str(), op, frame.size());
+    return twin;
+}
+
 /** Replay @p opt.ops operations; true when no divergence was observed. */
 bool
 runScheme(const std::string &scheme, const Options &opt)
@@ -468,6 +558,12 @@ runScheme(const std::string &scheme, const Options &opt)
     Phase phase = nextPhase(rng);
     bool ok = true;
 
+    /** --snapshot: mid-stream fork restored from serialized state,
+     *  driven in lockstep with the primary for the rest of the run. */
+    std::unique_ptr<cache::Llc> twin;
+    const std::uint64_t snapOp =
+        opt.snapshot ? opt.ops / 2 : ~std::uint64_t{0};
+
     /** Ring of the most recently touched addresses; each audit probes
      *  all of them for cross-bank residency. */
     constexpr std::size_t kRecentRing = 64;
@@ -475,6 +571,13 @@ runScheme(const std::string &scheme, const Options &opt)
     std::size_t recentNext = 0;
 
     for (std::uint64_t op = 0; op < opt.ops && ok; op++) {
+        if (op == snapOp) {
+            twin = forkViaSnapshot(label, op, scheme, opt, *cache, st);
+            if (!twin) {
+                ok = false;
+                break;
+            }
+        }
         if (tracer)
             tracer->setNow(op);
         if (op % kPhaseOps == kPhaseOps - 1)
@@ -491,10 +594,30 @@ runScheme(const std::string &scheme, const Options &opt)
             const auto fr = cache->insert(addr, data, true);
             st.inserts++;
             ok = checkWritebacks(label, op, fr, model, st) && ok;
+            if (twin && !sameFill(fr, twin->insert(addr, data, true)))
+                ok = diverged(label, op,
+                              "restored twin diverged on dirty insert "
+                              "of 0x%" PRIx64,
+                              addr) &&
+                     ok;
             model[addr] = ModelLine{data, true};
         } else {
             const auto rr = cache->read(addr);
             st.reads++;
+            if (twin) {
+                const auto rr2 = twin->read(addr);
+                if (rr2.hit != rr.hit ||
+                    (rr.hit && !(rr2.data == rr.data)) ||
+                    rr2.extraLatency != rr.extraLatency ||
+                    rr2.bytesDecompressed != rr.bytesDecompressed ||
+                    rr2.linesDecompressed != rr.linesDecompressed)
+                    ok = diverged(label, op,
+                                  "restored twin diverged on read of "
+                                  "0x%" PRIx64 " (hit %d vs %d)",
+                                  addr, rr.hit ? 1 : 0,
+                                  rr2.hit ? 1 : 0) &&
+                         ok;
+            }
             const auto it = model.find(addr);
             if (rr.hit) {
                 st.hits++;
@@ -525,6 +648,13 @@ runScheme(const std::string &scheme, const Options &opt)
                 const auto fr = cache->insert(addr, data, false);
                 st.inserts++;
                 ok = checkWritebacks(label, op, fr, model, st) && ok;
+                if (twin &&
+                    !sameFill(fr, twin->insert(addr, data, false)))
+                    ok = diverged(label, op,
+                                  "restored twin diverged on fill of "
+                                  "0x%" PRIx64,
+                                  addr) &&
+                         ok;
                 model[addr] = ModelLine{data, false};
             }
         }
@@ -540,14 +670,40 @@ runScheme(const std::string &scheme, const Options &opt)
 
         if (opt.auditEvery != 0 && (op + 1) % opt.auditEvery == 0) {
             ok = runAudit(label, op, *cache, st) && ok;
-            if (banked)
-                for (const Addr a : recent)
+            if (banked) {
+                // The twin mirrors the probes too: they validate its
+                // exclusivity as well, and they bump foreign-bank
+                // counters — skipping them would break the final
+                // byte-for-byte state comparison.
+                auto *twin_banked =
+                    dynamic_cast<mesh::BankedLlc *>(twin.get());
+                for (const Addr a : recent) {
                     ok = checkExclusivity(label, op, *banked, a, st) && ok;
+                    if (twin_banked)
+                        ok = checkExclusivity(label + "(twin)", op,
+                                              *twin_banked, a, st) &&
+                             ok;
+                }
+            }
         }
     }
 
     if (ok)
         ok = runAudit(label, opt.ops, *cache, st);
+
+    // Post-lockstep: the twin must have tracked the primary perfectly,
+    // down to its serialized bytes.
+    if (ok && twin) {
+        ok = runAudit(label + "(twin)", opt.ops, *twin, st);
+        if (ok && snapshotBytes(*cache) != snapshotBytes(*twin))
+            ok = diverged(label, opt.ops,
+                          "primary and restored twin serialize to "
+                          "different bytes after lockstep replay");
+        if (ok)
+            std::printf("%-13s snapshot lockstep: twin stayed "
+                        "byte-identical through op=%" PRIu64 "\n",
+                        label.c_str(), opt.ops);
+    }
 
     if (ok && tracer)
         ok = checkEvents(label, *tracer, *cache, opt.ops);
@@ -614,7 +770,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--scheme NAME|all] [--ops N] [--seed S]\n"
         "          [--audit-every N] [--mesh WxH] [--events]\n"
-        "          [--inject-lmt-corruption] [--verbose]\n"
+        "          [--snapshot] [--inject-lmt-corruption] [--verbose]\n"
         "\n"
         "Differential fuzz: replay a seeded adversarial access stream\n"
         "through a cache scheme in lockstep with a reference memory\n"
@@ -628,6 +784,11 @@ usage(const char *argv0)
         "--events attaches the telemetry event tracer and cross-checks\n"
         "traced log_flush / lmt_conflict_evict counts against the\n"
         "scheme's own counters at the end of the run.\n"
+        "\n"
+        "--snapshot serializes the cache halfway through the stream,\n"
+        "restores it into a fresh twin, rejects a tampered copy, and\n"
+        "drives both in lockstep for the rest of the run: outcomes and\n"
+        "final serialized bytes must match exactly.\n"
         "\n"
         "schemes: all",
         argv0);
@@ -681,6 +842,8 @@ run(int argc, char **argv)
                 return usage(argv[0]);
         } else if (arg == "--events") {
             opt.events = true;
+        } else if (arg == "--snapshot") {
+            opt.snapshot = true;
         } else if (arg == "--inject-lmt-corruption") {
             opt.injectLmtCorruption = true;
         } else if (arg == "--verbose") {

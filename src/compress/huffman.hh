@@ -13,10 +13,13 @@
 #ifndef MORC_COMPRESS_HUFFMAN_HH
 #define MORC_COMPRESS_HUFFMAN_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "snapshot/snapshot.hh"
 #include "util/bitstream.hh"
 #include "util/types.hh"
 
@@ -111,6 +114,70 @@ class ValueSampler
     }
 
     std::uint64_t linesObserved() const { return observed_; }
+
+    /** Current frequency map (e.g. to capture the exact counts a table
+     *  was trained from, so a restore can rebuild that table). */
+    const std::unordered_map<std::uint32_t, std::uint64_t> &
+    freqs() const
+    {
+        return freqs_;
+    }
+
+    /** Append counts in sorted key order (the map itself is unordered,
+     *  but nothing downstream depends on its iteration order). */
+    void
+    save(snap::Serializer &s) const
+    {
+        s.u32(maxSymbols_);
+        s.u64(observed_);
+        saveFreqMap(s, freqs_);
+    }
+
+    void
+    restore(snap::Deserializer &d)
+    {
+        const std::uint32_t maxSymbols = d.u32();
+        const std::uint64_t observed = d.u64();
+        if (d.ok() && maxSymbols != maxSymbols_) {
+            d.fail("value sampler symbol-capacity mismatch");
+            return;
+        }
+        std::unordered_map<std::uint32_t, std::uint64_t> freqs;
+        restoreFreqMap(d, freqs);
+        if (!d.ok())
+            return;
+        observed_ = observed;
+        freqs_ = std::move(freqs);
+    }
+
+    /** Shared helper: write a value-frequency map sorted by value. */
+    static void
+    saveFreqMap(snap::Serializer &s,
+                const std::unordered_map<std::uint32_t, std::uint64_t> &m)
+    {
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> kv(m.begin(),
+                                                                m.end());
+        std::sort(kv.begin(), kv.end());
+        s.vec(kv, [&](const std::pair<std::uint32_t, std::uint64_t> &e) {
+            s.u32(e.first);
+            s.u64(e.second);
+        });
+    }
+
+    /** Shared helper: read a map written by saveFreqMap(). */
+    static void
+    restoreFreqMap(snap::Deserializer &d,
+                   std::unordered_map<std::uint32_t, std::uint64_t> &m)
+    {
+        m.clear();
+        const std::uint64_t n = d.arrayLen(4 + 8);
+        m.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n && d.ok(); i++) {
+            const std::uint32_t value = d.u32();
+            const std::uint64_t freq = d.u64();
+            m.emplace(value, freq);
+        }
+    }
 
   private:
     unsigned maxSymbols_;

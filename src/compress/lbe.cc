@@ -84,6 +84,94 @@ LbeEncoder::reset()
     map256_.clear();
 }
 
+void
+LbeEncoder::save(snap::Serializer &s) const
+{
+    s.beginSection("LBE ");
+    s.u32(cfg_.dictBytes);
+    s.u32(cfg_.nodes64);
+    s.u32(cfg_.nodes128);
+    s.u32(cfg_.nodes256);
+    constexpr int kNumSymbols = static_cast<int>(LbeSymbol::NumSymbols);
+    for (int i = 0; i < kNumSymbols; i++)
+        s.u64(stats_.count[i]);
+    for (int i = 0; i < kNumSymbols; i++)
+        s.u64(stats_.zeroCount[i]);
+    s.vecU32(values32_);
+    const auto putNodes = [&](const std::vector<Node> &nodes) {
+        s.vec(nodes, [&](const Node &n) {
+            s.u32(n.left);
+            s.u32(n.right);
+        });
+    };
+    putNodes(nodes64_);
+    putNodes(nodes128_);
+    putNodes(nodes256_);
+    s.endSection();
+}
+
+void
+LbeEncoder::restore(snap::Deserializer &d)
+{
+    if (!d.beginSection("LBE "))
+        return;
+    const std::uint32_t dictBytes = d.u32();
+    const std::uint32_t n64 = d.u32();
+    const std::uint32_t n128 = d.u32();
+    const std::uint32_t n256 = d.u32();
+    if (d.ok() && (dictBytes != cfg_.dictBytes || n64 != cfg_.nodes64 ||
+                   n128 != cfg_.nodes128 || n256 != cfg_.nodes256)) {
+        d.fail("LBE configuration mismatch (dictionary/table sizing "
+               "differs from the live encoder)");
+    }
+    LbeStats stats;
+    constexpr int kNumSymbols = static_cast<int>(LbeSymbol::NumSymbols);
+    for (int i = 0; i < kNumSymbols; i++)
+        stats.count[i] = d.u64();
+    for (int i = 0; i < kNumSymbols; i++)
+        stats.zeroCount[i] = d.u64();
+    std::vector<std::uint32_t> values;
+    d.vecU32(values);
+    const auto getNodes = [&](std::vector<Node> &nodes, unsigned cap) {
+        d.readVec(nodes, 8, [&] {
+            Node n;
+            n.left = d.u32();
+            n.right = d.u32();
+            return n;
+        });
+        if (d.ok() && nodes.size() > cap)
+            d.fail("LBE node table overflows its configured capacity");
+    };
+    std::vector<Node> t64, t128, t256;
+    getNodes(t64, cfg_.nodes64);
+    getNodes(t128, cfg_.nodes128);
+    getNodes(t256, cfg_.nodes256);
+    if (d.ok() && values.size() > cfg_.entries32())
+        d.fail("LBE dictionary overflows its configured capacity");
+    d.endSection();
+    if (!d.ok())
+        return;
+    stats_ = stats;
+    values32_ = std::move(values);
+    nodes64_ = std::move(t64);
+    nodes128_ = std::move(t128);
+    nodes256_ = std::move(t256);
+    // The reverse maps are derived: rebuild them with the same
+    // position+1 indices commit() assigns (0 is the zero entry).
+    map32_.clear();
+    map64_.clear();
+    map128_.clear();
+    map256_.clear();
+    for (std::size_t i = 0; i < values32_.size(); i++)
+        map32_.emplace(values32_[i], static_cast<std::uint32_t>(i + 1));
+    for (std::size_t i = 0; i < nodes64_.size(); i++)
+        map64_.emplace(nodes64_[i], static_cast<std::uint32_t>(i + 1));
+    for (std::size_t i = 0; i < nodes128_.size(); i++)
+        map128_.emplace(nodes128_[i], static_cast<std::uint32_t>(i + 1));
+    for (std::size_t i = 0; i < nodes256_.size(); i++)
+        map256_.emplace(nodes256_[i], static_cast<std::uint32_t>(i + 1));
+}
+
 std::uint32_t
 LbeEncoder::lookup32(std::uint32_t w, const Overlay &ov) const
 {

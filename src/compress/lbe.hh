@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "snapshot/snapshot.hh"
 #include "util/bitstream.hh"
 #include "util/types.hh"
 
@@ -138,6 +139,14 @@ class LbeEncoder
 
     /** Number of committed 32-bit dictionary entries (excluding zero). */
     unsigned dictSize() const { return static_cast<unsigned>(values32_.size()); }
+
+    /** Append dictionary contents and symbol stats. The reverse maps
+     *  are derived state and are rebuilt on restore. */
+    void save(snap::Serializer &s) const;
+
+    /** Restore a dictionary written by save(); the configuration must
+     *  match (table capacities are structural). */
+    void restore(snap::Deserializer &d);
 
   private:
     /** Index 0 is the hardwired zero entry at every granularity. */

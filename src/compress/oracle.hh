@@ -106,6 +106,9 @@ class OracleDictionary
 
     std::size_t distinctWords() const { return refs_.size(); }
 
+    /** Forget all residency (snapshot restore rebuilds via addLine). */
+    void clear() { refs_.clear(); }
+
   private:
     std::unordered_map<std::uint32_t, std::uint32_t> refs_;
 };

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "snapshot/snapshot.hh"
 #include "util/bitstream.hh"
 #include "util/types.hh"
 
@@ -77,6 +78,61 @@ class TagCodec
     overheadBits() const
     {
         return 1 + (numBases_ > 1 ? 1 : 0);
+    }
+
+    /** Append base state and diagnostic counters. */
+    void
+    save(snap::Serializer &s) const
+    {
+        s.beginSection("TAGC");
+        s.u32(numBases_);
+        s.vecU64(bases_);
+        s.vec(baseValid_, [&](bool v) { s.boolean(v); });
+        s.vecU64(baseUse_);
+        s.u64(useClock_);
+        s.u64(newBases_);
+        s.u64(deltas_);
+        s.u64(deltaBitsTotal_);
+        s.endSection();
+    }
+
+    /** Restore state written by save(); base count must match. */
+    void
+    restore(snap::Deserializer &d)
+    {
+        if (!d.beginSection("TAGC"))
+            return;
+        const std::uint32_t numBases = d.u32();
+        std::vector<std::uint64_t> bases;
+        std::vector<bool> valid;
+        std::vector<std::uint64_t> use;
+        d.vecU64(bases);
+        {
+            const std::uint64_t n = d.arrayLen(1);
+            for (std::uint64_t i = 0; i < n && d.ok(); i++)
+                valid.push_back(d.boolean());
+        }
+        d.vecU64(use);
+        const std::uint64_t useClock = d.u64();
+        const std::uint64_t newBases = d.u64();
+        const std::uint64_t deltas = d.u64();
+        const std::uint64_t deltaBitsTotal = d.u64();
+        if (d.ok() &&
+            (numBases != numBases_ || bases.size() != bases_.size() ||
+             valid.size() != baseValid_.size() ||
+             use.size() != baseUse_.size())) {
+            d.fail("tag codec base-count mismatch");
+        }
+        d.endSection();
+        if (!d.ok())
+            return;
+        bases_ = std::move(bases);
+        baseValid_ = std::move(valid);
+        baseUse_ = std::move(use);
+        useClock_ = useClock;
+        newBases_ = newBases;
+        deltas_ = deltas;
+        deltaBitsTotal_ = deltaBitsTotal;
     }
 
   private:

@@ -194,6 +194,14 @@ class LogCache : public cache::Llc
      */
     check::AuditReport audit() const override;
 
+    /** Append every log (lines, LBE dictionaries, tag codec bases,
+     *  compressed tag streams), the LMT, FIFO, and counters. */
+    void saveState(snap::Serializer &s) const override;
+
+    /** Restore state written by saveState(); the MorcConfig must match
+     *  structurally (log/LMT sizing, policy knobs). */
+    void restoreState(snap::Deserializer &d) override;
+
     /**
      * Test-only fault injection: corrupt one valid LMT entry (flip the
      * low bit of its stored line number), chosen deterministically from

@@ -89,6 +89,13 @@ class BankedLlc : public cache::Llc
     /** Clear the aggregate and every bank's counters (end of warm-up). */
     void clearAllStats();
 
+    /** Director stats + every bank's state, in bank order. */
+    void saveState(snap::Serializer &s) const override;
+
+    /** Restore into an identically configured director (same mesh and
+     *  bank scheme); each bank restores its own section. */
+    void restoreState(snap::Deserializer &d) override;
+
     /** Mean invalid-line fraction over MORC banks (0 for other
      *  schemes); mirrors core::LogCache::invalidLineFraction. */
     double invalidLineFraction() const;

@@ -123,6 +123,12 @@ class Noc
         stallThreshold_ = threshold;
     }
 
+    /** Append link occupancy and message statistics. */
+    void saveState(snap::Serializer &s) const;
+
+    /** Restore state written by saveState(); topology must match. */
+    void restoreState(snap::Deserializer &d);
+
   private:
     /** Directed-link index: 4 outgoing links per tile. */
     enum Dir { East, West, North, South };

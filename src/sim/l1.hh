@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "snapshot/snapshot.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
 
@@ -92,6 +93,49 @@ class L1Cache
         victim->data = data;
         victim->lastUse = ++clock_;
         return out;
+    }
+
+    /** Geometry fingerprint plus every way's contents. */
+    void
+    save(snap::Serializer &s) const
+    {
+        s.u32(ways_);
+        s.u64(numSets_);
+        s.u64(clock_);
+        s.vec(store_, [&s](const Way &w) {
+            s.u64(w.tag);
+            s.boolean(w.valid);
+            s.boolean(w.dirty);
+            s.u64(w.lastUse);
+            s.bytes(w.data.bytes.data(), kLineSize);
+        });
+    }
+
+    /** Restore into an identically sized L1. */
+    void
+    restore(snap::Deserializer &d)
+    {
+        const std::uint32_t ways = d.u32();
+        const std::uint64_t numSets = d.u64();
+        const std::uint64_t clock = d.u64();
+        if (d.ok() && (ways != ways_ || numSets != numSets_))
+            d.fail("L1 geometry mismatch");
+        std::vector<Way> store;
+        d.readVec(store, 8 + 1 + 1 + 8 + kLineSize, [&d]() {
+            Way w;
+            w.tag = d.u64();
+            w.valid = d.boolean();
+            w.dirty = d.boolean();
+            w.lastUse = d.u64();
+            d.bytes(w.data.bytes.data(), kLineSize);
+            return w;
+        });
+        if (d.ok() && store.size() != store_.size())
+            d.fail("L1 store size mismatch");
+        if (!d.ok())
+            return;
+        clock_ = clock;
+        store_ = std::move(store);
     }
 
   private:

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "snapshot/snapshot.hh"
 #include "telemetry/telemetry.hh"
 #include "util/types.hh"
 
@@ -106,6 +107,40 @@ class MemoryChannel
         reg.gauge(prefix + ".queue_depth_cycles", [this](Cycles now) {
             return busyUntil_ > now ? double(busyUntil_ - now) : 0.0;
         });
+    }
+
+    /** Rate fingerprint plus occupancy and counters. */
+    void
+    save(snap::Serializer &s) const
+    {
+        s.f64(cyclesPerByte_);
+        s.u64(accessCycles_);
+        s.u64(busyUntil_);
+        s.u64(reads_);
+        s.u64(writes_);
+        s.u64(bytes_);
+    }
+
+    /** Restore into a channel built with the same bandwidth/latency. */
+    void
+    restore(snap::Deserializer &d)
+    {
+        const double cyclesPerByte = d.f64();
+        const std::uint64_t accessCycles = d.u64();
+        const Cycles busyUntil = d.u64();
+        const std::uint64_t reads = d.u64();
+        const std::uint64_t writes = d.u64();
+        const std::uint64_t bytes = d.u64();
+        if (d.ok() && (cyclesPerByte != cyclesPerByte_ ||
+                       accessCycles != accessCycles_)) {
+            d.fail("memory channel timing mismatch");
+        }
+        if (!d.ok())
+            return;
+        busyUntil_ = busyUntil;
+        reads_ = reads;
+        writes_ = writes;
+        bytes_ = bytes;
     }
 
   private:

@@ -223,10 +223,50 @@ class System
     /**
      * Run until every core retires @p instructions_per_core measured
      * instructions, after an unmeasured warm-up phase (the paper warms
-     * for 100 M before measuring 30 M).
+     * for 100 M before measuring 30 M). Equivalent to warmup() (when
+     * warmup_per_core > 0) followed by measure().
      */
     RunResult run(std::uint64_t instructions_per_core,
                   std::uint64_t warmup_per_core = 0);
+
+    /**
+     * Warm-up phase alone: simulate @p warmup_per_core instructions
+     * per core, then reset every measurement counter while the
+     * architectural state (caches, DRAM image, trace cursors) stays
+     * warm. The system is then checkpoint-ready: save() + restore()
+     * into a fresh instance + measure() reproduces run() exactly.
+     */
+    void warmup(std::uint64_t warmup_per_core);
+
+    /** The measured window alone (run() minus the warm-up phase). */
+    RunResult measure(std::uint64_t instructions_per_core);
+
+    /** True once warmup() has completed (survives save/restore). */
+    bool warmed() const { return warmed_; }
+
+    /**
+     * Append the complete simulator state: config fingerprint, per-core
+     * state (results, L1, trace cursor, version map), DRAM image, LLC
+     * scheme state (flat or banked), memory channels, NoC, telemetry.
+     */
+    void saveState(snap::Serializer &s) const;
+
+    /**
+     * Restore state written by saveState() into an identically
+     * configured System. Any config mismatch or malformed byte latches
+     * into @p d; the caller must discard this instance when !d.ok()
+     * (state may be partially overwritten).
+     */
+    void restoreState(snap::Deserializer &d);
+
+    /** saveState() framed, CRC-sealed, and atomically written. */
+    bool save(const std::string &path,
+              std::string *error = nullptr) const;
+
+    /** Load, validate, and restore a snapshot file; on failure the
+     *  system must be discarded and the caller falls back to a cold
+     *  run. @p error (if given) receives the reason. */
+    bool restore(const std::string &path, std::string *error = nullptr);
 
     cache::Llc &llc() { return *llc_; }
     const SystemConfig &config() const { return cfg_; }
@@ -275,6 +315,7 @@ class System
     std::unordered_map<Addr, CacheLine> dram_;
     std::uint64_t totalInstructions_ = 0;
     stats::PeriodicSampler ratioSampler_;
+    bool warmed_ = false;
 
     /** Mesh-substrate state (null/empty on the flat path). */
     std::unique_ptr<mesh::Noc> noc_;

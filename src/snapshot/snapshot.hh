@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Versioned, CRC-guarded binary serialization for simulator snapshots.
+ *
+ * Every stateful component implements save/restore over the Serializer /
+ * Deserializer pair below, so a whole sim::System round-trips through one
+ * byte buffer (and from there to disk). The format is deliberately dumb:
+ *
+ *   - explicit little-endian scalar encoding (portable across hosts),
+ *   - a fixed frame: magic "MORCSNP1", u32 format version, u32 endian
+ *     tag, u64 payload length, payload, u32 CRC32 over everything
+ *     before the checksum,
+ *   - tagged sections (fourcc + u64 byte length) inside the payload so
+ *     a reader can pinpoint *which* component diverged or got truncated.
+ *
+ * Restore must never abort on bad input: a snapshot file is external
+ * data (possibly from a crashed writer, an older binary, or a fuzzer).
+ * The Deserializer therefore fails *softly* — the first malformed read
+ * latches an error flag plus a message, every subsequent read returns
+ * zeros, and the caller checks ok() once at the end and falls back to
+ * cold simulation. MORC_CHECK is reserved for caller bugs (unbalanced
+ * sections), never for byte-stream content.
+ */
+
+#ifndef MORC_SNAPSHOT_SNAPSHOT_HH
+#define MORC_SNAPSHOT_SNAPSHOT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace morc {
+namespace snap {
+
+/** Frame magic: identifies a snapshot byte stream. */
+inline constexpr char kMagic[8] = {'M', 'O', 'R', 'C', 'S', 'N', 'P', '1'};
+
+/** Bumped whenever the payload layout changes incompatibly. */
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/** Written little-endian; a reader seeing any other value is decoding
+ *  with broken byte order (or reading garbage). */
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+/** CRC32 (IEEE 802.3, polynomial 0xEDB88320) of @p n bytes, continuing
+ *  from @p seed so checksums can be computed incrementally. */
+std::uint32_t crc32(const void *data, std::size_t n,
+                    std::uint32_t seed = 0);
+
+/**
+ * Write @p data to @p path atomically: the bytes go to "<path>.tmp"
+ * first and are renamed over the target only after a successful close,
+ * so a crash mid-write never leaves a truncated file at @p path.
+ */
+bool atomicWriteFile(const std::string &path, const void *data,
+                     std::size_t n);
+
+/** Read a whole file into @p out; false (and empty @p out) on error. */
+bool readFile(const std::string &path, std::vector<std::uint8_t> &out);
+
+/**
+ * Append-only little-endian payload writer. Scalars are fixed-width;
+ * strings and blobs carry a u64 length prefix; sections wrap a region
+ * in a fourcc tag plus a back-patched byte length.
+ */
+class Serializer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        putLe(v, 2);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        putLe(v, 4);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        putLe(v, 8);
+    }
+
+    void
+    i64(std::int64_t v)
+    {
+        putLe(static_cast<std::uint64_t>(v), 8);
+    }
+
+    /** IEEE-754 bit pattern, so doubles round-trip exactly. */
+    void f64(double v);
+
+    void
+    boolean(bool v)
+    {
+        buf_.push_back(v ? 1 : 0);
+    }
+
+    /** u64 length + raw bytes. */
+    void str(std::string_view v);
+
+    /** Raw bytes, no length prefix (caller knows the count). */
+    void bytes(const void *p, std::size_t n);
+
+    void vecU8(const std::vector<std::uint8_t> &v);
+    void vecU32(const std::vector<std::uint32_t> &v);
+    void vecU64(const std::vector<std::uint64_t> &v);
+    void vecF64(const std::vector<double> &v);
+
+    /** u64 count + @p per(element) for each element. */
+    template <typename T, typename Fn>
+    void
+    vec(const std::vector<T> &v, Fn &&per)
+    {
+        u64(v.size());
+        for (const T &e : v)
+            per(e);
+    }
+
+    /** Open a tagged section; @p tag is a 4-character fourcc. */
+    void beginSection(const char *tag);
+
+    /** Close the innermost section, back-patching its byte length. */
+    void endSection();
+
+    /** Payload bytes written so far (no frame). */
+    const std::vector<std::uint8_t> &payload() const { return buf_; }
+
+    /** Frame the payload: magic + version + endian tag + length +
+     *  payload + CRC32. All sections must be closed. */
+    std::vector<std::uint8_t> frame() const;
+
+    /** frame() + atomicWriteFile(). */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    void
+    putLe(std::uint64_t v, unsigned nbytes)
+    {
+        for (unsigned i = 0; i < nbytes; i++)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    std::vector<std::uint8_t> buf_;
+    std::vector<std::size_t> sectionStack_; // offsets of length fields
+};
+
+/**
+ * Little-endian payload reader over a framed snapshot. The constructor
+ * validates the frame (magic, version, endianness, length, CRC); any
+ * mismatch — and any later overrun, tag mismatch, or explicit fail() —
+ * latches an error and turns every subsequent read into a zero-valued
+ * no-op. Callers check ok() once after restoring.
+ */
+class Deserializer
+{
+  public:
+    /** Take ownership of framed bytes (as produced by frame()). */
+    explicit Deserializer(std::vector<std::uint8_t> framed);
+
+    /** Read and validate @p path; io errors latch into the error
+     *  state just like malformed bytes. */
+    static Deserializer fromFile(const std::string &path);
+
+    bool ok() const { return error_.empty(); }
+
+    /** First error encountered; empty while ok(). */
+    const std::string &error() const { return error_; }
+
+    /** Latch a caller-detected error (e.g. config mismatch). Only the
+     *  first failure is kept — it names the root cause. */
+    void fail(const std::string &why);
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64();
+    bool boolean();
+    std::string str();
+
+    /** Raw bytes into @p p (caller-known count); zero-fills on error. */
+    void bytes(void *p, std::size_t n);
+
+    void vecU8(std::vector<std::uint8_t> &v);
+    void vecU32(std::vector<std::uint32_t> &v);
+    void vecU64(std::vector<std::uint64_t> &v);
+    void vecF64(std::vector<double> &v);
+
+    /**
+     * Read a u64 element count, sanity-capped against the bytes left
+     * in the stream (each element occupies at least @p min_elem_bytes)
+     * so a corrupt length can never drive a multi-gigabyte resize.
+     */
+    std::uint64_t arrayLen(std::size_t min_elem_bytes);
+
+    /** arrayLen() + @p per() per element into @p v. */
+    template <typename T, typename Fn>
+    void
+    readVec(std::vector<T> &v, std::size_t min_elem_bytes, Fn &&per)
+    {
+        const std::uint64_t n = arrayLen(min_elem_bytes);
+        v.clear();
+        v.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n && ok(); i++)
+            v.push_back(per());
+    }
+
+    /** Enter a section; fails (returning false) unless the next bytes
+     *  are @p tag's fourcc and a plausible length. */
+    bool beginSection(const char *tag);
+
+    /** Leave the innermost section; the cursor must have consumed it
+     *  exactly — anything else means reader/writer drift. */
+    void endSection();
+
+    /** Bytes left before the payload end (or innermost section end). */
+    std::uint64_t remaining() const;
+
+  private:
+    std::uint64_t getLe(unsigned nbytes);
+    bool need(std::size_t nbytes);
+
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;
+    std::size_t end_ = 0; // payload end within buf_
+    std::vector<std::size_t> sectionEnds_;
+    std::string error_;
+};
+
+/** Interface for components that round-trip through a snapshot. */
+class Snapshottable
+{
+  public:
+    virtual ~Snapshottable() = default;
+
+    /** Append this component's complete mutable state. */
+    virtual void saveState(Serializer &s) const = 0;
+
+    /** Restore state written by saveState(). Structural mismatches and
+     *  malformed bytes latch into @p d — no partial-failure cleanup is
+     *  required, the caller discards the object when !d.ok(). */
+    virtual void restoreState(Deserializer &d) = 0;
+};
+
+} // namespace snap
+} // namespace morc
+
+#endif // MORC_SNAPSHOT_SNAPSHOT_HH

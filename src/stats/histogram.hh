@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "check/check.hh"
+#include "snapshot/snapshot.hh"
 
 namespace morc {
 namespace stats {
@@ -83,6 +84,59 @@ class Histogram
         for (auto &c : counts_)
             c = 0;
         total_ = 0;
+    }
+
+    /** Append bucketing and counts to a snapshot. */
+    void
+    save(snap::Serializer &s) const
+    {
+        s.vecU64(bounds_);
+        s.vecU64(counts_);
+        s.u64(total_);
+    }
+
+    /** Restore counts from a snapshot; the serialized bucketing must
+     *  match this histogram's (bounds are structural configuration). */
+    void
+    restore(snap::Deserializer &d)
+    {
+        std::vector<std::uint64_t> bounds;
+        std::vector<std::uint64_t> counts;
+        d.vecU64(bounds);
+        d.vecU64(counts);
+        const std::uint64_t total = d.u64();
+        if (!d.ok())
+            return;
+        if (bounds != bounds_ || counts.size() != counts_.size()) {
+            d.fail("histogram bucketing mismatch (snapshot has " +
+                   std::to_string(bounds.size()) + " bounds, live has " +
+                   std::to_string(bounds_.size()) + ")");
+            return;
+        }
+        counts_ = std::move(counts);
+        total_ = total;
+    }
+
+    /** Rebuild a histogram wholesale from a snapshot, bucketing
+     *  included (for histograms whose bounds are themselves state,
+     *  e.g. warm-up snapshots of caller-owned histograms). Returns an
+     *  empty histogram with d failed on malformed input. */
+    static Histogram
+    load(snap::Deserializer &d)
+    {
+        std::vector<std::uint64_t> bounds;
+        std::vector<std::uint64_t> counts;
+        d.vecU64(bounds);
+        d.vecU64(counts);
+        const std::uint64_t total = d.u64();
+        if (d.ok() && counts.size() != bounds.size() + 1)
+            d.fail("histogram bucket count mismatch");
+        if (!d.ok())
+            return Histogram({});
+        Histogram h(std::move(bounds));
+        h.counts_ = std::move(counts);
+        h.total_ = total;
+        return h;
     }
 
     /** Merge another histogram's counts; bucketing must match. */

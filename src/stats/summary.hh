@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "snapshot/snapshot.hh"
+
 namespace morc {
 namespace stats {
 
@@ -37,6 +39,24 @@ class RunningMean
     {
         sum_ = 0.0;
         n_ = 0;
+    }
+
+    void
+    save(snap::Serializer &s) const
+    {
+        s.f64(sum_);
+        s.u64(n_);
+    }
+
+    void
+    restore(snap::Deserializer &d)
+    {
+        const double sum = d.f64();
+        const std::uint64_t n = d.u64();
+        if (!d.ok())
+            return;
+        sum_ = sum;
+        n_ = n;
     }
 
   private:
@@ -110,6 +130,29 @@ class PeriodicSampler
     }
 
     std::uint64_t samples() const { return mean_.count(); }
+
+    void
+    save(snap::Serializer &s) const
+    {
+        s.u64(interval_);
+        s.u64(nextSample_);
+        mean_.save(s);
+    }
+
+    void
+    restore(snap::Deserializer &d)
+    {
+        const std::uint64_t interval = d.u64();
+        const std::uint64_t next = d.u64();
+        if (d.ok() && interval != interval_) {
+            d.fail("periodic sampler interval mismatch");
+            return;
+        }
+        mean_.restore(d);
+        if (!d.ok())
+            return;
+        nextSample_ = next;
+    }
 
   private:
     std::uint64_t interval_;

@@ -1,0 +1,222 @@
+#include "sweep/journal.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace morc {
+namespace sweep {
+
+namespace {
+
+constexpr char kEntryMagic[4] = {'J', 'R', 'E', 'C'};
+constexpr std::size_t kEntryHeaderBytes = 4 + 8;
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; i++)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; i++)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+saveRunRecord(snap::Serializer &s, const stats::RunRecord &rec)
+{
+    s.beginSection("RREC");
+    s.str(rec.key);
+    s.vec(rec.labels, [&s](const auto &kv) {
+        s.str(kv.first);
+        s.str(kv.second);
+    });
+    s.vec(rec.metrics, [&s](const auto &kv) {
+        s.str(kv.first);
+        s.f64(kv.second);
+    });
+    s.vec(rec.histograms, [&s](const auto &kv) {
+        s.str(kv.first);
+        kv.second.save(s);
+    });
+    s.u64(rec.series.epochCycles);
+    s.u64(rec.series.samples);
+    s.u64(rec.series.droppedEpochs);
+    s.vec(rec.series.series, [&s](const telemetry::Series &ser) {
+        s.str(ser.name);
+        s.u8(static_cast<std::uint8_t>(ser.kind));
+        s.vecF64(ser.values);
+    });
+    s.vec(rec.trace.tracks,
+          [&s](const std::string &t) { s.str(t); });
+    s.vec(rec.trace.events, [&s](const telemetry::Event &e) {
+        s.u64(e.cycles);
+        s.u8(static_cast<std::uint8_t>(e.kind));
+        s.u16(e.track);
+        s.u64(e.a0);
+        s.u64(e.a1);
+    });
+    s.u64(rec.trace.dropped);
+    s.endSection();
+}
+
+stats::RunRecord
+loadRunRecord(snap::Deserializer &d)
+{
+    stats::RunRecord rec;
+    if (!d.beginSection("RREC"))
+        return rec;
+    rec.key = d.str();
+    d.readVec(rec.labels, 16, [&d]() {
+        std::string k = d.str();
+        std::string v = d.str();
+        return std::pair<std::string, std::string>(std::move(k),
+                                                   std::move(v));
+    });
+    d.readVec(rec.metrics, 8 + 8, [&d]() {
+        std::string k = d.str();
+        const double v = d.f64();
+        return std::pair<std::string, double>(std::move(k), v);
+    });
+    d.readVec(rec.histograms, 8 + 8 + 8 + 8, [&d]() {
+        std::string k = d.str();
+        stats::Histogram h = stats::Histogram::load(d);
+        return std::pair<std::string, stats::Histogram>(std::move(k),
+                                                        std::move(h));
+    });
+    rec.series.epochCycles = d.u64();
+    rec.series.samples = d.u64();
+    rec.series.droppedEpochs = d.u64();
+    d.readVec(rec.series.series, 8 + 1 + 8, [&d]() {
+        telemetry::Series ser;
+        ser.name = d.str();
+        const std::uint8_t kind = d.u8();
+        if (kind > static_cast<std::uint8_t>(
+                       telemetry::ProbeKind::Counter)) {
+            d.fail("journal: bad probe kind");
+        } else {
+            ser.kind = static_cast<telemetry::ProbeKind>(kind);
+        }
+        d.vecF64(ser.values);
+        return ser;
+    });
+    d.readVec(rec.trace.tracks, 8, [&d]() { return d.str(); });
+    d.readVec(rec.trace.events, 8 + 1 + 2 + 8 + 8, [&d]() {
+        telemetry::Event e;
+        e.cycles = d.u64();
+        const std::uint8_t kind = d.u8();
+        if (kind > static_cast<std::uint8_t>(
+                       telemetry::EventKind::NocStall)) {
+            d.fail("journal: bad event kind");
+        } else {
+            e.kind = static_cast<telemetry::EventKind>(kind);
+        }
+        e.track = d.u16();
+        e.a0 = d.u64();
+        e.a1 = d.u64();
+        return e;
+    });
+    rec.trace.dropped = d.u64();
+    d.endSection();
+    return rec;
+}
+
+std::size_t
+Journal::load()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+    std::vector<std::uint8_t> buf;
+    if (!snap::readFile(path_, buf))
+        return 0; // no journal yet: fresh sweep
+    std::size_t pos = 0;
+    while (pos + kEntryHeaderBytes + 4 <= buf.size()) {
+        if (std::memcmp(buf.data() + pos, kEntryMagic, 4) != 0)
+            break;
+        const std::uint64_t len = getU64(buf.data() + pos + 4);
+        if (len > buf.size() - pos - kEntryHeaderBytes - 4)
+            break; // torn tail: entry extends past EOF
+        const std::uint8_t *payload = buf.data() + pos + kEntryHeaderBytes;
+        const std::uint32_t crc =
+            getU32(payload + static_cast<std::size_t>(len));
+        if (snap::crc32(payload, static_cast<std::size_t>(len)) != crc)
+            break; // damaged entry: keep everything before it
+        // Re-frame the payload so the Deserializer's validation
+        // machinery (sections, bounds) applies unchanged.
+        snap::Serializer s;
+        s.bytes(payload, static_cast<std::size_t>(len));
+        snap::Deserializer d(s.frame());
+        stats::RunRecord rec = loadRunRecord(d);
+        if (!d.ok() || rec.key.empty())
+            break;
+        records_[rec.key] = std::move(rec);
+        pos += kEntryHeaderBytes + static_cast<std::size_t>(len) + 4;
+    }
+    return records_.size();
+}
+
+const stats::RunRecord *
+Journal::lookup(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = records_.find(key);
+    return it == records_.end() ? nullptr : &it->second;
+}
+
+void
+Journal::append(const stats::RunRecord &rec)
+{
+    snap::Serializer s;
+    saveRunRecord(s, rec);
+    const std::vector<std::uint8_t> &payload = s.payload();
+    const std::uint32_t crc = snap::crc32(payload.data(), payload.size());
+
+    std::vector<std::uint8_t> entry;
+    entry.reserve(kEntryHeaderBytes + payload.size() + 4);
+    for (char c : kEntryMagic)
+        entry.push_back(static_cast<std::uint8_t>(c));
+    const std::uint64_t len = payload.size();
+    for (unsigned i = 0; i < 8; i++)
+        entry.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+    entry.insert(entry.end(), payload.begin(), payload.end());
+    for (unsigned i = 0; i < 4; i++)
+        entry.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    records_[rec.key] = rec;
+    std::FILE *f = std::fopen(path_.c_str(), "ab");
+    bool ok = f != nullptr;
+    if (f) {
+        ok = std::fwrite(entry.data(), 1, entry.size(), f) ==
+             entry.size();
+        ok = std::fflush(f) == 0 && ok;
+        std::fclose(f);
+    }
+    if (!ok && !writeFailed_) {
+        writeFailed_ = true; // warn once; the sweep itself continues
+        std::fprintf(stderr,
+                     "[checkpoint] cannot append to journal %s; this "
+                     "run will not be resumable\n",
+                     path_.c_str());
+    }
+}
+
+std::size_t
+Journal::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+}
+
+} // namespace sweep
+} // namespace morc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Crash-safe journal of finished sweep tasks.
+ *
+ * A sweep with --checkpoint-dir appends every finished RunRecord to a
+ * per-figure journal file the moment it completes. A killed run can
+ * then resume: load() recovers every intact record, the driver skips
+ * the corresponding tasks (their journaled records are returned
+ * verbatim), and only unfinished work is simulated. Because records
+ * round-trip bit-exactly — doubles travel as IEEE-754 bit patterns —
+ * the resumed report is byte-identical to an uninterrupted run's.
+ *
+ * File layout: a sequence of independent entries
+ *
+ *   magic "JREC" | u64 payload length | payload | u32 CRC32(payload)
+ *
+ * Each entry is self-checking, so a torn tail (the process died
+ * mid-append) or a corrupt entry simply ends recovery there: every
+ * entry before it is kept, the damaged suffix is ignored, and the
+ * tasks it covered are re-simulated. Appends are serialized by a
+ * mutex and flushed per record, so concurrent sweep workers can
+ * journal safely.
+ */
+
+#ifndef MORC_SWEEP_JOURNAL_HH
+#define MORC_SWEEP_JOURNAL_HH
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "snapshot/snapshot.hh"
+#include "stats/report.hh"
+
+namespace morc {
+namespace sweep {
+
+/** Serialize one RunRecord (key, labels, metrics, histograms, series,
+ *  trace) into @p s. Shared by the journal and its tests. */
+void saveRunRecord(snap::Serializer &s, const stats::RunRecord &rec);
+
+/** Inverse of saveRunRecord(); check @p d.ok() before trusting the
+ *  result. */
+stats::RunRecord loadRunRecord(snap::Deserializer &d);
+
+/** Append-only, CRC-guarded store of finished RunRecords, keyed by the
+ *  task key. */
+class Journal
+{
+  public:
+    explicit Journal(std::string path) : path_(std::move(path)) {}
+
+    /** Recover intact records from an existing journal file (missing
+     *  file = empty journal). A torn or corrupt entry ends recovery:
+     *  everything before it is kept, the damaged tail discarded.
+     *  @return Number of records recovered. */
+    std::size_t load();
+
+    /** Journaled record for @p key, or nullptr. The pointer stays
+     *  valid for the journal's lifetime. */
+    const stats::RunRecord *lookup(const std::string &key) const;
+
+    /** Append one finished record (rec.key must be set) and flush it
+     *  to disk. Thread-safe; failures to write are reported once on
+     *  stderr but never abort the sweep. */
+    void append(const stats::RunRecord &rec);
+
+    std::size_t size() const;
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, stats::RunRecord> records_;
+    bool writeFailed_ = false;
+};
+
+} // namespace sweep
+} // namespace morc
+
+#endif // MORC_SWEEP_JOURNAL_HH

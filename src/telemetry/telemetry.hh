@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "snapshot/snapshot.hh"
 #include "util/types.hh"
 
 namespace morc {
@@ -122,6 +123,15 @@ class Registry
 
     /** Copy out all series (registration order). */
     SeriesSet snapshot() const;
+
+    /** Append sampler counters and every probe's sampled series. The
+     *  probe callbacks themselves are not serialized — they re-bind at
+     *  construction of the restored system. */
+    void saveState(snap::Serializer &s) const;
+
+    /** Restore sampler counters and series data; the live registry
+     *  must hold identical probes (name, kind, order) and config. */
+    void restoreState(snap::Deserializer &d);
 
   private:
     struct Probe

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "snapshot/snapshot.hh"
 #include "util/types.hh"
 
 namespace morc {
@@ -111,6 +112,13 @@ class Tracer
 
     /** Copy out tracks + events, oldest first. */
     TraceBuffer snapshot() const;
+
+    /** Append ring contents, counters, tracks, and the cycle stamp. */
+    void saveState(snap::Serializer &s) const;
+
+    /** Restore; the live tracer must have the same capacity and the
+     *  same registered tracks (components re-register on construction). */
+    void restoreState(snap::Deserializer &d);
 
   private:
     void push(const Event &e);

@@ -2,72 +2,131 @@
 
 #include <cstring>
 
+#include "snapshot/snapshot.hh"
+
 namespace morc {
 namespace trace {
 
 namespace {
 
-constexpr char kMagic[8] = {'M', 'O', 'R', 'C', 'T', 'R', 'C', '1'};
+constexpr char kMagicV1[8] = {'M', 'O', 'R', 'C', 'T', 'R', 'C', '1'};
+constexpr char kMagicV2[8] = {'M', 'O', 'R', 'C', 'T', 'R', 'C', '2'};
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint64_t kRecordBytes = 16;
 
-struct Record
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
 {
-    std::uint64_t addr;
-    std::uint32_t gap;
-    std::uint8_t write;
-    std::uint8_t pad[3];
-};
+    for (unsigned i = 0; i < 4; i++)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
 
-static_assert(sizeof(Record) == 16, "stable on-disk layout");
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; i++)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; i++)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; i++)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** Decode @p count records at @p p into @p refs (layout is shared by
+ *  both format versions). */
+void
+decodeRecords(const std::uint8_t *p, std::uint64_t count,
+              std::vector<MemRef> &refs)
+{
+    refs.reserve(count);
+    for (std::uint64_t i = 0; i < count; i++, p += kRecordBytes) {
+        MemRef r;
+        r.addr = getU64(p);
+        r.gap = getU32(p + 8);
+        r.write = p[12] != 0;
+        refs.push_back(r);
+    }
+}
 
 } // namespace
 
 bool
 TraceFile::save(const std::string &path) const
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        return false;
-    bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1;
-    const std::uint64_t count = refs_.size();
-    ok = ok && std::fwrite(&count, sizeof(count), 1, f) == 1;
+    std::vector<std::uint8_t> buf;
+    buf.reserve(8 + 4 + 4 + 8 + refs_.size() * kRecordBytes + 4);
+    for (char c : kMagicV2)
+        buf.push_back(static_cast<std::uint8_t>(c));
+    putU32(buf, kVersion);
+    putU32(buf, snap::kEndianTag);
+    putU64(buf, refs_.size());
     for (const MemRef &r : refs_) {
-        Record rec{};
-        rec.addr = r.addr;
-        rec.gap = r.gap;
-        rec.write = r.write ? 1 : 0;
-        ok = ok && std::fwrite(&rec, sizeof(rec), 1, f) == 1;
-        if (!ok)
-            break;
+        putU64(buf, r.addr);
+        putU32(buf, r.gap);
+        buf.push_back(r.write ? 1 : 0);
+        buf.push_back(0);
+        buf.push_back(0);
+        buf.push_back(0);
     }
-    std::fclose(f);
-    return ok;
+    putU32(buf, snap::crc32(buf.data(), buf.size()));
+    return snap::atomicWriteFile(path, buf.data(), buf.size());
 }
 
 TraceFile
 TraceFile::load(const std::string &path)
 {
     TraceFile t;
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
+    std::vector<std::uint8_t> buf;
+    if (!snap::readFile(path, buf) || buf.size() < 8)
         return t;
-    char magic[8];
-    std::uint64_t count = 0;
-    if (std::fread(magic, sizeof(magic), 1, f) != 1 ||
-        std::memcmp(magic, kMagic, sizeof(magic)) != 0 ||
-        std::fread(&count, sizeof(count), 1, f) != 1) {
-        std::fclose(f);
-        return t;
-    }
-    t.refs_.reserve(count);
-    for (std::uint64_t i = 0; i < count; i++) {
-        Record rec;
-        if (std::fread(&rec, sizeof(rec), 1, f) != 1) {
-            t.refs_.clear();
-            break;
+    const std::uint8_t *p = buf.data();
+
+    if (std::memcmp(p, kMagicV2, 8) == 0) {
+        constexpr std::uint64_t kHeader = 8 + 4 + 4 + 8;
+        if (buf.size() < kHeader + 4)
+            return t;
+        if (getU32(p + 8) != kVersion ||
+            getU32(p + 12) != snap::kEndianTag) {
+            return t;
         }
-        t.refs_.push_back({rec.addr, rec.write != 0, rec.gap});
+        const std::uint64_t count = getU64(p + 16);
+        const std::uint64_t body = kHeader + count * kRecordBytes;
+        if (count > (buf.size() - kHeader - 4) / kRecordBytes ||
+            buf.size() != body + 4) {
+            return t;
+        }
+        if (snap::crc32(p, body) != getU32(p + body))
+            return t;
+        decodeRecords(p + kHeader, count, t.refs_);
+        return t;
     }
-    std::fclose(f);
+
+    if (std::memcmp(p, kMagicV1, 8) == 0) {
+        // Legacy layout: magic, u64 count, records; no checksum.
+        if (buf.size() < 16)
+            return t;
+        const std::uint64_t count = getU64(p + 8);
+        if (count > (buf.size() - 16) / kRecordBytes ||
+            buf.size() != 16 + count * kRecordBytes) {
+            return t;
+        }
+        decodeRecords(p + 16, count, t.refs_);
+        return t;
+    }
     return t;
 }
 

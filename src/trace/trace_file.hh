@@ -8,10 +8,19 @@
  * simulator. The format also lets any ThreadTrace be captured once and
  * replayed bit-exactly, which the tests use.
  *
- * File layout (little-endian):
- *   magic "MORCTRC1" (8 bytes)
+ * File layout (little-endian), version 2:
+ *   magic "MORCTRC2" (8 bytes)
+ *   u32 format version (2)
+ *   u32 endianness tag 0x01020304 (rejects byte-swapped hosts)
  *   u64 record count
  *   records: { u64 addr; u32 gap; u8 write; u8 pad[3] }
+ *   u32 CRC32 over everything above (IEEE, poly 0xEDB88320)
+ *
+ * Writers emit version 2 atomically (temp file + rename, so a crashed
+ * writer can never leave a torn file under the final name). Readers
+ * accept version 2 — verifying the CRC and the length — and, for
+ * backward compatibility, the original "MORCTRC1" layout (no
+ * version/endianness fields, no checksum).
  *
  * Data values are not stored: replay re-synthesizes them from a
  * DataProfile exactly like the generators do (values are a pure
@@ -26,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hh"
 #include "trace/workload.hh"
 
 namespace morc {
@@ -70,11 +80,19 @@ class ReplayTrace
   public:
     ReplayTrace(TraceFile file, const DataProfile &profile)
         : file_(std::move(file)), values_(profile)
-    {}
+    {
+        // A failed TraceFile::load returns an empty trace; replaying it
+        // would divide by zero in next(). Callers must check empty()
+        // before constructing a replayer.
+        MORC_CHECK(!file_.refs().empty(),
+                   "cannot replay an empty trace (load failure?)");
+    }
 
     MemRef
     next()
     {
+        if (file_.refs().empty())
+            return MemRef{0, false, 0};
         const MemRef r = file_.refs()[pos_];
         pos_ = (pos_ + 1) % file_.refs().size();
         return r;

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "snapshot/snapshot.hh"
 #include "trace/value_model.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
@@ -122,6 +123,49 @@ class ThreadTrace
 
     const BenchmarkSpec &spec() const { return spec_; }
     unsigned threadId() const { return threadId_; }
+
+    /** Generator cursor: stream position, burst walks, RNG state.
+     *  The spec, pools and value model are configuration — a restored
+     *  trace must be built from the same BenchmarkSpec. */
+    void
+    save(snap::Serializer &s) const
+    {
+        s.u32(threadId_);
+        s.u64(seqPos_);
+        for (const Burst *b : {&hotBurst_, &coldBurst_}) {
+            s.u64(b->page);
+            s.u64(b->pos);
+            s.u32(b->left);
+        }
+        for (unsigned i = 0; i < 4; i++)
+            s.u64(rng_.stateWord(i));
+    }
+
+    /** Restore the cursor written by save(). */
+    void
+    restore(snap::Deserializer &d)
+    {
+        const std::uint32_t tid = d.u32();
+        if (d.ok() && tid != threadId_)
+            d.fail("trace thread id mismatch");
+        const std::uint64_t seqPos = d.u64();
+        Burst bursts[2];
+        for (Burst &b : bursts) {
+            b.page = d.u64();
+            b.pos = d.u64();
+            b.left = d.u32();
+        }
+        std::uint64_t words[4];
+        for (std::uint64_t &w : words)
+            w = d.u64();
+        if (!d.ok())
+            return;
+        seqPos_ = seqPos;
+        hotBurst_ = bursts[0];
+        coldBurst_ = bursts[1];
+        for (unsigned i = 0; i < 4; i++)
+            rng_.setStateWord(i, words[i]);
+    }
 
   private:
     BenchmarkSpec spec_;

@@ -66,6 +66,23 @@ class BitWriter
         bitCount_ = 0;
     }
 
+    /**
+     * Replace the stream with previously captured contents (snapshot
+     * restore). Callers deserializing external data must validate
+     * @p bit_count against the word count before calling.
+     */
+    void
+    restore(std::vector<std::uint64_t> words, std::uint64_t bit_count)
+    {
+        MORC_CHECK(bit_count <= words.size() * 64 &&
+                       bit_count + 63 >= words.size() * 64,
+                   "restored bit count %llu does not fit %zu words",
+                   static_cast<unsigned long long>(bit_count),
+                   words.size());
+        words_ = std::move(words);
+        bitCount_ = bit_count;
+    }
+
   private:
     std::vector<std::uint64_t> words_;
     std::uint64_t bitCount_ = 0;

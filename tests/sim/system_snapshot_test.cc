@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Whole-system checkpoint tests: for every cache scheme — flat,
+ * merged-tag MORC, and the 4x4 banked-mesh substrate — a system saved
+ * after warm-up and restored into a fresh instance must continue
+ * *byte-identically*: the measured-window results match and the final
+ * serialized states are equal down to the last bit. Plus rejection of
+ * mismatched configs, mismatched workloads, and corrupt files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "snapshot/snapshot.hh"
+
+namespace morc {
+namespace sim {
+namespace {
+
+constexpr std::uint64_t kWarm = 60'000;
+constexpr std::uint64_t kMeasure = 40'000;
+
+std::vector<trace::BenchmarkSpec>
+programs(unsigned n)
+{
+    const char *names[] = {"gcc", "mcf", "astar", "soplex"};
+    std::vector<trace::BenchmarkSpec> out;
+    for (unsigned i = 0; i < n; i++)
+        out.push_back(trace::findBenchmark(names[i % 4]));
+    return out;
+}
+
+std::vector<std::uint8_t>
+stateBytes(const System &sys)
+{
+    snap::Serializer s;
+    sys.saveState(s);
+    return s.frame();
+}
+
+/** Expect that warm-up + snapshot + restore + measure reproduces a
+ *  straight run() exactly, including the final serialized state. */
+void
+expectRoundTrip(const SystemConfig &cfg, unsigned ncores)
+{
+    const auto progs = programs(ncores);
+
+    // Reference: uninterrupted run.
+    System ref(cfg, progs);
+    const RunResult want = ref.run(kMeasure, kWarm);
+
+    // Checkpointed: warm, serialize, restore into a fresh system.
+    System saver(cfg, progs);
+    saver.warmup(kWarm);
+    const std::vector<std::uint8_t> frame = stateBytes(saver);
+
+    System restored(cfg, progs);
+    snap::Deserializer d(frame);
+    restored.restoreState(d);
+    ASSERT_TRUE(d.ok()) << d.error();
+    EXPECT_TRUE(restored.warmed());
+
+    // The restored instance must serialize right back to the same
+    // bytes before it runs anything.
+    EXPECT_EQ(stateBytes(restored), frame);
+
+    const RunResult got = restored.measure(kMeasure);
+    EXPECT_EQ(got.totalInstructions, want.totalInstructions);
+    EXPECT_EQ(got.completionCycles, want.completionCycles);
+    EXPECT_EQ(got.memReads, want.memReads);
+    EXPECT_EQ(got.memWrites, want.memWrites);
+    EXPECT_EQ(got.llcStats.readHits, want.llcStats.readHits);
+    EXPECT_EQ(got.llcStats.logFlushes, want.llcStats.logFlushes);
+    EXPECT_EQ(got.compressionRatio, want.compressionRatio);
+    ASSERT_EQ(got.cores.size(), want.cores.size());
+    for (std::size_t i = 0; i < got.cores.size(); i++) {
+        EXPECT_EQ(got.cores[i].cycles, want.cores[i].cycles);
+        EXPECT_EQ(got.cores[i].llcMisses, want.cores[i].llcMisses);
+        EXPECT_EQ(got.cores[i].stallCycles, want.cores[i].stallCycles);
+    }
+
+    // And after the measured window the two simulators are still in
+    // exactly the same state.
+    EXPECT_EQ(stateBytes(restored), stateBytes(ref));
+}
+
+SystemConfig
+flatConfig(Scheme s)
+{
+    SystemConfig cfg;
+    cfg.scheme = s;
+    cfg.numCores = 2;
+    cfg.llcBytesPerCore = 64 * 1024;
+    cfg.ratioSampleInterval = 50'000;
+    return cfg;
+}
+
+TEST(SystemSnapshot, Uncompressed)
+{
+    expectRoundTrip(flatConfig(Scheme::Uncompressed), 2);
+}
+
+TEST(SystemSnapshot, Adaptive)
+{
+    expectRoundTrip(flatConfig(Scheme::Adaptive), 2);
+}
+
+TEST(SystemSnapshot, Decoupled)
+{
+    expectRoundTrip(flatConfig(Scheme::Decoupled), 2);
+}
+
+TEST(SystemSnapshot, Sc2)
+{
+    expectRoundTrip(flatConfig(Scheme::Sc2), 2);
+}
+
+TEST(SystemSnapshot, Morc)
+{
+    expectRoundTrip(flatConfig(Scheme::Morc), 2);
+}
+
+TEST(SystemSnapshot, MorcMerged)
+{
+    expectRoundTrip(flatConfig(Scheme::MorcMerged), 2);
+}
+
+TEST(SystemSnapshot, OracleInter)
+{
+    expectRoundTrip(flatConfig(Scheme::OracleInter), 2);
+}
+
+TEST(SystemSnapshot, BankedMesh4x4)
+{
+    SystemConfig cfg;
+    cfg.scheme = Scheme::Morc;
+    cfg.numCores = 4;
+    cfg.llcBytesPerCore = 64 * 1024;
+    cfg.ratioSampleInterval = 50'000;
+    cfg.useMesh = true;
+    cfg.meshCfg.width = 4;
+    cfg.meshCfg.height = 4;
+    expectRoundTrip(cfg, 4);
+}
+
+TEST(SystemSnapshot, WithTelemetryAndTrace)
+{
+    SystemConfig cfg = flatConfig(Scheme::Morc);
+    cfg.telemetryEpoch = 10'000;
+    cfg.traceEvents = true;
+    expectRoundTrip(cfg, 2);
+}
+
+TEST(SystemSnapshot, WithAttachedHistograms)
+{
+    stats::Histogram decomp({64, 128, 256, 512});
+    stats::Histogram lat({16, 32, 64});
+    SystemConfig cfg = flatConfig(Scheme::Morc);
+    cfg.decompressedBytesHistogram = &decomp;
+    cfg.hitLatencyHistogram = &lat;
+
+    System ref(cfg, programs(2));
+    const RunResult want = ref.run(kMeasure, kWarm);
+    const stats::Histogram refDecomp = decomp;
+
+    decomp.clear();
+    lat.clear();
+    System saver(cfg, programs(2));
+    saver.warmup(kWarm);
+    const auto frame = stateBytes(saver);
+
+    decomp.clear();
+    lat.clear();
+    System restored(cfg, programs(2));
+    snap::Deserializer d(frame);
+    restored.restoreState(d);
+    ASSERT_TRUE(d.ok()) << d.error();
+    const RunResult got = restored.measure(kMeasure);
+    EXPECT_EQ(got.completionCycles, want.completionCycles);
+    EXPECT_EQ(decomp.total(), refDecomp.total());
+}
+
+TEST(SystemSnapshot, RejectsConfigMismatch)
+{
+    System saver(flatConfig(Scheme::Morc), programs(2));
+    saver.warmup(kWarm);
+    const auto frame = stateBytes(saver);
+
+    // Different scheme.
+    {
+        System other(flatConfig(Scheme::Sc2), programs(2));
+        snap::Deserializer d(frame);
+        other.restoreState(d);
+        EXPECT_FALSE(d.ok());
+    }
+    // Different capacity.
+    {
+        SystemConfig cfg = flatConfig(Scheme::Morc);
+        cfg.llcBytesPerCore = 128 * 1024;
+        System other(cfg, programs(2));
+        snap::Deserializer d(frame);
+        other.restoreState(d);
+        EXPECT_FALSE(d.ok());
+    }
+    // Different workloads.
+    {
+        System other(flatConfig(Scheme::Morc),
+                     {trace::findBenchmark("mcf"),
+                      trace::findBenchmark("gcc")});
+        snap::Deserializer d(frame);
+        other.restoreState(d);
+        EXPECT_FALSE(d.ok());
+    }
+}
+
+TEST(SystemSnapshot, SaveRestoreFileAndCorruptionFallback)
+{
+    const std::string path = "/tmp/morc_system_snapshot_test.snap";
+    const SystemConfig cfg = flatConfig(Scheme::MorcMerged);
+
+    System saver(cfg, programs(2));
+    saver.warmup(kWarm);
+    std::string err;
+    ASSERT_TRUE(saver.save(path, &err)) << err;
+
+    {
+        System restored(cfg, programs(2));
+        EXPECT_TRUE(restored.restore(path, &err)) << err;
+        EXPECT_TRUE(restored.warmed());
+    }
+
+    // One flipped byte inside the file must be rejected, with a reason.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 64, SEEK_SET);
+        int c = std::fgetc(f);
+        std::fseek(f, 64, SEEK_SET);
+        std::fputc(c ^ 0x01, f);
+        std::fclose(f);
+
+        System restored(cfg, programs(2));
+        err.clear();
+        EXPECT_FALSE(restored.restore(path, &err));
+        EXPECT_FALSE(err.empty());
+    }
+
+    // A missing file is an error, not a crash.
+    {
+        System restored(cfg, programs(2));
+        EXPECT_FALSE(restored.restore("/nonexistent/x.snap", &err));
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace sim
+} // namespace morc

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for the snapshot serialization layer: primitive round-trips,
+ * frame validation (magic/version/endianness/length/CRC), the tagged
+ * section machinery, soft-failure semantics, and atomic file writes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "snapshot/snapshot.hh"
+
+namespace morc {
+namespace snap {
+namespace {
+
+TEST(Snapshot, PrimitivesRoundTrip)
+{
+    Serializer s;
+    s.u8(0xab);
+    s.u16(0xbeef);
+    s.u32(0xdeadbeefu);
+    s.u64(0x0123456789abcdefull);
+    s.i64(-42);
+    s.f64(3.14159265358979);
+    s.f64(-0.0);
+    s.boolean(true);
+    s.boolean(false);
+    s.str("hello");
+    s.str("");
+    const std::uint8_t raw[3] = {1, 2, 3};
+    s.bytes(raw, 3);
+
+    Deserializer d(s.frame());
+    EXPECT_EQ(d.u8(), 0xab);
+    EXPECT_EQ(d.u16(), 0xbeef);
+    EXPECT_EQ(d.u32(), 0xdeadbeefu);
+    EXPECT_EQ(d.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(d.i64(), -42);
+    EXPECT_EQ(d.f64(), 3.14159265358979);
+    const double neg_zero = d.f64();
+    EXPECT_EQ(neg_zero, 0.0);
+    EXPECT_TRUE(std::signbit(neg_zero)); // bit-exact, not value-equal
+    EXPECT_TRUE(d.boolean());
+    EXPECT_FALSE(d.boolean());
+    EXPECT_EQ(d.str(), "hello");
+    EXPECT_EQ(d.str(), "");
+    std::uint8_t out[3] = {};
+    d.bytes(out, 3);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[2], 3);
+    EXPECT_TRUE(d.ok());
+    EXPECT_EQ(d.remaining(), 0u);
+}
+
+TEST(Snapshot, VectorsRoundTrip)
+{
+    Serializer s;
+    s.vecU8({9, 8, 7});
+    s.vecU32({1u << 30, 2});
+    s.vecU64({1ull << 60});
+    s.vecF64({1.5, -2.5, 0.0});
+    const std::vector<std::string> names = {"a", "bc", "def"};
+    s.vec(names, [&s](const std::string &n) { s.str(n); });
+
+    Deserializer d(s.frame());
+    std::vector<std::uint8_t> v8;
+    std::vector<std::uint32_t> v32;
+    std::vector<std::uint64_t> v64;
+    std::vector<double> vf;
+    d.vecU8(v8);
+    d.vecU32(v32);
+    d.vecU64(v64);
+    d.vecF64(vf);
+    std::vector<std::string> got;
+    d.readVec(got, 8, [&d]() { return d.str(); });
+    EXPECT_TRUE(d.ok());
+    EXPECT_EQ(v8, (std::vector<std::uint8_t>{9, 8, 7}));
+    EXPECT_EQ(v32, (std::vector<std::uint32_t>{1u << 30, 2}));
+    EXPECT_EQ(v64, (std::vector<std::uint64_t>{1ull << 60}));
+    EXPECT_EQ(vf, (std::vector<double>{1.5, -2.5, 0.0}));
+    EXPECT_EQ(got, names);
+}
+
+TEST(Snapshot, SectionsNestAndValidate)
+{
+    Serializer s;
+    s.beginSection("OUTR");
+    s.u32(1);
+    s.beginSection("INNR");
+    s.u64(2);
+    s.endSection();
+    s.u32(3);
+    s.endSection();
+
+    Deserializer d(s.frame());
+    ASSERT_TRUE(d.beginSection("OUTR"));
+    EXPECT_EQ(d.u32(), 1u);
+    ASSERT_TRUE(d.beginSection("INNR"));
+    EXPECT_EQ(d.u64(), 2u);
+    d.endSection();
+    EXPECT_EQ(d.u32(), 3u);
+    d.endSection();
+    EXPECT_TRUE(d.ok());
+}
+
+TEST(Snapshot, WrongSectionTagFailsSoftly)
+{
+    Serializer s;
+    s.beginSection("GOOD");
+    s.u32(7);
+    s.endSection();
+
+    Deserializer d(s.frame());
+    EXPECT_FALSE(d.beginSection("EVIL"));
+    EXPECT_FALSE(d.ok());
+    // Every subsequent read is a zero-valued no-op, never a crash.
+    EXPECT_EQ(d.u64(), 0u);
+    EXPECT_EQ(d.str(), "");
+}
+
+TEST(Snapshot, UnderconsumedSectionFails)
+{
+    Serializer s;
+    s.beginSection("SECT");
+    s.u32(1);
+    s.u32(2);
+    s.endSection();
+
+    Deserializer d(s.frame());
+    ASSERT_TRUE(d.beginSection("SECT"));
+    EXPECT_EQ(d.u32(), 1u);
+    d.endSection(); // 4 bytes left unread: reader/writer drift
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(Snapshot, FrameRejectsTampering)
+{
+    Serializer s;
+    s.u64(12345);
+    s.str("payload");
+    const std::vector<std::uint8_t> good = s.frame();
+    ASSERT_TRUE(Deserializer(good).ok());
+
+    // Any single flipped byte anywhere must be caught.
+    for (std::size_t pos :
+         {std::size_t{0}, std::size_t{9}, good.size() / 2,
+          good.size() - 1}) {
+        std::vector<std::uint8_t> bad = good;
+        bad[pos] ^= 0x01;
+        Deserializer d(std::move(bad));
+        std::uint64_t v = d.u64();
+        EXPECT_FALSE(d.ok()) << "flip at " << pos << " accepted";
+        EXPECT_EQ(v, 0u);
+    }
+
+    // Truncation at every boundary region.
+    for (std::size_t keep : {std::size_t{0}, std::size_t{7},
+                             std::size_t{20}, good.size() - 1}) {
+        std::vector<std::uint8_t> bad(good.begin(),
+                                      good.begin() + keep);
+        EXPECT_FALSE(Deserializer(std::move(bad)).ok())
+            << "truncated to " << keep << " accepted";
+    }
+}
+
+TEST(Snapshot, FrameRejectsFutureVersion)
+{
+    Serializer s;
+    s.u32(1);
+    std::vector<std::uint8_t> frame = s.frame();
+    // Bump the version field (bytes 8..11) and re-seal the CRC so only
+    // the version check can object.
+    frame[8] = static_cast<std::uint8_t>(kFormatVersion + 1);
+    const std::uint32_t crc = crc32(frame.data(), frame.size() - 4);
+    for (unsigned i = 0; i < 4; i++)
+        frame[frame.size() - 4 + i] =
+            static_cast<std::uint8_t>(crc >> (8 * i));
+    EXPECT_FALSE(Deserializer(std::move(frame)).ok());
+}
+
+TEST(Snapshot, ArrayLenIsCappedAgainstRemainingBytes)
+{
+    // A corrupt (huge) element count must not drive a giant resize:
+    // arrayLen caps against the bytes actually left in the stream.
+    Serializer s;
+    s.u64(1ull << 60); // claims 2^60 elements...
+    s.u32(7);          // ...but only 4 bytes follow
+    Deserializer d(s.frame());
+    std::vector<std::uint64_t> v;
+    d.readVec(v, 8, [&d]() { return d.u64(); });
+    EXPECT_FALSE(d.ok());
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(Snapshot, ExplicitFailLatchesFirstError)
+{
+    Serializer s;
+    s.u32(1);
+    Deserializer d(s.frame());
+    d.fail("config mismatch");
+    d.fail("later error");
+    EXPECT_FALSE(d.ok());
+    EXPECT_EQ(d.error(), "config mismatch"); // root cause wins
+    EXPECT_EQ(d.u32(), 0u);
+}
+
+TEST(Snapshot, AtomicWriteAndReadFile)
+{
+    const std::string path = "/tmp/morc_snapshot_atomic_test.bin";
+    const std::string v1 = "first version";
+    const std::string v2 = "second, longer version of the contents";
+    ASSERT_TRUE(atomicWriteFile(path, v1.data(), v1.size()));
+    ASSERT_TRUE(atomicWriteFile(path, v2.data(), v2.size()));
+    std::vector<std::uint8_t> got;
+    ASSERT_TRUE(readFile(path, got));
+    EXPECT_EQ(std::string(got.begin(), got.end()), v2);
+    // No temp file may be left behind.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(readFile("/nonexistent/morc/snapshot", got));
+    EXPECT_TRUE(got.empty());
+}
+
+TEST(Snapshot, WriteFileFromFileRoundTrip)
+{
+    const std::string path = "/tmp/morc_snapshot_file_test.snap";
+    Serializer s;
+    s.beginSection("TEST");
+    s.u64(0xfeedface);
+    s.str("state");
+    s.endSection();
+    ASSERT_TRUE(s.writeFile(path));
+
+    Deserializer d = Deserializer::fromFile(path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE(d.beginSection("TEST"));
+    EXPECT_EQ(d.u64(), 0xfeedfaceu);
+    EXPECT_EQ(d.str(), "state");
+    d.endSection();
+    EXPECT_TRUE(d.ok());
+
+    EXPECT_FALSE(Deserializer::fromFile("/nonexistent/path.snap").ok());
+}
+
+TEST(Snapshot, Crc32MatchesKnownVector)
+{
+    // IEEE 802.3 check value for "123456789".
+    const char *msg = "123456789";
+    EXPECT_EQ(crc32(msg, 9), 0xCBF43926u);
+    // Incremental == one-shot.
+    const std::uint32_t part = crc32(msg, 4);
+    EXPECT_EQ(crc32(msg + 4, 5, part), 0xCBF43926u);
+}
+
+} // namespace
+} // namespace snap
+} // namespace morc

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
+#include "snapshot/snapshot.hh"
 #include "trace/trace_file.hh"
 
 namespace morc {
@@ -43,6 +46,115 @@ TEST(TraceFile, LoadRejectsGarbage)
     std::remove(path.c_str());
     EXPECT_TRUE(TraceFile::load("/nonexistent/path").empty());
 }
+
+TEST(TraceFile, SavedFileCarriesV2HeaderAndChecksum)
+{
+    const auto spec = findBenchmark("gcc");
+    ThreadTrace source(spec, 0);
+    const TraceFile recorded = TraceFile::record(source, 100);
+    const std::string path = "/tmp/morc_trace_v2.bin";
+    ASSERT_TRUE(recorded.save(path));
+
+    std::vector<std::uint8_t> buf;
+    ASSERT_TRUE(snap::readFile(path, buf));
+    ASSERT_EQ(std::memcmp(buf.data(), "MORCTRC2", 8), 0);
+    // header(24) + 100 records of 16 bytes + CRC(4)
+    EXPECT_EQ(buf.size(), 24u + 100u * 16u + 4u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, LoadRejectsCorruptAndTruncatedV2)
+{
+    const auto spec = findBenchmark("gcc");
+    ThreadTrace source(spec, 0);
+    const TraceFile recorded = TraceFile::record(source, 64);
+    const std::string path = "/tmp/morc_trace_corrupt.bin";
+    ASSERT_TRUE(recorded.save(path));
+    std::vector<std::uint8_t> good;
+    ASSERT_TRUE(snap::readFile(path, good));
+
+    const auto write = [&path](const std::vector<std::uint8_t> &b) {
+        return snap::atomicWriteFile(path, b.data(), b.size());
+    };
+
+    // Flip one record byte: the CRC must catch it.
+    std::vector<std::uint8_t> bad = good;
+    bad[30] ^= 0x01;
+    ASSERT_TRUE(write(bad));
+    EXPECT_TRUE(TraceFile::load(path).empty());
+
+    // Truncate: exact-size check must catch it.
+    bad = good;
+    bad.resize(bad.size() - 5);
+    ASSERT_TRUE(write(bad));
+    EXPECT_TRUE(TraceFile::load(path).empty());
+
+    // Unknown future version with a re-sealed CRC.
+    bad = good;
+    bad[8] = 9;
+    const std::uint32_t crc = snap::crc32(bad.data(), bad.size() - 4);
+    for (unsigned i = 0; i < 4; i++)
+        bad[bad.size() - 4 + i] =
+            static_cast<std::uint8_t>(crc >> (8 * i));
+    ASSERT_TRUE(write(bad));
+    EXPECT_TRUE(TraceFile::load(path).empty());
+
+    // The pristine bytes still load.
+    ASSERT_TRUE(write(good));
+    EXPECT_EQ(TraceFile::load(path).refs().size(), 64u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, LoadsLegacyV1Format)
+{
+    const auto spec = findBenchmark("astar");
+    ThreadTrace source(spec, 0);
+    const TraceFile recorded = TraceFile::record(source, 32);
+
+    // Hand-write the v1 layout: magic, u64 count, 16-byte records — no
+    // version, no endian tag, no checksum.
+    std::vector<std::uint8_t> buf;
+    const char magic[8] = {'M', 'O', 'R', 'C', 'T', 'R', 'C', '1'};
+    for (char c : magic)
+        buf.push_back(static_cast<std::uint8_t>(c));
+    const std::uint64_t count = recorded.refs().size();
+    for (unsigned i = 0; i < 8; i++)
+        buf.push_back(static_cast<std::uint8_t>(count >> (8 * i)));
+    for (const MemRef &r : recorded.refs()) {
+        for (unsigned i = 0; i < 8; i++)
+            buf.push_back(static_cast<std::uint8_t>(r.addr >> (8 * i)));
+        for (unsigned i = 0; i < 4; i++)
+            buf.push_back(static_cast<std::uint8_t>(r.gap >> (8 * i)));
+        buf.push_back(r.write ? 1 : 0);
+        buf.push_back(0);
+        buf.push_back(0);
+        buf.push_back(0);
+    }
+    const std::string path = "/tmp/morc_trace_v1.bin";
+    ASSERT_TRUE(snap::atomicWriteFile(path, buf.data(), buf.size()));
+
+    const TraceFile loaded = TraceFile::load(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(loaded.refs().size(), recorded.refs().size());
+    for (std::size_t i = 0; i < loaded.refs().size(); i++) {
+        EXPECT_EQ(loaded.refs()[i].addr, recorded.refs()[i].addr);
+        EXPECT_EQ(loaded.refs()[i].write, recorded.refs()[i].write);
+        EXPECT_EQ(loaded.refs()[i].gap, recorded.refs()[i].gap);
+    }
+}
+
+#ifndef NDEBUG
+TEST(TraceFileDeathTest, ReplayingEmptyTraceIsAnError)
+{
+    // A failed load yields an empty TraceFile; replaying it would
+    // otherwise divide by zero. The check names the likely cause.
+    const auto spec = findBenchmark("gcc");
+    const TraceFile empty;
+    EXPECT_DEATH(
+        { ReplayTrace replay(empty, spec.data); },
+        "cannot replay an empty trace");
+}
+#endif
 
 TEST(TraceFile, ReplayMatchesRecording)
 {
