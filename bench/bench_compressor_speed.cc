@@ -73,6 +73,32 @@ BM_LbeMeasure(benchmark::State &state)
 BENCHMARK(BM_LbeMeasure);
 
 void
+BM_LbeTrial8(benchmark::State &state)
+{
+    // The multi-log insert battery: one shared LbeLinePlan scored
+    // against eight independently warmed encoders — exactly what
+    // LogCache::insert does for every fill. This is the simulator's
+    // hottest loop and the primary perf-gate metric.
+    const auto lines = sampleLines(4096);
+    std::vector<comp::LbeEncoder> encs(8);
+    for (std::size_t e = 0; e < encs.size(); e++) {
+        for (std::size_t i = 0; i < 64; i++)
+            encs[e].append(lines[(e * 97 + i) % lines.size()]);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const comp::LbeLinePlan plan = comp::LbeLinePlan::of(lines[i]);
+        std::uint64_t total = 0;
+        for (auto &enc : encs)
+            total += enc.measure(plan);
+        benchmark::DoNotOptimize(total);
+        i = (i + 1) % lines.size();
+    }
+    state.SetBytesProcessed(state.iterations() * kLineSize);
+}
+BENCHMARK(BM_LbeTrial8);
+
+void
 BM_CpackLine(benchmark::State &state)
 {
     const auto lines = sampleLines(4096);

@@ -78,6 +78,23 @@ EOF
     cmp "$CKPT/first/fig6.json" "$CKPT/second/fig6.json"
     echo "smoke checkpoint OK: resumed report is byte-identical"
     rm -rf "$CKPT"
+
+    # ...and the compressor perf gate: the LBE hot path (the
+    # simulator's hottest loop) must stay within threshold of the
+    # checked-in baseline. Normalization by the untouched FPC codec
+    # inside perf_gate.py cancels host-speed differences.
+    BENCH_SPEED=build/bench/bench_compressor_speed
+    if [ -x "$BENCH_SPEED" ]; then
+        PERF_JSON=$(mktemp /tmp/morc_bench_compress.XXXXXX.json)
+        "$BENCH_SPEED" --benchmark_filter='BM_Lbe|BM_FpcLine' \
+            --benchmark_out="$PERF_JSON" \
+            --benchmark_out_format=json > /dev/null
+        python3 tools/perf_gate.py "$PERF_JSON" \
+            bench/baselines/BENCH_compress.json
+        rm -f "$PERF_JSON"
+    else
+        echo "perf gate skipped: $BENCH_SPEED not built" >&2
+    fi
 fi
 
 exec "$SWEEP" --jobs "$JOBS" "${ARGS[@]+"${ARGS[@]}"}"

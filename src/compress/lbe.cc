@@ -1,6 +1,9 @@
 #include "compress/lbe.hh"
 
+#include <algorithm>
+
 #include "check/check.hh"
+#include "util/simd.hh"
 
 namespace morc {
 namespace comp {
@@ -8,39 +11,99 @@ namespace comp {
 namespace {
 
 /** Prefix codes from Table 3, written MSB-first so a decoder can walk
- *  the code trie bit by bit. */
+ *  the code trie bit by bit. `rev` holds the bit-reversed value so the
+ *  whole code goes out in one BitWriter::put (which emits LSB-first) —
+ *  the emitted stream is identical to the historical bit-by-bit loop. */
 struct Code
 {
     std::uint8_t value;
     std::uint8_t len;
+    std::uint8_t rev;
 };
 
-constexpr Code kCodeU32{0b00, 2};
-constexpr Code kCodeM32{0b01, 2};
-constexpr Code kCodeU16{0b100, 3};
-constexpr Code kCodeZ32{0b1010, 4};
-constexpr Code kCodeU8{0b1011, 4};
-constexpr Code kCodeM64{0b1100, 4};
-constexpr Code kCodeZ64{0b1101, 4};
-constexpr Code kCodeM128{0b11100, 5};
-constexpr Code kCodeZ128{0b11101, 5};
-constexpr Code kCodeM256{0b11110, 5};
-constexpr Code kCodeZ256{0b11111, 5};
-
-void
-putCode(BitWriter *out, Code c)
+constexpr std::uint8_t
+reverseBits(std::uint8_t v, unsigned len)
 {
-    if (!out)
-        return;
-    for (int i = c.len - 1; i >= 0; i--)
-        out->put((c.value >> i) & 1, 1);
+    std::uint8_t r = 0;
+    for (unsigned i = 0; i < len; i++)
+        r = static_cast<std::uint8_t>(r | (((v >> i) & 1) << (len - 1 - i)));
+    return r;
 }
 
-void
-putOperand(BitWriter *out, std::uint64_t v, unsigned bits)
+constexpr Code
+makeCode(std::uint8_t value, std::uint8_t len)
 {
-    if (out)
-        out->put(v, bits);
+    return {value, len, reverseBits(value, len)};
+}
+
+constexpr Code kCodeU32 = makeCode(0b00, 2);
+constexpr Code kCodeM32 = makeCode(0b01, 2);
+constexpr Code kCodeU16 = makeCode(0b100, 3);
+constexpr Code kCodeZ32 = makeCode(0b1010, 4);
+constexpr Code kCodeU8 = makeCode(0b1011, 4);
+constexpr Code kCodeM64 = makeCode(0b1100, 4);
+constexpr Code kCodeZ64 = makeCode(0b1101, 4);
+constexpr Code kCodeM128 = makeCode(0b11100, 5);
+constexpr Code kCodeZ128 = makeCode(0b11101, 5);
+constexpr Code kCodeM256 = makeCode(0b11110, 5);
+constexpr Code kCodeZ256 = makeCode(0b11111, 5);
+
+/** Index 0 is the hardwired zero entry at every granularity. */
+constexpr std::uint32_t kZeroIdx = 0;
+constexpr std::uint32_t kNoIdx = ~0u;
+
+/**
+ * A tree node packed for flat SIMD scanning: children (indices one
+ * granularity smaller) as left | right << 32. The snapshot format
+ * still writes the two u32 halves, unchanged.
+ */
+constexpr std::uint64_t
+nodeKey(std::uint32_t left, std::uint32_t right)
+{
+    return static_cast<std::uint64_t>(left) |
+           (static_cast<std::uint64_t>(right) << 32);
+}
+
+/**
+ * Find the index of node (left, right), checking the committed table
+ * then the line-local pending overlay. Free and small so the guard
+ * checks inline into encodeLine: it runs up to 7 times per chunk.
+ */
+inline std::uint32_t
+lookupNode(std::uint32_t left, std::uint32_t right,
+           const std::vector<std::uint64_t> &committed,
+           const std::vector<std::uint64_t> &pending)
+{
+    if (left == kNoIdx || right == kNoIdx)
+        return kNoIdx;
+    if (left == kZeroIdx && right == kZeroIdx)
+        return kZeroIdx;
+    const std::uint64_t key = nodeKey(left, right);
+    const int i = simd::findU64(committed.data(), committed.size(), key);
+    if (i >= 0)
+        return static_cast<std::uint32_t>(i) + 1;
+    // The pending overlay holds at most this line's few new nodes;
+    // a direct scan beats the vector kernel's dispatch cost.
+    for (std::size_t p = 0; p < pending.size(); p++) {
+        if (pending[p] == key) {
+            return static_cast<std::uint32_t>(committed.size() + p) + 1;
+        }
+    }
+    return kNoIdx;
+}
+
+inline std::uint32_t
+insertNode(std::uint32_t left, std::uint32_t right,
+           const std::vector<std::uint64_t> &committed,
+           std::vector<std::uint64_t> &pending, unsigned cap)
+{
+    if (left == kNoIdx || right == kNoIdx)
+        return kNoIdx;
+    const std::size_t total = committed.size() + pending.size();
+    if (total >= cap)
+        return kNoIdx;
+    pending.push_back(nodeKey(left, right));
+    return static_cast<std::uint32_t>(total + 1);
 }
 
 } // namespace
@@ -64,24 +127,62 @@ LbeStats::name(LbeSymbol s)
     }
 }
 
+LbeLinePlan
+LbeLinePlan::of(const CacheLine &line)
+{
+    LbeLinePlan p;
+    for (unsigned c = 0; c < 2; c++) {
+        Chunk &ch = p.chunk[c];
+        for (unsigned i = 0; i < 8; i++)
+            ch.w[i] = line.word32(c * 8 + i);
+        ch.zeroMask = simd::zeroMask8(ch.w);
+    }
+    return p;
+}
+
 LbeEncoder::LbeEncoder(const LbeConfig &cfg) : cfg_(cfg)
 {
     MORC_CHECK(cfg_.entries32() >= 2,
                "LBE dictionary of %u bytes holds fewer than 2 words",
                cfg_.dictBytes);
+    values32_.reserve(cfg_.entries32());
+    nodes64_.reserve(cfg_.nodes64);
+    nodes128_.reserve(cfg_.nodes128);
+    nodes256_.reserve(cfg_.nodes256);
+    // Hash index sized to at most 50% load (capacity >= 2x the
+    // dictionary) so probe chains stay short and insertion always
+    // terminates.
+    hashGroupsLog2_ = ceilLog2(divCeil(2 * cfg_.entries32(), 8));
+    hashSlots_.assign(std::size_t{8} << hashGroupsLog2_, 0);
+    hashPos_.assign(hashSlots_.size(), 0);
+}
+
+void
+LbeEncoder::hashInsert(std::uint32_t v, std::uint32_t pos)
+{
+    const unsigned gmask = (1u << hashGroupsLog2_) - 1;
+    unsigned g = simd::hashGroup(v, hashGroupsLog2_);
+    for (;;) {
+        const std::size_t base = std::size_t{g} * 8;
+        for (unsigned k = 0; k < 8; k++) {
+            if (hashSlots_[base + k] == 0) {
+                hashSlots_[base + k] = v;
+                hashPos_[base + k] = pos;
+                return;
+            }
+        }
+        g = (g + 1) & gmask;
+    }
 }
 
 void
 LbeEncoder::reset()
 {
     values32_.clear();
-    map32_.clear();
     nodes64_.clear();
     nodes128_.clear();
     nodes256_.clear();
-    map64_.clear();
-    map128_.clear();
-    map256_.clear();
+    std::fill(hashSlots_.begin(), hashSlots_.end(), 0u);
 }
 
 void
@@ -98,10 +199,12 @@ LbeEncoder::save(snap::Serializer &s) const
     for (int i = 0; i < kNumSymbols; i++)
         s.u64(stats_.zeroCount[i]);
     s.vecU32(values32_);
-    const auto putNodes = [&](const std::vector<Node> &nodes) {
-        s.vec(nodes, [&](const Node &n) {
-            s.u32(n.left);
-            s.u32(n.right);
+    const auto putNodes = [&](const std::vector<std::uint64_t> &nodes) {
+        // Packed nodes serialize as their two u32 children — the
+        // on-disk layout predates the packing and must not change.
+        s.vec(nodes, [&](std::uint64_t n) {
+            s.u32(static_cast<std::uint32_t>(n));
+            s.u32(static_cast<std::uint32_t>(n >> 32));
         });
     };
     putNodes(nodes64_);
@@ -132,17 +235,17 @@ LbeEncoder::restore(snap::Deserializer &d)
         stats.zeroCount[i] = d.u64();
     std::vector<std::uint32_t> values;
     d.vecU32(values);
-    const auto getNodes = [&](std::vector<Node> &nodes, unsigned cap) {
+    const auto getNodes = [&](std::vector<std::uint64_t> &nodes,
+                              unsigned cap) {
         d.readVec(nodes, 8, [&] {
-            Node n;
-            n.left = d.u32();
-            n.right = d.u32();
-            return n;
+            const std::uint32_t left = d.u32();
+            const std::uint32_t right = d.u32();
+            return nodeKey(left, right);
         });
         if (d.ok() && nodes.size() > cap)
             d.fail("LBE node table overflows its configured capacity");
     };
-    std::vector<Node> t64, t128, t256;
+    std::vector<std::uint64_t> t64, t128, t256;
     getNodes(t64, cfg_.nodes64);
     getNodes(t128, cfg_.nodes128);
     getNodes(t256, cfg_.nodes256);
@@ -156,112 +259,77 @@ LbeEncoder::restore(snap::Deserializer &d)
     nodes64_ = std::move(t64);
     nodes128_ = std::move(t128);
     nodes256_ = std::move(t256);
-    // The reverse maps are derived: rebuild them with the same
-    // position+1 indices commit() assigns (0 is the zero entry).
-    map32_.clear();
-    map64_.clear();
-    map128_.clear();
-    map256_.clear();
+    // Rebuild the hash index from the committed sequence (insertion
+    // order fixes the layout, so this is deterministic).
+    std::fill(hashSlots_.begin(), hashSlots_.end(), 0u);
     for (std::size_t i = 0; i < values32_.size(); i++)
-        map32_.emplace(values32_[i], static_cast<std::uint32_t>(i + 1));
-    for (std::size_t i = 0; i < nodes64_.size(); i++)
-        map64_.emplace(nodes64_[i], static_cast<std::uint32_t>(i + 1));
-    for (std::size_t i = 0; i < nodes128_.size(); i++)
-        map128_.emplace(nodes128_[i], static_cast<std::uint32_t>(i + 1));
-    for (std::size_t i = 0; i < nodes256_.size(); i++)
-        map256_.emplace(nodes256_[i], static_cast<std::uint32_t>(i + 1));
+        hashInsert(values32_[i], static_cast<std::uint32_t>(i + 1));
 }
 
+template <bool kEmit, bool kStats>
 std::uint32_t
-LbeEncoder::lookup32(std::uint32_t w, const Overlay &ov) const
-{
-    if (w == 0)
-        return kZeroIdx;
-    auto it = map32_.find(w);
-    if (it != map32_.end())
-        return it->second;
-    for (std::size_t i = 0; i < ov.words.size(); i++) {
-        if (ov.words[i] == w)
-            return static_cast<std::uint32_t>(values32_.size() + i + 1);
-    }
-    return kNoIdx;
-}
-
-std::uint32_t
-LbeEncoder::insert32(std::uint32_t w, Overlay &ov) const
-{
-    const std::uint32_t found = lookup32(w, ov);
-    if (found != kNoIdx)
-        return found;
-    const std::size_t total = values32_.size() + ov.words.size();
-    if (total + 1 >= cfg_.entries32()) // index 0 is reserved for zero
-        return kNoIdx;
-    ov.words.push_back(w);
-    return static_cast<std::uint32_t>(total + 1);
-}
-
-std::uint32_t
-LbeEncoder::lookupNode(const Node &n,
-                       const std::unordered_map<Node, std::uint32_t,
-                                                NodeHash> &map,
-                       const std::vector<Node> &pending,
-                       std::uint32_t committed, unsigned cap) const
-{
-    (void)cap;
-    if (n.left == kNoIdx || n.right == kNoIdx)
-        return kNoIdx;
-    if (n.left == kZeroIdx && n.right == kZeroIdx)
-        return kZeroIdx;
-    auto it = map.find(n);
-    if (it != map.end())
-        return it->second;
-    for (std::size_t i = 0; i < pending.size(); i++) {
-        if (pending[i] == n)
-            return committed + static_cast<std::uint32_t>(i) + 1;
-    }
-    return kNoIdx;
-}
-
-std::uint32_t
-LbeEncoder::insertNode(const Node &n, std::vector<Node> &pending,
-                       std::uint32_t committed, unsigned cap) const
-{
-    if (n.left == kNoIdx || n.right == kNoIdx)
-        return kNoIdx;
-    const std::size_t total = committed + pending.size();
-    if (total >= cap)
-        return kNoIdx;
-    pending.push_back(n);
-    return static_cast<std::uint32_t>(total + 1);
-}
-
-std::uint32_t
-LbeEncoder::encodeLine(const CacheLine &line, Overlay &ov, BitWriter *out,
-                       LbeStats *stats) const
+LbeEncoder::encodeLine(const LbeLinePlan &plan, Overlay &ov,
+                       BitWriter *out, LbeStats *stats) const
 {
     std::uint32_t bits = 0;
     const auto note = [&](LbeSymbol s, bool zero) {
-        if (stats)
+        if constexpr (kStats)
             stats->add(s, zero);
     };
+    const auto emit = [&](Code c) {
+        if constexpr (kEmit)
+            out->put(c.rev, c.len);
+    };
+    const auto emitOperand = [&](std::uint64_t v, unsigned nbits) {
+        if constexpr (kEmit)
+            out->put(v, nbits);
+    };
+    // Pointer widths are ceilLog2 loops; hoist them out of the
+    // per-symbol paths (the compiler cannot, past opaque calls).
+    const unsigned ptr32 = cfg_.ptrBits32();
+    const unsigned ptr64 = cfg_.ptrBits64();
+    const unsigned ptr128 = cfg_.ptrBits128();
+    const unsigned ptr256 = cfg_.ptrBits256();
 
-    // Two 256-bit chunks per 64-byte line.
+    // Two 256-bit chunks per 64-byte line, pre-decomposed (words and
+    // zero masks) by the shared LbeLinePlan.
     for (unsigned chunk = 0; chunk < 2; chunk++) {
-        std::uint32_t w[8];
-        bool zero[8];
-        bool allZero = true;
-        for (unsigned i = 0; i < 8; i++) {
-            w[i] = line.word32(chunk * 8 + i);
-            zero[i] = w[i] == 0;
-            allZero &= zero[i];
-        }
+        const LbeLinePlan::Chunk &ch = plan.chunk[chunk];
+        const std::uint32_t *w = ch.w;
 
-        if (allZero) {
-            putCode(out, kCodeZ256);
+        if (ch.allZero()) {
+            emit(kCodeZ256);
             bits += kCodeZ256.len;
             note(LbeSymbol::Z256, true);
             continue;
         }
+
+        // One batched probe of the committed-dictionary hash index
+        // scores every nonzero word of the chunk at once. The
+        // committed dictionary cannot change mid-line, so these
+        // positions stay valid for the emit phase below — only the
+        // (tiny) overlay needs a per-word rescan there.
+        int cpos[8];
+        simd::hashFind8(hashSlots_.data(), hashGroupsLog2_, w,
+                        ch.zeroMask, cpos);
+
+        // Committed + overlay lookup for a nonzero word, reusing the
+        // batched committed-dictionary probe.
+        const auto lookupWord = [&](unsigned i) -> std::uint32_t {
+            if (cpos[i] >= 0)
+                return hashPos_[static_cast<unsigned>(cpos[i])];
+            // The overlay holds at most this line's few insertions;
+            // a direct first-match scan (identical semantics) beats
+            // the vector kernel's call + dispatch cost. Read size and
+            // data fresh each call: the overlay grows mid-line.
+            for (std::size_t p = 0; p < ov.words.size(); p++) {
+                if (ov.words[p] == w[i]) {
+                    return static_cast<std::uint32_t>(values32_.size() +
+                                                      p) + 1;
+                }
+            }
+            return kNoIdx;
+        };
 
         // Content indices for match checks at >=64-bit granularity.
         // These reflect state at the start of the chunk plus earlier
@@ -269,54 +337,49 @@ LbeEncoder::encodeLine(const CacheLine &line, Overlay &ov, BitWriter *out,
         // allocated after it is fully encoded.
         std::uint32_t c32[8], c64[4], c128[2];
         for (unsigned i = 0; i < 8; i++)
-            c32[i] = zero[i] ? kZeroIdx : lookup32(w[i], ov);
+            c32[i] = ch.zero(i) ? kZeroIdx : lookupWord(i);
         for (unsigned q = 0; q < 4; q++) {
-            c64[q] = lookupNode({c32[2 * q], c32[2 * q + 1]}, map64_,
-                                ov.nodes64,
-                                static_cast<std::uint32_t>(nodes64_.size()),
-                                cfg_.nodes64);
+            c64[q] = lookupNode(c32[2 * q], c32[2 * q + 1], nodes64_,
+                                ov.nodes64);
         }
         for (unsigned h = 0; h < 2; h++) {
-            c128[h] = lookupNode({c64[2 * h], c64[2 * h + 1]}, map128_,
-                                 ov.nodes128,
-                                 static_cast<std::uint32_t>(nodes128_.size()),
-                                 cfg_.nodes128);
+            c128[h] = lookupNode(c64[2 * h], c64[2 * h + 1], nodes128_,
+                                 ov.nodes128);
         }
         const std::uint32_t c256 =
-            lookupNode({c128[0], c128[1]}, map256_, ov.nodes256,
-                       static_cast<std::uint32_t>(nodes256_.size()),
-                       cfg_.nodes256);
+            lookupNode(c128[0], c128[1], nodes256_, ov.nodes256);
 
         if (c256 != kNoIdx) {
-            putCode(out, kCodeM256);
-            putOperand(out, c256, cfg_.ptrBits256());
-            bits += kCodeM256.len + cfg_.ptrBits256();
+            emit(kCodeM256);
+            emitOperand(c256, ptr256);
+            bits += kCodeM256.len + ptr256;
             note(LbeSymbol::M256, false);
             continue; // matched: no tree-node allocation for this chunk
         }
 
         // Coverage bookkeeping for post-chunk node allocation. An index
         // of kNoIdx in idx64/idx128 means the sub-chunk has no usable
-        // dictionary identity yet.
+        // dictionary identity yet. e32 records each descended word's
+        // dictionary index as of its emission; insertions only append,
+        // so the index a post-chunk lookup would find is the same one —
+        // node allocation below needs no dictionary rescans.
         std::uint32_t idx64[4], idx128[2];
+        std::uint32_t e32[8];
         bool descended64[4] = {false, false, false, false};
         bool descended128[2] = {false, false};
 
         for (unsigned h = 0; h < 2; h++) {
-            const bool zero128 =
-                zero[4 * h] && zero[4 * h + 1] && zero[4 * h + 2] &&
-                zero[4 * h + 3];
-            if (zero128) {
-                putCode(out, kCodeZ128);
+            if (ch.zero128(h)) {
+                emit(kCodeZ128);
                 bits += kCodeZ128.len;
                 note(LbeSymbol::Z128, true);
                 idx128[h] = kZeroIdx;
                 continue;
             }
             if (c128[h] != kNoIdx) {
-                putCode(out, kCodeM128);
-                putOperand(out, c128[h], cfg_.ptrBits128());
-                bits += kCodeM128.len + cfg_.ptrBits128();
+                emit(kCodeM128);
+                emitOperand(c128[h], ptr128);
+                bits += kCodeM128.len + ptr128;
                 note(LbeSymbol::M128, false);
                 idx128[h] = c128[h];
                 continue;
@@ -324,18 +387,17 @@ LbeEncoder::encodeLine(const CacheLine &line, Overlay &ov, BitWriter *out,
             descended128[h] = true;
             for (unsigned qq = 0; qq < 2; qq++) {
                 const unsigned q = 2 * h + qq;
-                const bool zero64 = zero[2 * q] && zero[2 * q + 1];
-                if (zero64) {
-                    putCode(out, kCodeZ64);
+                if (ch.zero64(q)) {
+                    emit(kCodeZ64);
                     bits += kCodeZ64.len;
                     note(LbeSymbol::Z64, true);
                     idx64[q] = kZeroIdx;
                     continue;
                 }
                 if (c64[q] != kNoIdx) {
-                    putCode(out, kCodeM64);
-                    putOperand(out, c64[q], cfg_.ptrBits64());
-                    bits += kCodeM64.len + cfg_.ptrBits64();
+                    emit(kCodeM64);
+                    emitOperand(c64[q], ptr64);
+                    bits += kCodeM64.len + ptr64;
                     note(LbeSymbol::M64, false);
                     idx64[q] = c64[q];
                     continue;
@@ -343,37 +405,49 @@ LbeEncoder::encodeLine(const CacheLine &line, Overlay &ov, BitWriter *out,
                 descended64[q] = true;
                 for (unsigned ww = 0; ww < 2; ww++) {
                     const unsigned i = 2 * q + ww;
-                    if (zero[i]) {
-                        putCode(out, kCodeZ32);
+                    if (ch.zero(i)) {
+                        emit(kCodeZ32);
                         bits += kCodeZ32.len;
                         note(LbeSymbol::Z32, true);
+                        e32[i] = kZeroIdx;
                         continue;
                     }
                     // Emit-time lookup: words inserted earlier in this
                     // very line are already visible (C-Pack-style
                     // immediate insertion).
-                    const std::uint32_t m = lookup32(w[i], ov);
+                    const std::uint32_t m = lookupWord(i);
                     if (m != kNoIdx) {
-                        putCode(out, kCodeM32);
-                        putOperand(out, m, cfg_.ptrBits32());
-                        bits += kCodeM32.len + cfg_.ptrBits32();
+                        emit(kCodeM32);
+                        emitOperand(m, ptr32);
+                        bits += kCodeM32.len + ptr32;
                         note(LbeSymbol::M32, false);
+                        e32[i] = m;
                         continue;
                     }
-                    insert32(w[i], ov);
+                    // Insert directly: the lookup above just proved a
+                    // miss in both the committed dictionary and the
+                    // overlay, so insert32's own scan is redundant.
+                    const std::size_t total =
+                        values32_.size() + ov.words.size();
+                    if (total + 1 < cfg_.entries32()) {
+                        ov.words.push_back(w[i]);
+                        e32[i] = static_cast<std::uint32_t>(total + 1);
+                    } else {
+                        e32[i] = kNoIdx; // dictionary full
+                    }
                     if (w[i] < 0x100u) {
-                        putCode(out, kCodeU8);
-                        putOperand(out, w[i], 8);
+                        emit(kCodeU8);
+                        emitOperand(w[i], 8);
                         bits += kCodeU8.len + 8;
                         note(LbeSymbol::U8, false);
                     } else if (w[i] < 0x10000u) {
-                        putCode(out, kCodeU16);
-                        putOperand(out, w[i], 16);
+                        emit(kCodeU16);
+                        emitOperand(w[i], 16);
                         bits += kCodeU16.len + 16;
                         note(LbeSymbol::U16, false);
                     } else {
-                        putCode(out, kCodeU32);
-                        putOperand(out, w[i], 32);
+                        emit(kCodeU32);
+                        emitOperand(w[i], 32);
                         bits += kCodeU32.len + 32;
                         note(LbeSymbol::U32, false);
                     }
@@ -386,42 +460,29 @@ LbeEncoder::encodeLine(const CacheLine &line, Overlay &ov, BitWriter *out,
         for (unsigned q = 0; q < 4; q++) {
             if (!descended128[q / 2] || !descended64[q])
                 continue;
-            const Node n{zero[2 * q] ? kZeroIdx : lookup32(w[2 * q], ov),
-                         zero[2 * q + 1] ? kZeroIdx
-                                         : lookup32(w[2 * q + 1], ov)};
-            idx64[q] = lookupNode(
-                n, map64_, ov.nodes64,
-                static_cast<std::uint32_t>(nodes64_.size()), cfg_.nodes64);
+            const std::uint32_t l = e32[2 * q];
+            const std::uint32_t r = e32[2 * q + 1];
+            idx64[q] = lookupNode(l, r, nodes64_, ov.nodes64);
             if (idx64[q] == kNoIdx) {
-                idx64[q] = insertNode(
-                    n, ov.nodes64,
-                    static_cast<std::uint32_t>(nodes64_.size()),
-                    cfg_.nodes64);
+                idx64[q] =
+                    insertNode(l, r, nodes64_, ov.nodes64, cfg_.nodes64);
             }
         }
         for (unsigned h = 0; h < 2; h++) {
             if (!descended128[h])
                 continue;
-            const Node n{idx64[2 * h], idx64[2 * h + 1]};
-            idx128[h] = lookupNode(
-                n, map128_, ov.nodes128,
-                static_cast<std::uint32_t>(nodes128_.size()), cfg_.nodes128);
+            idx128[h] = lookupNode(idx64[2 * h], idx64[2 * h + 1],
+                                   nodes128_, ov.nodes128);
             if (idx128[h] == kNoIdx) {
-                idx128[h] = insertNode(
-                    n, ov.nodes128,
-                    static_cast<std::uint32_t>(nodes128_.size()),
-                    cfg_.nodes128);
+                idx128[h] = insertNode(idx64[2 * h], idx64[2 * h + 1],
+                                       nodes128_, ov.nodes128,
+                                       cfg_.nodes128);
             }
         }
-        {
-            const Node n{idx128[0], idx128[1]};
-            if (lookupNode(n, map256_, ov.nodes256,
-                           static_cast<std::uint32_t>(nodes256_.size()),
-                           cfg_.nodes256) == kNoIdx) {
-                insertNode(n, ov.nodes256,
-                           static_cast<std::uint32_t>(nodes256_.size()),
-                           cfg_.nodes256);
-            }
+        if (lookupNode(idx128[0], idx128[1], nodes256_, ov.nodes256) ==
+            kNoIdx) {
+            insertNode(idx128[0], idx128[1], nodes256_, ov.nodes256,
+                       cfg_.nodes256);
         }
     }
     return bits;
@@ -432,35 +493,45 @@ LbeEncoder::commit(const Overlay &ov)
 {
     for (std::uint32_t w : ov.words) {
         values32_.push_back(w);
-        map32_.emplace(w, static_cast<std::uint32_t>(values32_.size()));
+        hashInsert(w, static_cast<std::uint32_t>(values32_.size()));
     }
-    for (const Node &n : ov.nodes64) {
+    for (std::uint64_t n : ov.nodes64)
         nodes64_.push_back(n);
-        map64_.emplace(n, static_cast<std::uint32_t>(nodes64_.size()));
-    }
-    for (const Node &n : ov.nodes128) {
+    for (std::uint64_t n : ov.nodes128)
         nodes128_.push_back(n);
-        map128_.emplace(n, static_cast<std::uint32_t>(nodes128_.size()));
-    }
-    for (const Node &n : ov.nodes256) {
+    for (std::uint64_t n : ov.nodes256)
         nodes256_.push_back(n);
-        map256_.emplace(n, static_cast<std::uint32_t>(nodes256_.size()));
-    }
 }
 
 std::uint32_t
-LbeEncoder::measure(const CacheLine &line) const
+LbeEncoder::measure(const CacheLine &line, LbeStats *stats) const
 {
-    Overlay ov;
-    return encodeLine(line, ov, nullptr, nullptr);
+    return measure(LbeLinePlan::of(line), stats);
+}
+
+std::uint32_t
+LbeEncoder::measure(const LbeLinePlan &plan, LbeStats *stats) const
+{
+    scratch_.clear();
+    if (stats)
+        return encodeLine<false, true>(plan, scratch_, nullptr, stats);
+    return encodeLine<false, false>(plan, scratch_, nullptr, nullptr);
 }
 
 std::uint32_t
 LbeEncoder::append(const CacheLine &line, BitWriter *out)
 {
-    Overlay ov;
-    const std::uint32_t bits = encodeLine(line, ov, out, &stats_);
-    commit(ov);
+    return append(LbeLinePlan::of(line), out);
+}
+
+std::uint32_t
+LbeEncoder::append(const LbeLinePlan &plan, BitWriter *out)
+{
+    scratch_.clear();
+    const std::uint32_t bits =
+        out ? encodeLine<true, true>(plan, scratch_, out, &stats_)
+            : encodeLine<false, true>(plan, scratch_, nullptr, &stats_);
+    commit(scratch_);
     return bits;
 }
 

@@ -20,6 +20,17 @@
  *
  * The encoder supports trial compression (measure without committing) so
  * MORC's multi-log selection can score a line against all active logs.
+ * That trial path is the simulator's hottest loop, so it is engineered
+ * accordingly (DESIGN.md §11): dictionaries and tree-node tables are
+ * flat arrays probed with the SIMD kernels in util/simd.hh — the
+ * committed 32-bit dictionary through a bucketized hash index
+ * (hashFind8) resolving a whole chunk per call, tree nodes by
+ * first-match scan; both return exactly what the old per-word hash
+ * lookups did, bit for bit. The per-line 256-bit chunk decomposition
+ * is precomputed once in an LbeLinePlan and shared by all 8 per-insert
+ * trials, trial scratch state is arena-reused across calls, and the
+ * measure path is a compile-time clone of encodeLine with all
+ * bit-stream output stripped.
  */
 
 #ifndef MORC_COMPRESS_LBE_HH
@@ -56,6 +67,8 @@ struct LbeStats
         if (zero)
             zeroCount[static_cast<int>(s)]++;
     }
+
+    bool operator==(const LbeStats &) const = default;
 
     /** Bytes of input data one use of symbol @p s represents. */
     static unsigned
@@ -106,6 +119,40 @@ struct LbeConfig
 };
 
 /**
+ * A cache line pre-decomposed into LBE's two 256-bit chunks, with the
+ * zero scan done once (SIMD). Computing the plan once per insert and
+ * scoring it against all 8 active logs is what makes multi-log trial
+ * compression cheap: the per-line work (word extraction, zero
+ * detection) no longer repeats per log.
+ */
+struct LbeLinePlan
+{
+    struct Chunk
+    {
+        std::uint32_t w[8];
+        /** Bit i set when w[i] == 0. */
+        unsigned zeroMask;
+
+        bool allZero() const { return zeroMask == 0xff; }
+        bool zero(unsigned i) const { return (zeroMask >> i) & 1; }
+        /** 64-bit sub-chunk q (word pair 2q, 2q+1) is all zero. */
+        bool zero64(unsigned q) const
+        {
+            return ((zeroMask >> (2 * q)) & 3) == 3;
+        }
+        /** 128-bit sub-chunk h (word quad) is all zero. */
+        bool zero128(unsigned h) const
+        {
+            return ((zeroMask >> (4 * h)) & 0xf) == 0xf;
+        }
+    };
+
+    Chunk chunk[2];
+
+    static LbeLinePlan of(const CacheLine &line);
+};
+
+/**
  * Streaming LBE encoder. One encoder instance embodies the dictionary
  * state of one compression stream (one MORC log).
  */
@@ -116,11 +163,19 @@ class LbeEncoder
 
     /**
      * Measure the compressed size of @p line against the current
-     * dictionary without committing any state change.
+     * dictionary without committing any state change. When @p stats is
+     * given, the symbol mix the line *would* contribute is recorded
+     * there — by construction the same counts append() would commit
+     * (pinned by the trial/commit symmetry test).
      *
      * @return Size in bits the line would occupy if appended.
      */
-    std::uint32_t measure(const CacheLine &line) const;
+    std::uint32_t measure(const CacheLine &line,
+                          LbeStats *stats = nullptr) const;
+
+    /** measure() over a precomputed plan (multi-log batched trials). */
+    std::uint32_t measure(const LbeLinePlan &plan,
+                          LbeStats *stats = nullptr) const;
 
     /**
      * Compress @p line, commit dictionary updates, and optionally emit
@@ -129,6 +184,9 @@ class LbeEncoder
      * @return Size in bits of the appended line.
      */
     std::uint32_t append(const CacheLine &line, BitWriter *out = nullptr);
+
+    /** append() over a precomputed plan (reuses the trial's plan). */
+    std::uint32_t append(const LbeLinePlan &plan, BitWriter *out = nullptr);
 
     /** Forget all dictionary state (log flush). */
     void reset();
@@ -140,8 +198,7 @@ class LbeEncoder
     /** Number of committed 32-bit dictionary entries (excluding zero). */
     unsigned dictSize() const { return static_cast<unsigned>(values32_.size()); }
 
-    /** Append dictionary contents and symbol stats. The reverse maps
-     *  are derived state and are rebuilt on restore. */
+    /** Append dictionary contents and symbol stats. */
     void save(snap::Serializer &s) const;
 
     /** Restore a dictionary written by save(); the configuration must
@@ -149,71 +206,73 @@ class LbeEncoder
     void restore(snap::Deserializer &d);
 
   private:
-    /** Index 0 is the hardwired zero entry at every granularity. */
-    static constexpr std::uint32_t kZeroIdx = 0;
-    static constexpr std::uint32_t kNoIdx = ~0u;
-
-    /** A tree node: children are indices one granularity smaller. */
-    struct Node
+    /**
+     * Dictionary updates buffered during one line so measure() can run
+     * without mutating and append() can commit atomically. One scratch
+     * instance lives in the encoder and is reused (cleared, capacity
+     * kept) across calls — trial compression allocates nothing.
+     */
+    struct Overlay
     {
-        std::uint32_t left;
-        std::uint32_t right;
-        bool operator==(const Node &) const = default;
-    };
+        std::vector<std::uint32_t> words;   // pending 32-bit insertions
+        std::vector<std::uint64_t> nodes64; // pending packed tree nodes
+        std::vector<std::uint64_t> nodes128;
+        std::vector<std::uint64_t> nodes256;
 
-    struct NodeHash
-    {
-        std::size_t
-        operator()(const Node &n) const
+        void
+        clear()
         {
-            return static_cast<std::size_t>(
-                (static_cast<std::uint64_t>(n.left) << 32) ^ n.right ^
-                (static_cast<std::uint64_t>(n.right) << 13));
+            words.clear();
+            nodes64.clear();
+            nodes128.clear();
+            nodes256.clear();
         }
     };
 
     /**
-     * Dictionary updates buffered during one line so measure() can run
-     * without mutating and append() can commit atomically.
+     * Core encode over a plan. The trial battery is the simulator's
+     * hottest loop, so the emit and stats paths are compile-time
+     * template clones: kEmit = false strips all bit-stream output
+     * (measure), kStats = false strips symbol accounting (trial
+     * scoring). @p out / @p stats must be non-null exactly when the
+     * matching flag is set.
      */
-    struct Overlay
-    {
-        std::vector<std::uint32_t> words;  // pending 32-bit insertions
-        std::vector<Node> nodes64;
-        std::vector<Node> nodes128;
-        std::vector<Node> nodes256;
-    };
-
-    std::uint32_t encodeLine(const CacheLine &line, Overlay &ov,
+    template <bool kEmit, bool kStats>
+    std::uint32_t encodeLine(const LbeLinePlan &plan, Overlay &ov,
                              BitWriter *out, LbeStats *stats) const;
-
-    std::uint32_t lookup32(std::uint32_t w, const Overlay &ov) const;
-    std::uint32_t lookupNode(const Node &n,
-                             const std::unordered_map<Node, std::uint32_t,
-                                                      NodeHash> &map,
-                             const std::vector<Node> &pending,
-                             std::uint32_t committed, unsigned cap) const;
-    std::uint32_t insert32(std::uint32_t w, Overlay &ov) const;
-    std::uint32_t insertNode(const Node &n, std::vector<Node> &pending,
-                             std::uint32_t committed, unsigned cap) const;
 
     void commit(const Overlay &ov);
 
     LbeConfig cfg_;
     LbeStats stats_;
 
-    /** Committed 32-bit dictionary: value list + reverse map. */
+    /** Committed 32-bit dictionary in insertion order (index - 1). */
     std::vector<std::uint32_t> values32_;
-    std::unordered_map<std::uint32_t, std::uint32_t> map32_;
 
-    std::vector<Node> nodes64_;
-    std::vector<Node> nodes128_;
-    std::vector<Node> nodes256_;
-    std::unordered_map<Node, std::uint32_t, NodeHash> map64_;
-    std::unordered_map<Node, std::uint32_t, NodeHash> map128_;
-    std::unordered_map<Node, std::uint32_t, NodeHash> map256_;
+    /**
+     * Bucketized open-addressing index over values32_ for O(1)
+     * committed-dictionary matches (simd::hashFind8 layout: groups of
+     * 8 slots probed with one vector compare). hashSlots_ holds the
+     * values (0 = empty; dictionary values are nonzero by
+     * construction), hashPos_ the matching 1-based dictionary index.
+     * Rebuilt deterministically from the committed sequence on
+     * restore(), so it is pure acceleration — encodings never depend
+     * on its layout.
+     */
+    std::vector<std::uint32_t> hashSlots_;
+    std::vector<std::uint32_t> hashPos_;
+    unsigned hashGroupsLog2_ = 0;
 
-    friend class LbeDecoder;
+    void hashInsert(std::uint32_t v, std::uint32_t pos);
+
+    /** Committed tree nodes, packed left | right << 32 for flat
+     *  scanning (the snapshot format still writes the u32 halves). */
+    std::vector<std::uint64_t> nodes64_;
+    std::vector<std::uint64_t> nodes128_;
+    std::vector<std::uint64_t> nodes256_;
+
+    /** Reused trial/append scratch (see Overlay). */
+    mutable Overlay scratch_;
 };
 
 /**

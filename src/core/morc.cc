@@ -138,11 +138,11 @@ LogCache::invalidateEntry(std::uint64_t slot, cache::FillResult &result)
 }
 
 std::uint64_t
-LogCache::trialBits(const Log &g, const CacheLine &data,
+LogCache::trialBits(const Log &g, const comp::LbeLinePlan &plan,
                     Addr line_num) const
 {
     const std::uint64_t d_bits =
-        cfg_.compressionEnabled ? g.lbe.measure(data) : kRawLineBits;
+        cfg_.compressionEnabled ? g.lbe.measure(plan) : kRawLineBits;
     const std::uint64_t t_bits =
         cfg_.compressionEnabled ? g.tags.measure(line_num) : kRawTagBits;
     const std::uint64_t log_bits = static_cast<std::uint64_t>(cfg_.logBytes) * 8;
@@ -292,12 +292,13 @@ LogCache::rotateLog(unsigned active_slot, cache::FillResult &result)
 
 void
 LogCache::appendLine(std::uint32_t log_idx, Addr line_num,
-                     const CacheLine &data, bool dirty, std::uint64_t slot)
+                     const CacheLine &data, const comp::LbeLinePlan &plan,
+                     bool dirty, std::uint64_t slot)
 {
     Log &g = logs_[log_idx];
     std::uint32_t d_bits, t_bits;
     if (cfg_.compressionEnabled) {
-        d_bits = g.lbe.append(data);
+        d_bits = g.lbe.append(plan);
         t_bits = g.tags.append(line_num, &g.tagStream);
     } else {
         d_bits = kRawLineBits;
@@ -458,13 +459,19 @@ LogCache::insert(Addr addr, const CacheLine &data, bool dirty)
 
     // Content-aware multi-log selection: trial-compress against every
     // active log, commit to the best; within the fudge margin, seed the
-    // least-used log to keep streams diverse (Section 3.2.3).
+    // least-used log to keep streams diverse (Section 3.2.3). The line
+    // is decomposed once (LbeLinePlan) and that plan is shared by all
+    // trials and the final append; the scores are cached so the
+    // near-tie pass costs no further trials.
+    const comp::LbeLinePlan plan = comp::LbeLinePlan::of(data);
+    trialScores_.assign(active_.size(), kNoFit);
     const auto choose = [&]() -> int {
         std::uint64_t best = kNoFit, worst = 0;
         int best_slot = -1;
         for (unsigned i = 0; i < active_.size(); i++) {
             const std::uint64_t bits =
-                trialBits(logs_[active_[i]], data, line_num);
+                trialBits(logs_[active_[i]], plan, line_num);
+            trialScores_[i] = bits;
             if (bits == kNoFit)
                 continue;
             if (bits < best) {
@@ -483,7 +490,7 @@ LogCache::insert(Addr addr, const CacheLine &data, bool dirty)
             std::uint64_t least = ~0ull;
             for (unsigned i = 0; i < active_.size(); i++) {
                 const Log &g = logs_[active_[i]];
-                if (trialBits(g, data, line_num) == kNoFit)
+                if (trialScores_[i] == kNoFit)
                     continue;
                 const std::uint64_t used = g.dataBits + g.tagBits;
                 if (used < least) {
@@ -530,8 +537,8 @@ LogCache::insert(Addr addr, const CacheLine &data, bool dirty)
                  active_[static_cast<unsigned>(pick)],
                  (unsigned long long)line_num, dirty ? 1 : 0);
 #endif
-    appendLine(active_[static_cast<unsigned>(pick)], line_num, data, dirty,
-               slot);
+    appendLine(active_[static_cast<unsigned>(pick)], line_num, data, plan,
+               dirty, slot);
     result.linesCompressed++;
     return result;
 }

@@ -267,9 +267,11 @@ class LogCache : public cache::Llc
      *  writing it back if modified. */
     void invalidateEntry(std::uint64_t slot, cache::FillResult &result);
 
-    /** Trial-compress @p data against log @p g. Returns total bits or
-     *  ~0 if it does not fit. */
-    std::uint64_t trialBits(const Log &g, const CacheLine &data,
+    /** Trial-compress a line (pre-decomposed as @p plan) against log
+     *  @p g. Returns total bits or ~0 if it does not fit. The plan is
+     *  computed once per insert and shared by all 8 active-log trials
+     *  (batched trial compression). */
+    std::uint64_t trialBits(const Log &g, const comp::LbeLinePlan &plan,
                             Addr line_num) const;
 
     /** Close an active log and activate a replacement. */
@@ -278,9 +280,11 @@ class LogCache : public cache::Llc
     /** Flush a victim log: write back modified lines, invalidate LMT. */
     void flushLog(std::uint32_t log_idx, cache::FillResult &result);
 
-    /** Append @p data to log @p g; updates the LMT entry at @p slot. */
+    /** Append @p data (pre-decomposed as @p plan) to log @p g; updates
+     *  the LMT entry at @p slot. */
     void appendLine(std::uint32_t log_idx, Addr line_num,
-                    const CacheLine &data, bool dirty, std::uint64_t slot);
+                    const CacheLine &data, const comp::LbeLinePlan &plan,
+                    bool dirty, std::uint64_t slot);
 
     MorcConfig cfg_;
     std::vector<Log> logs_;
@@ -295,6 +299,12 @@ class LogCache : public cache::Llc
     /** Unlimited-metadata mode uses a map keyed by line number; the
      *  "slot" is the line number itself. */
     std::unordered_map<Addr, LmtEntry> lmtMap_;
+
+    /** Per-active-log trial scores for the current insert, cached so
+     *  the near-tie fudge pass reuses them instead of re-trialing
+     *  (trialBits is pure, so the cached scores are exact). Reused
+     *  across inserts to avoid per-insert allocation. */
+    std::vector<std::uint64_t> trialScores_;
 
     std::uint64_t valid_ = 0;
     std::uint64_t appended_ = 0;

@@ -177,6 +177,90 @@ TEST(LbeProperty, MeasureNeverMutatesUnderFuzz)
     EXPECT_EQ(enc.measure(probe), before);
 }
 
+TEST(LbeProperty, PlanBasedTrialsMatchIndependentMeasures)
+{
+    // The multi-log insert path computes one LbeLinePlan per line and
+    // scores it against all active logs. Plan-based trials must equal
+    // fresh per-call measure()/append() results on every encoder, no
+    // matter how the dictionaries have diverged.
+    constexpr int kLogs = 8;
+    std::vector<LbeEncoder> encs(kLogs);
+    Rng rng(9001);
+    std::vector<CacheLine> history;
+    for (int i = 0; i < 400; i++) {
+        const auto g = static_cast<Gen>(
+            rng.below(static_cast<std::uint64_t>(Gen::NumGens)));
+        const CacheLine l = makeLine(g, rng, history);
+        history.push_back(l);
+        const LbeLinePlan plan = LbeLinePlan::of(l);
+        for (int e = 0; e < kLogs; e++) {
+            const std::uint32_t via_plan = encs[e].measure(plan);
+            const std::uint32_t via_line = encs[e].measure(l);
+            ASSERT_EQ(via_plan, via_line)
+                << "line " << i << " encoder " << e;
+        }
+        // Commit to one encoder through the plan overload, like the
+        // insert path does, diverging the dictionaries.
+        const int pick = static_cast<int>(rng.below(kLogs));
+        const std::uint32_t measured = encs[pick].measure(plan);
+        ASSERT_EQ(encs[pick].append(plan), measured)
+            << "line " << i << " encoder " << pick;
+    }
+}
+
+TEST(LbeProperty, PlanAppendRoundTripsThroughDecoder)
+{
+    LbeConfig cfg;
+    LbeEncoder enc(cfg);
+    LbeDecoder dec(cfg);
+    BitWriter out;
+    Rng rng(9002);
+    std::vector<CacheLine> history;
+    std::vector<CacheLine> stream;
+    for (int i = 0; i < 300; i++) {
+        const auto g = static_cast<Gen>(
+            rng.below(static_cast<std::uint64_t>(Gen::NumGens)));
+        const CacheLine l = makeLine(g, rng, history);
+        enc.append(LbeLinePlan::of(l), &out);
+        history.push_back(l);
+        stream.push_back(l);
+    }
+    BitReader in(out);
+    for (std::size_t i = 0; i < stream.size(); i++)
+        ASSERT_EQ(dec.decodeLine(in), stream[i]) << "line " << i;
+    EXPECT_EQ(in.remaining(), 0u);
+}
+
+TEST(LbeProperty, TrialStatsMatchCommittedStats)
+{
+    // A trial (measure with stats) must record exactly the symbol mix
+    // the subsequent append() commits — the simulator's Figure 7
+    // distribution is aggregated from committed stats, but the trial
+    // path must agree or the two code paths have diverged.
+    LbeEncoder enc;
+    Rng rng(9003);
+    std::vector<CacheLine> history;
+    for (int i = 0; i < 400; i++) {
+        const auto g = static_cast<Gen>(
+            rng.below(static_cast<std::uint64_t>(Gen::NumGens)));
+        const CacheLine l = makeLine(g, rng, history);
+        history.push_back(l);
+        LbeStats trial;
+        const std::uint32_t measured = enc.measure(l, &trial);
+        const LbeStats before = enc.stats();
+        const std::uint32_t appended = enc.append(l);
+        ASSERT_EQ(measured, appended) << "line " << i;
+        LbeStats expected = before;
+        constexpr int kNumSymbols =
+            static_cast<int>(LbeSymbol::NumSymbols);
+        for (int s = 0; s < kNumSymbols; s++) {
+            expected.count[s] += trial.count[s];
+            expected.zeroCount[s] += trial.zeroCount[s];
+        }
+        ASSERT_EQ(enc.stats(), expected) << "line " << i;
+    }
+}
+
 TEST(LbeProperty, ZeroRunsStayWithinZeroSymbolBudget)
 {
     // All-zero input must cost at most two z256 symbols per line no
