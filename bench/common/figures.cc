@@ -7,7 +7,6 @@
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 
 #include "cache/overheads.hh"
@@ -24,6 +23,7 @@
 #include "sweep/journal.hh"
 #include "telemetry/tracer.hh"
 #include "util/rng.hh"
+#include "util/sync.hh"
 
 namespace morc {
 namespace bench {
@@ -137,12 +137,12 @@ warmFingerprint(const sim::SystemConfig &cfg,
  *  warm-up phase simulate it exactly once; everyone else restores. The
  *  map only grows and node references are stable, so the returned
  *  reference outlives the master lock. */
-std::mutex &
+sync::Mutex &
 warmMutex(const std::string &fingerprint)
 {
-    static std::mutex master;
-    static std::map<std::string, std::mutex> locks;
-    std::lock_guard<std::mutex> lock(master);
+    static sync::Mutex master;
+    static std::map<std::string, sync::Mutex> locks;
+    sync::LockGuard lock(master);
     return locks[fingerprint];
 }
 
@@ -163,7 +163,7 @@ warmViaCheckpoint(std::unique_ptr<sim::System> &sys,
                   static_cast<unsigned long long>(sweep::stableSeed(fp)));
     const std::string path = g_warmDir + "/" + name;
 
-    std::lock_guard<std::mutex> lock(warmMutex(fp));
+    sync::LockGuard lock(warmMutex(fp));
     std::error_code ec;
     if (std::filesystem::exists(path, ec)) {
         std::string err;

@@ -78,7 +78,7 @@ class DecoupledCache : public Llc
     void evictBlock(Set &set, SuperBlock &block, FillResult &result);
 
     Config cfg_;
-    std::uint64_t numSets_;
+    std::uint64_t numSets_; // morc-analyze: allow(snapshot-completeness) derived from cfg_
     std::vector<Set> sets_;
     std::uint64_t useClock_ = 0;
     std::uint64_t valid_ = 0;

@@ -72,7 +72,7 @@ class IdealCache : public Llc
     OracleScope scope_;
     std::uint64_t capacity_;
     std::uint64_t setBits_;
-    std::uint64_t numSets_;
+    std::uint64_t numSets_; // morc-analyze: allow(snapshot-completeness) derived from setBits_
     std::vector<Set> sets_;
     comp::OracleDictionary dict_;
     std::uint64_t useClock_ = 0;

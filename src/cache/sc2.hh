@@ -92,7 +92,7 @@ class Sc2Cache : public Llc
     void maybeRetrain();
 
     Config cfg_;
-    std::uint64_t numSets_;
+    std::uint64_t numSets_; // morc-analyze: allow(snapshot-completeness) derived from cfg_
     std::vector<Set> sets_;
     std::uint64_t useClock_ = 0;
     std::uint64_t valid_ = 0;

@@ -51,7 +51,7 @@ class UncompressedCache : public Llc
 
     std::uint64_t capacity_;
     unsigned ways_;
-    std::uint64_t numSets_;
+    std::uint64_t numSets_; // morc-analyze: allow(snapshot-completeness) derived from capacity_/ways_
     std::vector<Way> store_; // numSets_ x ways_
     std::uint64_t useClock_ = 0;
     std::uint64_t valid_ = 0;

@@ -21,6 +21,7 @@
 
 #include "snapshot/snapshot.hh"
 #include "util/bitstream.hh"
+#include "util/sorted_view.hh"
 #include "util/types.hh"
 
 namespace morc {
@@ -155,13 +156,12 @@ class ValueSampler
     saveFreqMap(snap::Serializer &s,
                 const std::unordered_map<std::uint32_t, std::uint64_t> &m)
     {
-        std::vector<std::pair<std::uint32_t, std::uint64_t>> kv(m.begin(),
-                                                                m.end());
-        std::sort(kv.begin(), kv.end());
-        s.vec(kv, [&](const std::pair<std::uint32_t, std::uint64_t> &e) {
-            s.u32(e.first);
-            s.u64(e.second);
-        });
+        const auto kv = util::sortedView(m);
+        s.u64(kv.size());
+        for (const auto *e : kv) {
+            s.u32(e->first);
+            s.u64(e->second);
+        }
     }
 
     /** Shared helper: read a map written by saveFreqMap(). */

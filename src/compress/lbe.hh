@@ -260,8 +260,8 @@ class LbeEncoder
      * on its layout.
      */
     std::vector<std::uint32_t> hashSlots_;
-    std::vector<std::uint32_t> hashPos_;
-    unsigned hashGroupsLog2_ = 0;
+    std::vector<std::uint32_t> hashPos_; // morc-analyze: allow(snapshot-completeness) rebuilt on restore()
+    unsigned hashGroupsLog2_ = 0; // morc-analyze: allow(snapshot-completeness) sized from cfg_ at construction
 
     void hashInsert(std::uint32_t v, std::uint32_t pos);
 
@@ -272,7 +272,7 @@ class LbeEncoder
     std::vector<std::uint64_t> nodes256_;
 
     /** Reused trial/append scratch (see Overlay). */
-    mutable Overlay scratch_;
+    mutable Overlay scratch_; // morc-analyze: allow(snapshot-completeness) transient trial scratch
 };
 
 /**

@@ -6,6 +6,7 @@
 
 #include "check/check.hh"
 #include "util/rng.hh"
+#include "util/sorted_view.hh"
 
 namespace morc {
 namespace core {
@@ -849,7 +850,11 @@ LogCache::audit() const
                   copies);
     };
     if (cfg_.unlimitedMeta) {
-        for (const auto &[line_num, e] : lmtMap_) {
+        // Sorted so multi-failure audit reports list entries in a
+        // stable order (AuditReport keeps every message).
+        for (const auto *kv : util::sortedView(lmtMap_)) {
+            const Addr line_num = kv->first;
+            const LmtEntry &e = kv->second;
             r.require(e.valid,
                       "unlimited LMT retains invalid entry for line %llu",
                       static_cast<unsigned long long>(line_num));
@@ -926,9 +931,11 @@ bool
 LogCache::debugCorruptLmt(std::uint64_t seed)
 {
     if (cfg_.unlimitedMeta) {
-        // Deterministic victim: the smallest resident line number.
         const LmtEntry *target = nullptr;
         Addr best = 0;
+        // Deterministic victim: the smallest resident line number. A
+        // pure min-reduction is order-invariant, so the hash-order walk
+        // cannot escape. morc-analyze: allow(unordered-iteration-escape)
         for (const auto &[line_num, e] : lmtMap_) {
             if (!e.valid)
                 continue;
@@ -1026,17 +1033,15 @@ LogCache::saveState(snap::Serializer &s) const
     });
 
     // Unlimited-metadata map, sorted by line number for determinism.
-    std::vector<std::pair<Addr, LmtEntry>> kv(lmtMap_.begin(),
-                                              lmtMap_.end());
-    std::sort(kv.begin(), kv.end(),
-              [](const auto &a, const auto &b) { return a.first < b.first; });
-    s.vec(kv, [&](const std::pair<Addr, LmtEntry> &e) {
-        s.u64(e.first);
-        s.boolean(e.second.valid);
-        s.boolean(e.second.modified);
-        s.u32(e.second.logIdx);
-        s.u64(e.second.lineNum);
-    });
+    const auto kv = util::sortedView(lmtMap_);
+    s.u64(kv.size());
+    for (const auto *e : kv) {
+        s.u64(e->first);
+        s.boolean(e->second.valid);
+        s.boolean(e->second.modified);
+        s.u32(e->second.logIdx);
+        s.u64(e->second.lineNum);
+    }
     s.endSection();
 }
 

@@ -294,7 +294,7 @@ class LogCache : public cache::Llc
 
     /** Finite LMT (default mode). */
     std::vector<LmtEntry> lmt_;
-    std::uint64_t lmtMask_ = 0;
+    std::uint64_t lmtMask_ = 0; // morc-analyze: allow(snapshot-completeness) derived: lmt_.size() - 1
 
     /** Unlimited-metadata mode uses a map keyed by line number; the
      *  "slot" is the line number itself. */
@@ -304,7 +304,7 @@ class LogCache : public cache::Llc
      *  the near-tie fudge pass reuses them instead of re-trialing
      *  (trialBits is pure, so the cached scores are exact). Reused
      *  across inserts to avoid per-insert allocation. */
-    std::vector<std::uint64_t> trialScores_;
+    std::vector<std::uint64_t> trialScores_; // morc-analyze: allow(snapshot-completeness) re-assigned per insert
 
     std::uint64_t valid_ = 0;
     std::uint64_t appended_ = 0;

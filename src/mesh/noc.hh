@@ -147,9 +147,9 @@ class Noc
     std::uint64_t hopSum_ = 0;
     std::uint64_t queueSum_ = 0;
 
-    telemetry::Tracer *tracer_ = nullptr;
-    std::uint16_t traceTrack_ = 0;
-    Cycles stallThreshold_ = 0;
+    telemetry::Tracer *tracer_ = nullptr; // morc-analyze: allow(snapshot-completeness) runtime wiring, re-bound by the owner
+    std::uint16_t traceTrack_ = 0; // morc-analyze: allow(snapshot-completeness) runtime wiring, re-bound by the owner
+    Cycles stallThreshold_ = 0; // morc-analyze: allow(snapshot-completeness) configuration, set at wiring time
 };
 
 } // namespace mesh

@@ -7,6 +7,7 @@
 
 #include "check/check.hh"
 #include "core/morc.hh"
+#include "util/sorted_view.hh"
 
 namespace morc {
 namespace sim {
@@ -559,31 +560,23 @@ System::saveState(snap::Serializer &s) const
         s.u64(c.result.stallCycles);
         s.f64(c.gapSum);
         s.u64(c.lastMissCycle);
-        std::vector<std::pair<Addr, std::uint32_t>> vers(
-            c.versions.begin(), c.versions.end());
-        std::sort(vers.begin(), vers.end());
-        s.vec(vers, [&s](const std::pair<Addr, std::uint32_t> &kv) {
-            s.u64(kv.first);
-            s.u32(kv.second);
-        });
+        const auto vers = util::sortedView(c.versions);
+        s.u64(vers.size());
+        for (const auto *kv : vers) {
+            s.u64(kv->first);
+            s.u32(kv->second);
+        }
         c.l1.save(s);
         c.trace->save(s);
         s.endSection();
     }
 
     s.beginSection("DRAM");
-    std::vector<std::pair<Addr, const CacheLine *>> lines;
-    lines.reserve(dram_.size());
-    for (const auto &kv : dram_)
-        lines.emplace_back(kv.first, &kv.second);
-    std::sort(lines.begin(), lines.end(),
-              [](const auto &a, const auto &b) {
-                  return a.first < b.first;
-              });
+    const auto lines = util::sortedView(dram_);
     s.u64(lines.size());
-    for (const auto &kv : lines) {
-        s.u64(kv.first);
-        s.bytes(kv.second->bytes.data(), kLineSize);
+    for (const auto *kv : lines) {
+        s.u64(kv->first);
+        s.bytes(kv->second.bytes.data(), kLineSize);
     }
     s.endSection();
 

@@ -320,14 +320,14 @@ class System
     /** Mesh-substrate state (null/empty on the flat path). */
     std::unique_ptr<mesh::Noc> noc_;
     std::vector<MemoryChannel> channels_;
-    mesh::BankedLlc *banked_ = nullptr; // owned by llc_
+    mesh::BankedLlc *banked_ = nullptr; // owned by llc_; morc-analyze: allow(snapshot-completeness) alias, snapshotted via llc_
 
     /** Telemetry (null when off). Declared after every probed member:
      *  probes capture raw pointers into them, so the registry and
      *  tracer must be destroyed first. */
     std::unique_ptr<telemetry::Registry> telemetry_;
     std::unique_ptr<telemetry::Tracer> tracer_;
-    std::uint16_t sysTrack_ = 0;
+    std::uint16_t sysTrack_ = 0; // morc-analyze: allow(snapshot-completeness) track id re-registered at construction
 
     /** Warm-up snapshots of the caller-owned histograms, subtracted at
      *  the end of the run so reported distributions cover only the

@@ -134,7 +134,7 @@ loadRunRecord(snap::Deserializer &d)
 std::size_t
 Journal::load()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     records_.clear();
     std::vector<std::uint8_t> buf;
     if (!snap::readFile(path_, buf))
@@ -168,7 +168,7 @@ Journal::load()
 const stats::RunRecord *
 Journal::lookup(const std::string &key) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     auto it = records_.find(key);
     return it == records_.end() ? nullptr : &it->second;
 }
@@ -192,7 +192,7 @@ Journal::append(const stats::RunRecord &rec)
     for (unsigned i = 0; i < 4; i++)
         entry.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
 
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     records_[rec.key] = rec;
     std::FILE *f = std::fopen(path_.c_str(), "ab");
     bool ok = f != nullptr;
@@ -214,7 +214,7 @@ Journal::append(const stats::RunRecord &rec)
 std::size_t
 Journal::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     return records_.size();
 }
 

@@ -26,12 +26,12 @@
 #define MORC_SWEEP_JOURNAL_HH
 
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "snapshot/snapshot.hh"
 #include "stats/report.hh"
+#include "util/sync.hh"
 
 namespace morc {
 namespace sweep {
@@ -71,9 +71,15 @@ class Journal
 
   private:
     std::string path_;
-    mutable std::mutex mu_;
-    std::unordered_map<std::string, stats::RunRecord> records_;
-    bool writeFailed_ = false;
+    mutable sync::Mutex mu_;
+    // Keyed store of recovered + appended records. Never iterated —
+    // reports are rebuilt in task order by the sweep driver — so the
+    // unordered layout cannot reach an artifact.
+    std::unordered_map<std::string, stats::RunRecord> records_
+        MORC_GUARDED_BY(mu_);
+    // Journal file handle is opened per append under mu_; the
+    // warn-once latch shares its critical section.
+    bool writeFailed_ MORC_GUARDED_BY(mu_) = false;
 };
 
 } // namespace sweep

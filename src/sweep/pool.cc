@@ -8,7 +8,7 @@ namespace sweep {
 Pool::Pool(unsigned threads)
 {
     if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
+        threads = std::max(1u, sync::hardwareConcurrency());
     queues_.reserve(threads);
     for (unsigned i = 0; i < threads; i++)
         queues_.push_back(std::make_unique<WorkerQueue>());
@@ -35,7 +35,7 @@ Pool::push(std::packaged_task<void()> task)
         nextQueue_.fetch_add(1, std::memory_order_relaxed) %
         queues_.size();
     {
-        std::lock_guard<std::mutex> lock(queues_[idx]->mutex);
+        sync::LockGuard lock(queues_[idx]->mutex);
         queues_[idx]->tasks.push_front(std::move(task));
     }
     idleCv_.notify_one();
@@ -45,7 +45,7 @@ bool
 Pool::popLocal(unsigned self, std::packaged_task<void()> &out)
 {
     WorkerQueue &q = *queues_[self];
-    std::lock_guard<std::mutex> lock(q.mutex);
+    sync::LockGuard lock(q.mutex);
     if (q.tasks.empty())
         return false;
     out = std::move(q.tasks.front());
@@ -59,7 +59,7 @@ Pool::steal(unsigned self, std::packaged_task<void()> &out)
     const unsigned n = static_cast<unsigned>(queues_.size());
     for (unsigned off = 1; off < n; off++) {
         WorkerQueue &q = *queues_[(self + off) % n];
-        std::lock_guard<std::mutex> lock(q.mutex);
+        sync::LockGuard lock(q.mutex);
         if (q.tasks.empty())
             continue;
         out = std::move(q.tasks.back());
@@ -79,12 +79,12 @@ Pool::workerLoop(std::stop_token stoken, unsigned self)
             executed_.fetch_add(1, std::memory_order_relaxed);
             continue;
         }
-        std::unique_lock<std::mutex> lock(idleMutex_);
+        sync::UniqueLock lock(idleMutex_);
         // Re-check under the idle lock: a push between our scan and the
         // wait would otherwise be missed.
         const bool empty = [&] {
             for (auto &q : queues_) {
-                std::lock_guard<std::mutex> ql(q->mutex);
+                sync::LockGuard ql(q->mutex);
                 if (!q->tasks.empty())
                     return false;
             }

@@ -21,16 +21,16 @@
 #define MORC_SWEEP_POOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
+#include <thread> // morc-analyze: allow(raw-sync) jthread workers live here by design
 #include <type_traits>
 #include <vector>
+
+#include "util/sync.hh"
 
 namespace morc {
 namespace sweep {
@@ -89,8 +89,9 @@ class Pool
   private:
     struct WorkerQueue
     {
-        std::mutex mutex;
-        std::deque<std::packaged_task<void()>> tasks;
+        sync::Mutex mutex;
+        std::deque<std::packaged_task<void()>> tasks
+            MORC_GUARDED_BY(mutex);
     };
 
     void push(std::packaged_task<void()> task);
@@ -99,10 +100,13 @@ class Pool
     void workerLoop(std::stop_token stoken, unsigned self);
 
     std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    // Worker threads; the raw std::jthread container is sanctioned here
+    // (and only here) — everything else must submit() work instead of
+    // spawning threads. morc-analyze: allow(raw-sync)
     std::vector<std::jthread> workers_;
 
-    std::mutex idleMutex_;
-    std::condition_variable_any idleCv_;
+    sync::Mutex idleMutex_;
+    sync::CondVarAny idleCv_;
     std::atomic<unsigned> nextQueue_{0};
     std::atomic<std::uint64_t> executed_{0};
     std::atomic<bool> cancelled_{false};

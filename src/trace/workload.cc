@@ -2,7 +2,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <unordered_map>
 
 namespace morc {
 namespace trace {

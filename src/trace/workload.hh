@@ -168,12 +168,12 @@ class ThreadTrace
     }
 
   private:
-    BenchmarkSpec spec_;
+    BenchmarkSpec spec_; // morc-analyze: allow(snapshot-completeness) construction-time config; restore() re-binds
     unsigned threadId_;
-    Addr base_;
-    std::shared_ptr<ValueModel> values_;
-    ZipfSampler hotPages_;
-    std::uint64_t wsLines_;
+    Addr base_; // morc-analyze: allow(snapshot-completeness) construction-time config; restore() re-binds
+    std::shared_ptr<ValueModel> values_; // morc-analyze: allow(snapshot-completeness) construction-time config; restore() re-binds
+    ZipfSampler hotPages_; // morc-analyze: allow(snapshot-completeness) deterministic from spec_
+    std::uint64_t wsLines_; // morc-analyze: allow(snapshot-completeness) derived from spec_
     std::uint64_t seqPos_ = 0;
     /** Independent page-burst state per reference class; interleaved
      *  hot and cold streams each keep their own walk (two live

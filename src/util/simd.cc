@@ -296,7 +296,9 @@ Level
 resolveFromEnv()
 {
     const Level best = bestSupported();
-    const char *env = std::getenv("MORC_SIMD");
+    // Read once before any worker threads exist (the resolved level is
+    // cached in g_active), so the env scan cannot race a setenv.
+    const char *env = std::getenv("MORC_SIMD"); // NOLINT(concurrency-mt-unsafe)
     if (!env)
         return best;
     Level want = best;

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic iteration over unordered associative containers.
+ *
+ * Iterating a std::unordered_{map,set} is ordered by hash-table layout,
+ * which depends on insertion history, libstdc++ version, and SSO
+ * details — so the moment such a loop feeds a report, audit message,
+ * snapshot, or any other serialized artifact, byte-identical output is
+ * lost. sortedView() is the sanctioned adapter for those cold paths: it
+ * materializes a key-sorted vector of pointers into the container, so
+ * the loop body reads the original elements (no value copies) in a
+ * total order independent of hash-table state.
+ *
+ * tools/morc_analyze.py (check `unordered-iteration-escape`) flags
+ * unordered-container loops on escape paths unless they go through this
+ * adapter. Do NOT use it on hot paths — it allocates and sorts; hot
+ * loops over unordered containers are fine as long as their order never
+ * reaches an observable artifact.
+ */
+
+#ifndef MORC_UTIL_SORTED_VIEW_HH
+#define MORC_UTIL_SORTED_VIEW_HH
+
+#include <algorithm>
+#include <vector>
+
+namespace morc {
+namespace util {
+
+/**
+ * Key-sorted view of @p c: a vector of `const value_type *`, sorted by
+ * `first` for map-like containers and by the element itself for sets.
+ * The view is invalidated by any mutation of @p c.
+ *
+ *   for (const auto *kv : util::sortedView(m))
+ *       s.u64(kv->first), s.u32(kv->second);
+ */
+template <typename Container>
+std::vector<const typename Container::value_type *>
+sortedView(const Container &c)
+{
+    using Value = typename Container::value_type;
+    std::vector<const Value *> view;
+    view.reserve(c.size());
+    for (const auto &e : c)
+        view.push_back(&e);
+    std::sort(view.begin(), view.end(),
+              [](const Value *a, const Value *b) {
+                  if constexpr (requires { a->first < b->first; })
+                      return a->first < b->first;
+                  else
+                      return *a < *b;
+              });
+    return view;
+}
+
+} // namespace util
+} // namespace morc
+
+#endif // MORC_UTIL_SORTED_VIEW_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Annotated synchronization primitives: the only sanctioned doorway to
+ * raw std::mutex in this codebase.
+ *
+ * Every lock in src/ goes through morc::sync so that Clang's
+ * -Wthread-safety capability analysis can prove, at compile time, that
+ * guarded state is only touched under its lock. The macros expand to
+ * Clang capability attributes and compile away on other compilers, so
+ * the annotated tree builds identically under GCC; the `analyze` CMake
+ * preset (CI job `analyze`) turns the analysis on as errors.
+ *
+ * Conventions (DESIGN.md §12):
+ *   - shared mutable state is a member annotated MORC_GUARDED_BY(mu_),
+ *   - functions that expect the caller to hold a lock say
+ *     MORC_REQUIRES(mu_); functions that must NOT be entered with it
+ *     held say MORC_EXCLUDES(mu_),
+ *   - scope-based locking uses LockGuard / UniqueLock (both
+ *     MORC_SCOPED_CAPABILITY), never manual lock()/unlock() pairs,
+ *   - `// morc-analyze: allow(raw-sync)` is the escape hatch for the
+ *     rare raw primitive (none today outside this header and the
+ *     worker-thread container in sweep/pool.hh).
+ *
+ * The raw-sync ban itself is enforced by tools/morc_analyze.py, so a
+ * std::mutex added anywhere else fails the `analyze` gate even under
+ * GCC.
+ */
+
+#ifndef MORC_UTIL_SYNC_HH
+#define MORC_UTIL_SYNC_HH
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+// ---------------------------------------------------------------------
+// Clang thread-safety attribute macros (no-ops elsewhere).
+// ---------------------------------------------------------------------
+
+#if defined(__clang__)
+#define MORC_TS_ATTR(x) __attribute__((x))
+#else
+#define MORC_TS_ATTR(x) // capability analysis is Clang-only
+#endif
+
+#define MORC_CAPABILITY(x) MORC_TS_ATTR(capability(x))
+#define MORC_SCOPED_CAPABILITY MORC_TS_ATTR(scoped_lockable)
+#define MORC_GUARDED_BY(x) MORC_TS_ATTR(guarded_by(x))
+#define MORC_PT_GUARDED_BY(x) MORC_TS_ATTR(pt_guarded_by(x))
+#define MORC_REQUIRES(...) MORC_TS_ATTR(requires_capability(__VA_ARGS__))
+#define MORC_ACQUIRE(...) MORC_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define MORC_RELEASE(...) MORC_TS_ATTR(release_capability(__VA_ARGS__))
+#define MORC_TRY_ACQUIRE(...) \
+    MORC_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+#define MORC_EXCLUDES(...) MORC_TS_ATTR(locks_excluded(__VA_ARGS__))
+#define MORC_RETURN_CAPABILITY(x) MORC_TS_ATTR(lock_returned(x))
+#define MORC_NO_THREAD_SAFETY_ANALYSIS \
+    MORC_TS_ATTR(no_thread_safety_analysis)
+
+namespace morc {
+namespace sync {
+
+/** std::mutex as a named capability the analysis can track. */
+class MORC_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() MORC_ACQUIRE() { mu_.lock(); }
+    void unlock() MORC_RELEASE() { mu_.unlock(); }
+    bool try_lock() MORC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    std::mutex mu_;
+};
+
+/** std::lock_guard over a Mutex; acquisition is scoped to the block. */
+class MORC_SCOPED_CAPABILITY LockGuard
+{
+  public:
+    explicit LockGuard(Mutex &mu) MORC_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~LockGuard() MORC_RELEASE() { mu_.unlock(); }
+
+    LockGuard(const LockGuard &) = delete;
+    LockGuard &operator=(const LockGuard &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/**
+ * Re-lockable scope lock (the BasicLockable std::condition_variable_any
+ * waits on). Constructed locked; wait functions may unlock()/lock() it.
+ */
+class MORC_SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex &mu) MORC_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+        held_ = true;
+    }
+    ~UniqueLock() MORC_RELEASE()
+    {
+        if (held_)
+            mu_.unlock();
+    }
+
+    void
+    lock() MORC_ACQUIRE()
+    {
+        mu_.lock();
+        held_ = true;
+    }
+    void
+    unlock() MORC_RELEASE()
+    {
+        mu_.unlock();
+        held_ = false;
+    }
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+  private:
+    Mutex &mu_;
+    bool held_ = false;
+};
+
+/** Condition variable usable with UniqueLock (and a stop_token). */
+using CondVarAny = std::condition_variable_any;
+
+/** std::thread::hardware_concurrency without naming std::thread at the
+ *  call site (keeps the raw-sync ban grep-clean outside this header). */
+inline unsigned
+hardwareConcurrency()
+{
+    return std::thread::hardware_concurrency();
+}
+
+} // namespace sync
+} // namespace morc
+
+#endif // MORC_UTIL_SYNC_HH

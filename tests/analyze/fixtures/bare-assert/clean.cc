@@ -1,0 +1,10 @@
+// Fixture: MORC_CHECK survives NDEBUG and static_assert is
+// compile-time; neither must fire.
+#include "check/check.hh"
+
+inline void
+checkIndex(unsigned i, unsigned n)
+{
+    MORC_CHECK(i < n, "index in range");
+    static_assert(sizeof(unsigned) >= 4, "word size");
+}

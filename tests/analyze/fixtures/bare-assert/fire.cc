@@ -1,0 +1,9 @@
+// Fixture: assert() vanishes under NDEBUG (the default build) and
+// must fire.
+#include <cassert>
+
+inline void
+checkIndex(unsigned i, unsigned n)
+{
+    assert(i < n);
+}

@@ -1,0 +1,20 @@
+// Fixture: the deterministic util/rng.hh-style generator, value-keyed
+// maps, and simulated cycle counts must not fire.
+#include <cstdint>
+#include <map>
+
+#include "util/rng.hh"
+
+struct Model
+{
+    std::map<std::uint64_t, int> byLine_;
+    morc::util::Rng rng_;
+    std::uint64_t cycles_ = 0;
+
+    int
+    sample()
+    {
+        cycles_ += 1;
+        return static_cast<int>(rng_.next() & 0xff);
+    }
+};

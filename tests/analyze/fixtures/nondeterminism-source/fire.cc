@@ -1,0 +1,21 @@
+// Fixture: ambient randomness, host clocks, and pointer-keyed
+// ordered containers are all run-to-run nondeterminism and must fire.
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+
+struct Jitter
+{
+    std::map<int *, int> byPtr_;
+
+    int
+    sample()
+    {
+        std::random_device rd;
+        std::mt19937 gen(rd());
+        int r = static_cast<int>(rand());
+        r += static_cast<int>(time(nullptr));
+        return r + static_cast<int>(gen());
+    }
+};

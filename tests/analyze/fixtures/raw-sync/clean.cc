@@ -1,0 +1,22 @@
+// Fixture: the annotated morc::sync wrappers, and a deliberately
+// suppressed raw use, must not fire.
+#include "util/sync.hh"
+
+struct Widget
+{
+    morc::sync::Mutex mu_;
+    int value_ = 0;
+
+    void
+    bump()
+    {
+        morc::sync::LockGuard lock(mu_);
+        value_++;
+    }
+
+    void
+    spawn()
+    {
+        std::jthread worker([] {}); // morc-analyze: allow(raw-sync) fixture exercises the suppression path
+    }
+};

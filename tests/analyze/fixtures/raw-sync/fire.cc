@@ -1,0 +1,23 @@
+// Fixture: raw std synchronization primitives outside util/sync.hh
+// are invisible to -Wthread-safety and must fire.
+#include <mutex>
+#include <thread>
+
+struct Counter
+{
+    std::mutex mu_;
+    int value_ = 0;
+
+    void
+    bump()
+    {
+        std::lock_guard lock(mu_);
+        value_++;
+    }
+
+    void
+    spawn()
+    {
+        std::jthread worker([] {});
+    }
+};

@@ -1,0 +1,27 @@
+// Fixture: a fully-snapshotted class, a derived member with a
+// documented suppression, and a class with no snapshot methods must
+// not fire.
+struct Model
+{
+    void
+    save(Serializer &s) const
+    {
+        s.u64(pos_);
+    }
+
+    void
+    restore(Deserializer &d)
+    {
+        pos_ = d.u64();
+        mask_ = pos_ - 1;
+    }
+
+    unsigned long pos_ = 0;
+    unsigned long mask_ = 0;
+    unsigned long scratch_ = 0; // morc-analyze: allow(snapshot-completeness) transient scratch
+};
+
+struct Plain
+{
+    int untracked_ = 0;
+};

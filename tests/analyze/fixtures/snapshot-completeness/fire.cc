@@ -1,0 +1,19 @@
+// Fixture: a data member mentioned in neither save() nor restore()
+// is silently dropped by checkpoint/restore and must fire.
+struct Model
+{
+    void
+    save(Serializer &s) const
+    {
+        s.u64(pos_);
+    }
+
+    void
+    restore(Deserializer &d)
+    {
+        pos_ = d.u64();
+    }
+
+    unsigned long pos_ = 0;
+    unsigned long missed_ = 0;
+};

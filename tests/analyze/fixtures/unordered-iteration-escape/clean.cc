@@ -1,0 +1,28 @@
+// Fixture: sortedView-routed iteration in an escape path, and raw
+// iteration on a hot (non-escape) path, must not fire.
+#include <unordered_map>
+
+#include "util/sorted_view.hh"
+
+struct Stats
+{
+    std::unordered_map<int, long> counts_;
+
+    long
+    report() const
+    {
+        long sum = 0;
+        for (const auto *kv : util::sortedView(counts_))
+            sum += kv->second;
+        return sum;
+    }
+
+    long
+    tally() const
+    {
+        long sum = 0;
+        for (const auto &kv : counts_)
+            sum += kv.second;
+        return sum;
+    }
+};

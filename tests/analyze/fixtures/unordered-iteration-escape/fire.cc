@@ -1,0 +1,19 @@
+// Fixture: iterating an unordered container inside an escape-path
+// function (report/save/dump/...) leaks hash order and must fire.
+#include <unordered_map>
+
+struct Stats
+{
+    std::unordered_map<int, long> counts_;
+
+    long
+    report() const
+    {
+        long sum = 0;
+        for (const auto &kv : counts_)
+            sum += kv.second;
+        for (auto it = counts_.begin(); it != counts_.end(); ++it)
+            sum += it->second;
+        return sum;
+    }
+};
