@@ -1,0 +1,13 @@
+/**
+ * @file
+ * KV serving figure: MORC vs baselines as the hot tier of a
+ * memcached-style service (4 tenants, >=1M keys, Zipf traffic).
+ */
+
+#include "common/figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return morc::bench::sweepMain(argc, argv, "kvserve");
+}

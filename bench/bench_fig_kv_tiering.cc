@@ -1,0 +1,13 @@
+/**
+ * @file
+ * KV tiering figure: per-tier compression on the DRAM/SSD backing
+ * store behind the service's front cache.
+ */
+
+#include "common/figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return morc::bench::sweepMain(argc, argv, "kvtier");
+}

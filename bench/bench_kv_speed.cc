@@ -1,0 +1,98 @@
+/**
+ * @file
+ * KV service throughput microbenchmark (google-benchmark).
+ *
+ * BM_KvServe* measure end-to-end requests/s through the full service
+ * stack (generator -> front Llc -> tiered store -> value synthesis);
+ * BM_FpcLine is the machine-speed reference tools/perf_gate.py uses to
+ * normalize away host differences before gating BM_Kv* against
+ * bench/baselines/BENCH_kv.json.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compress/fpc.hh"
+#include "kv/service.hh"
+#include "trace/value_model.hh"
+
+namespace {
+
+using namespace morc;
+
+std::vector<CacheLine>
+sampleLines(std::size_t n)
+{
+    trace::DataProfile p;
+    p.zeroWordFrac = 0.25;
+    p.zeroHalfFrac = 0.15;
+    p.poolWordFrac = 0.4;
+    p.chunk256Frac = 0.2;
+    p.chunk128Frac = 0.2;
+    trace::ValueModel vm(p);
+    std::vector<CacheLine> lines;
+    for (std::size_t i = 0; i < n; i++)
+        lines.push_back(vm.line(i, 0));
+    return lines;
+}
+
+void
+BM_FpcLine(benchmark::State &state)
+{
+    const auto lines = sampleLines(4096);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(comp::Fpc::lineBits(lines[i]));
+        i = (i + 1) % lines.size();
+    }
+    state.SetBytesProcessed(state.iterations() * kLineSize);
+}
+BENCHMARK(BM_FpcLine)->MinTime(2.0);
+
+/** A small 2-tenant service so construction stays cheap enough to run
+ *  per benchmark repetition family. */
+kv::ServiceConfig
+speedConfig(sim::Scheme scheme)
+{
+    kv::ServiceConfig cfg;
+    cfg.scheme = scheme;
+    cfg.frontBytes = 256 << 10;
+    cfg.tier.dramBytes = 1 << 20;
+    cfg.tier.ssdBytes = 4 << 20;
+    // No working-set drift: iteration counts differ between runs, and
+    // a drifting hot set would make the measured stream
+    // non-stationary (the perf gate would see noise, not regressions).
+    cfg.tenants.push_back({"hot", 65536, 1.1, 3, 0.1, 0, 0});
+    cfg.tenants.push_back({"cold", 65536, 0.7, 1, 0.3, 0, 0});
+    return cfg;
+}
+
+void
+runService(benchmark::State &state, sim::Scheme scheme)
+{
+    kv::Service svc(speedConfig(scheme));
+    svc.run(20'000); // warm the tiers past the cold-start transient
+    for (auto _ : state)
+        benchmark::DoNotOptimize(svc.step().latency);
+    state.SetItemsProcessed(state.iterations());
+}
+
+// Longer measurement window than the default: one step is a whole
+// request through the service stack, so per-iteration times are in
+// microseconds and short windows are dominated by scheduler jitter.
+void
+BM_KvServeMorc(benchmark::State &state)
+{
+    runService(state, sim::Scheme::Morc);
+}
+BENCHMARK(BM_KvServeMorc)->MinTime(2.0);
+
+void
+BM_KvServeUncompressed(benchmark::State &state)
+{
+    runService(state, sim::Scheme::Uncompressed);
+}
+BENCHMARK(BM_KvServeUncompressed)->MinTime(2.0);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -23,7 +23,7 @@ for arg in "$@"; do
     if [ "$arg" = "--smoke" ]; then
         export MORC_BENCH_INSTR=${MORC_BENCH_INSTR:-20000}
         export MORC_BENCH_WARMUP=${MORC_BENCH_WARMUP:-40000}
-        SMOKE_ARGS=(fig6 mesh)
+        SMOKE_ARGS=(fig6 mesh kvserve)
         SMOKE=1
     fi
 done
@@ -78,6 +78,43 @@ EOF
     cmp "$CKPT/first/fig6.json" "$CKPT/second/fig6.json"
     echo "smoke checkpoint OK: resumed report is byte-identical"
     rm -rf "$CKPT"
+
+    # ...and the KV-serving subsystem: the same kvserve sweep on one
+    # thread and on all threads must emit byte-identical schema-v4
+    # reports (per-tenant seeding + task-order assembly), and the
+    # report must carry the v4 percentiles section.
+    KVDIR=$(mktemp -d /tmp/morc_smoke_kv.XXXXXX)
+    "$SWEEP" --jobs 1 --out "$KVDIR/j1" kvserve > /dev/null
+    "$SWEEP" --jobs "$JOBS" --out "$KVDIR/jN" kvserve > /dev/null
+    cmp "$KVDIR/j1/kvserve.json" "$KVDIR/jN/kvserve.json"
+    python3 - "$KVDIR/j1/kvserve.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "morc.sweep.report/v4", r["schema"]
+runs = r["runs"]
+assert any("percentiles" in run for run in runs), "no percentiles"
+p = next(run["percentiles"] for run in runs if "percentiles" in run)
+assert "p99.9" in p["latency.all"], p
+print(f"smoke kv OK: {len(runs)} runs, jobs-independent bytes")
+EOF
+    rm -rf "$KVDIR"
+
+    # ...and the KV perf gate against its checked-in baseline.
+    BENCH_KV=build/bench/bench_kv_speed
+    if [ -x "$BENCH_KV" ]; then
+        KV_JSON=$(mktemp /tmp/morc_bench_kv.XXXXXX.json)
+        "$BENCH_KV" --benchmark_out="$KV_JSON" \
+            --benchmark_out_format=json > /dev/null
+        # Looser threshold than the codec gate: these are end-to-end
+        # service macrobenchmarks (µs per op through generator, cache,
+        # and tier maps), so host jitter is proportionally larger.
+        python3 tools/perf_gate.py "$KV_JSON" \
+            bench/baselines/BENCH_kv.json --gate BM_Kv --threshold 0.30 \
+            --reference 'BM_FpcLine/min_time:2.000'
+        rm -f "$KV_JSON"
+    else
+        echo "kv perf gate skipped: $BENCH_KV not built" >&2
+    fi
 
     # ...and the compressor perf gate: the LBE hot path (the
     # simulator's hottest loop) must stay within threshold of the

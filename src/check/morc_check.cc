@@ -56,6 +56,18 @@
  * trusts — a tracer that lies about flushes fails here, not in a
  * Perfetto screenshot.
  *
+ * --kv swaps the bare-cache stream for the KV serving subsystem
+ * (src/kv): a multi-tenant Zipf request stream drives generator ->
+ * front cache -> DRAM/SSD tiered store, while an independent version
+ * ledger plus twin value models recompute the content digest every
+ * reply must carry. A digest mismatch means some layer of the stack
+ * (front scheme, tier promotion/demotion, writeback plumbing, value
+ * churn) silently corrupted data. Audits of every layer run on the
+ * same --audit-every cadence, and --kv --snapshot forks the *whole
+ * service* (generator RNGs, front cache, both tiers, histograms,
+ * telemetry) mid-stream with the same restore / tamper-reject /
+ * lockstep-to-identical-final-bytes discipline.
+ *
  * Exit codes: 0 = clean, 1 = divergence / audit failure / undetected
  * injected fault, 2 = usage error.
  */
@@ -77,8 +89,10 @@
 #include "cache/sc2.hh"
 #include "cache/uncompressed.hh"
 #include "core/morc.hh"
+#include "kv/service.hh"
 #include "mesh/banked_llc.hh"
 #include "mesh/topology.hh"
+#include "sim/scheme.hh"
 #include "snapshot/snapshot.hh"
 #include "sweep/sweep.hh"
 #include "telemetry/tracer.hh"
@@ -100,6 +114,7 @@ struct Options
     bool injectLmtCorruption = false;
     bool events = false;
     bool snapshot = false;
+    bool kv = false;
     bool verbose = false;
 
     bool mesh() const { return meshWidth != 0 && meshHeight != 0; }
@@ -763,13 +778,251 @@ runScheme(const std::string &scheme, const Options &opt)
     return ok;
 }
 
+// --------------------------------------------------------------------
+// --kv: differential fuzz of the KV serving subsystem (src/kv).
+// --------------------------------------------------------------------
+
+bool
+kvSchemeOf(const std::string &name, sim::Scheme *out)
+{
+    if (name == "uncompressed")
+        *out = sim::Scheme::Uncompressed;
+    else if (name == "adaptive")
+        *out = sim::Scheme::Adaptive;
+    else if (name == "decoupled")
+        *out = sim::Scheme::Decoupled;
+    else if (name == "sc2")
+        *out = sim::Scheme::Sc2;
+    else if (name == "morc")
+        *out = sim::Scheme::Morc;
+    else if (name == "morc-merged")
+        *out = sim::Scheme::MorcMerged;
+    else if (name == "ideal" || name == "oracle-intra")
+        *out = sim::Scheme::OracleIntra;
+    else if (name == "oracle-inter")
+        *out = sim::Scheme::OracleInter;
+    else
+        return false;
+    return true;
+}
+
+/** A deliberately tight service: small front and tiers over small,
+ *  set-heavy tenant key spaces, so every layer churns (evictions,
+ *  demotions, SSD drops, version churn) within a few thousand ops. */
+kv::ServiceConfig
+kvConfig(sim::Scheme scheme, const Options &opt)
+{
+    kv::ServiceConfig cfg;
+    cfg.scheme = scheme;
+    cfg.frontBytes = 128 << 10;
+    cfg.tier.dramBytes = 512 << 10;
+    cfg.tier.ssdBytes = 2 << 20;
+    cfg.seed = opt.seed;
+    cfg.values.seed = mix64(opt.seed, 0x6b76);
+    cfg.values.setChurn = 0.5;
+    cfg.tenants = {
+        {"alpha", 2048, 1.2, 4, 0.25, 512, 97},
+        {"beta", 4096, 0.9, 2, 0.4, 0, 0},
+        {"gamma", 8192, 0.7, 1, 0.5, 1024, 257},
+        {"delta", 3072, 1.05, 3, 0.1, 0, 0},
+    };
+    return cfg;
+}
+
+std::vector<std::uint8_t>
+kvSnapshotBytes(const kv::Service &svc)
+{
+    snap::Serializer s;
+    svc.saveState(s);
+    return s.frame();
+}
+
+bool
+runKvAudit(const std::string &label, std::uint64_t op,
+           const kv::Service &svc, RunStats &st)
+{
+    const check::AuditReport r = svc.audit();
+    st.audits++;
+    st.auditChecks += r.checksRun();
+    if (r.ok())
+        return true;
+    std::fprintf(stderr,
+                 "morc_check: AUDIT FAILURE scheme=%s op=%" PRIu64
+                 " (%" PRIu64 " violation(s) in %" PRIu64 " checks)\n%s",
+                 label.c_str(), op, r.violations(), r.checksRun(),
+                 r.str().c_str());
+    return false;
+}
+
+/**
+ * Drive a full kv::Service (generator -> front Llc -> tiered store)
+ * in lockstep with an independent reference: a version ledger per
+ * (tenant, key) plus a twin KvValueModel per tenant that recomputes
+ * the exact contents every reply must have digested. Any corruption
+ * anywhere in the stack — front cache, tier promotion/demotion,
+ * writeback plumbing, value churn — surfaces as a digest mismatch.
+ * Structural audits of every layer run each --audit-every ops, and
+ * --snapshot forks the whole service mid-stream exactly like the
+ * flat-cache path (restore, re-serialize identical, tamper-reject,
+ * lockstep to identical final bytes).
+ */
+bool
+runKvScheme(const std::string &scheme, const Options &opt)
+{
+    sim::Scheme s;
+    if (!kvSchemeOf(scheme, &s)) {
+        std::fprintf(stderr, "morc_check: unknown scheme '%s'\n",
+                     scheme.c_str());
+        return false;
+    }
+    const std::string label = "kv:" + scheme;
+    const kv::ServiceConfig cfg = kvConfig(s, opt);
+    kv::Service svc(cfg);
+
+    // The reference: per-tenant value models with the same derived
+    // profiles, consulted with an explicitly tracked version ledger
+    // (std::map: deterministic and independent of the service's own
+    // bookkeeping).
+    std::vector<trace::KvValueModel> ref;
+    for (std::size_t t = 0; t < cfg.tenants.size(); t++)
+        ref.emplace_back(svc.values(static_cast<unsigned>(t)).profile());
+    std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t>
+        versions;
+
+    std::unique_ptr<kv::Service> twin;
+    RunStats st;
+    std::uint64_t gets = 0, sets = 0;
+    bool ok = true;
+
+    for (std::uint64_t op = 0; op < opt.ops && ok; op++) {
+        if (opt.snapshot && op == opt.ops / 2) {
+            const std::vector<std::uint8_t> frame = kvSnapshotBytes(svc);
+            twin = std::make_unique<kv::Service>(cfg);
+            snap::Deserializer d(frame);
+            twin->restoreState(d);
+            if (!d.ok()) {
+                ok = diverged(label, op,
+                              "kv snapshot restore rejected its own "
+                              "bytes: %s",
+                              d.error().c_str());
+                break;
+            }
+            if (kvSnapshotBytes(*twin) != frame) {
+                ok = diverged(label, op,
+                              "restored kv service re-serializes to "
+                              "different bytes");
+                break;
+            }
+            std::vector<std::uint8_t> tampered = frame;
+            tampered[tampered.size() / 2] ^= 0x01;
+            kv::Service victim(cfg);
+            snap::Deserializer dt(std::move(tampered));
+            victim.restoreState(dt);
+            if (dt.ok()) {
+                ok = diverged(label, op,
+                              "tampered kv snapshot was accepted");
+                break;
+            }
+            if (!runKvAudit(label + "(restored)", op, *twin, st)) {
+                ok = false;
+                break;
+            }
+            std::printf("%-13s snapshot fork at op=%" PRIu64
+                        ": %zu bytes, restore + audit + tamper-reject "
+                        "OK\n",
+                        label.c_str(), op, frame.size());
+        }
+
+        const kv::Service::Reply r = svc.step();
+        const std::uint32_t t = r.req.tenant;
+        std::uint32_t &ver = versions[{t, r.req.key}];
+        if (r.req.isSet) {
+            ver++;
+            sets++;
+        } else {
+            gets++;
+        }
+
+        const trace::KvValueModel &vm = ref[t];
+        const std::uint32_t lines = vm.valueLines(r.req.key);
+        if (lines != r.lines)
+            ok = diverged(label, op,
+                          "tenant %u key 0x%" PRIx64
+                          " spans %u lines, reply carries %u",
+                          t, r.req.key, lines, r.lines);
+        std::uint64_t want = kv::kDigestBasis;
+        for (std::uint32_t i = 0; i < lines; i++)
+            want = kv::digestLine(want, svc.addrOf(t, r.req.key, i),
+                                  vm.line(r.req.key, i, ver));
+        if (ok && want != r.digest)
+            ok = diverged(label, op,
+                          "%s tenant %u key 0x%" PRIx64
+                          " v%u returned corrupted contents (digest "
+                          "0x%" PRIx64 ", expected 0x%" PRIx64 ")",
+                          r.req.isSet ? "SET" : "GET", t, r.req.key,
+                          ver, r.digest, want);
+
+        if (twin) {
+            const kv::Service::Reply tr = twin->step();
+            if (tr.req.tenant != r.req.tenant ||
+                tr.req.key != r.req.key || tr.req.isSet != r.req.isSet)
+                ok = diverged(label, op,
+                              "restored kv twin drew a different "
+                              "request (tenant %u key 0x%" PRIx64 ")",
+                              tr.req.tenant, tr.req.key);
+            else if (tr.digest != r.digest || tr.lines != r.lines)
+                ok = diverged(label, op,
+                              "restored kv twin returned different "
+                              "contents for tenant %u key 0x%" PRIx64,
+                              t, r.req.key);
+            else if (tr.latency != r.latency ||
+                     twin->cycles() != svc.cycles())
+                ok = diverged(label, op,
+                              "restored kv twin diverged in timing "
+                              "(latency %" PRIu64 " vs %" PRIu64 ")",
+                              tr.latency, r.latency);
+        }
+
+        if (opt.auditEvery && (op + 1) % opt.auditEvery == 0) {
+            ok = runKvAudit(label, op, svc, st) && ok;
+            if (twin)
+                ok = runKvAudit(label + "(twin)", op, *twin, st) && ok;
+        }
+    }
+
+    if (ok)
+        ok = runKvAudit(label, opt.ops, svc, st);
+    if (ok && twin) {
+        ok = runKvAudit(label + "(twin)", opt.ops, *twin, st);
+        if (ok && kvSnapshotBytes(*twin) != kvSnapshotBytes(svc))
+            ok = diverged(label, opt.ops,
+                          "kv twin's final serialized bytes differ "
+                          "from the primary's");
+    }
+
+    if (ok) {
+        const kv::TierStats &ts = svc.tiers().stats();
+        std::printf("%-13s ops=%" PRIu64 " gets=%" PRIu64
+                    " sets=%" PRIu64 " cycles=%" PRIu64
+                    " dramHits=%" PRIu64 " ssdHits=%" PRIu64
+                    " origin=%" PRIu64 " promo=%" PRIu64
+                    " demo=%" PRIu64 " audits=%" PRIu64
+                    " checks=%" PRIu64 " OK\n",
+                    label.c_str(), opt.ops, gets, sets, svc.cycles(),
+                    ts.dramHits, ts.ssdHits, ts.originFetches,
+                    ts.promotions, ts.demotions, st.audits,
+                    st.auditChecks);
+    }
+    return ok;
+}
+
 int
 usage(const char *argv0)
 {
     std::fprintf(
         stderr,
         "usage: %s [--scheme NAME|all] [--ops N] [--seed S]\n"
-        "          [--audit-every N] [--mesh WxH] [--events]\n"
+        "          [--audit-every N] [--mesh WxH] [--events] [--kv]\n"
         "          [--snapshot] [--inject-lmt-corruption] [--verbose]\n"
         "\n"
         "Differential fuzz: replay a seeded adversarial access stream\n"
@@ -789,6 +1042,12 @@ usage(const char *argv0)
         "restores it into a fresh twin, rejects a tampered copy, and\n"
         "drives both in lockstep for the rest of the run: outcomes and\n"
         "final serialized bytes must match exactly.\n"
+        "\n"
+        "--kv fuzzes the KV serving subsystem instead of a bare cache:\n"
+        "a multi-tenant Zipf stream drives generator -> front cache ->\n"
+        "DRAM/SSD tiered store, and every reply's content digest is\n"
+        "checked against an independent version ledger + value model.\n"
+        "Composes with --snapshot (mid-run fork of the whole service).\n"
         "\n"
         "schemes: all",
         argv0);
@@ -844,6 +1103,8 @@ run(int argc, char **argv)
             opt.events = true;
         } else if (arg == "--snapshot") {
             opt.snapshot = true;
+        } else if (arg == "--kv") {
+            opt.kv = true;
         } else if (arg == "--inject-lmt-corruption") {
             opt.injectLmtCorruption = true;
         } else if (arg == "--verbose") {
@@ -856,6 +1117,13 @@ run(int argc, char **argv)
                          arg.c_str());
             return usage(argv[0]);
         }
+    }
+
+    if (opt.kv &&
+        (opt.mesh() || opt.events || opt.injectLmtCorruption)) {
+        std::fprintf(stderr, "morc_check: --kv composes only with "
+                             "--snapshot\n");
+        return usage(argv[0]);
     }
 
     std::vector<std::string> schemes;
@@ -871,8 +1139,10 @@ run(int argc, char **argv)
     }
 
     bool ok = true;
-    for (const auto &s : schemes)
-        ok = runScheme(s, opt) && ok;
+    for (const auto &s : schemes) {
+        const bool r = opt.kv ? runKvScheme(s, opt) : runScheme(s, opt);
+        ok = r && ok;
+    }
     return ok ? 0 : 1;
 }
 

@@ -1,0 +1,100 @@
+#include "kv/generator.hh"
+
+#include "check/check.hh"
+
+namespace morc {
+namespace kv {
+
+namespace {
+
+/** Seed salt separating tenant RNG streams from everything else. */
+constexpr std::uint64_t kTenantSalt = 0x6b767467; // "kvtg"
+
+} // namespace
+
+Generator::Generator(std::uint64_t seed,
+                     std::vector<TenantConfig> tenants)
+    : cfg_(std::move(tenants))
+{
+    MORC_CHECK(!cfg_.empty(), "generator needs at least one tenant");
+    zipf_.reserve(cfg_.size());
+    state_.resize(cfg_.size());
+    for (std::size_t i = 0; i < cfg_.size(); i++) {
+        const TenantConfig &t = cfg_[i];
+        MORC_CHECK(t.keys > 0, "tenant key space must be non-empty");
+        MORC_CHECK(t.weight > 0, "tenant weight must be positive");
+        zipf_.emplace_back(t.keys, t.theta);
+        state_[i].rng =
+            Rng(splitmix64(seed ^ mix64(kTenantSalt, i + 1)));
+        totalWeight_ += t.weight;
+    }
+}
+
+Request
+Generator::next()
+{
+    // Smooth weighted round-robin: deterministic, and proportional to
+    // weight over any window — the QoS contract a service scheduler
+    // would enforce with per-tenant token buckets.
+    std::size_t winner = 0;
+    for (std::size_t i = 0; i < state_.size(); i++) {
+        state_[i].credit += cfg_[i].weight;
+        if (state_[i].credit > state_[winner].credit)
+            winner = i;
+    }
+    Tenant &t = state_[winner];
+    const TenantConfig &c = cfg_[winner];
+    t.credit -= totalWeight_;
+
+    const std::uint64_t rank = zipf_[winner].sample(t.rng);
+    std::uint64_t key = rank;
+    if (c.driftPeriod != 0 && c.driftStride != 0) {
+        const std::uint64_t epoch = t.served / c.driftPeriod;
+        key = (rank + epoch * c.driftStride) % c.keys;
+    }
+    Request req;
+    req.tenant = static_cast<std::uint32_t>(winner);
+    req.key = key;
+    req.isSet = t.rng.uniform() < c.setFrac;
+    t.served++;
+    served_++;
+    return req;
+}
+
+void
+Generator::save(snap::Serializer &s) const
+{
+    s.u64(state_.size());
+    for (const Tenant &t : state_) {
+        for (unsigned w = 0; w < 4; w++)
+            s.u64(t.rng.stateWord(w));
+        s.u64(t.served);
+        s.u64(static_cast<std::uint64_t>(t.credit));
+    }
+    s.u64(served_);
+}
+
+void
+Generator::restore(snap::Deserializer &d)
+{
+    const std::uint64_t n = d.u64();
+    if (n != state_.size()) {
+        d.fail("kv::Generator tenant count mismatch");
+        return;
+    }
+    std::vector<Tenant> state(state_.size());
+    for (Tenant &t : state) {
+        for (unsigned w = 0; w < 4; w++)
+            t.rng.setStateWord(w, d.u64());
+        t.served = d.u64();
+        t.credit = static_cast<std::int64_t>(d.u64());
+    }
+    const std::uint64_t served = d.u64();
+    if (!d.ok())
+        return;
+    state_ = std::move(state);
+    served_ = served;
+}
+
+} // namespace kv
+} // namespace morc

@@ -153,7 +153,7 @@ Report::toJson() const
 {
     std::string out;
     out.reserve(4096 + runs.size() * 256);
-    out += "{\n  \"schema\": \"morc.sweep.report/v3\",\n";
+    out += "{\n  \"schema\": \"morc.sweep.report/v4\",\n";
     out += "  \"figure\": \"" + jsonEscape(figure) + "\",\n";
     out += "  \"title\": \"" + jsonEscape(title) + "\",\n";
     out += "  \"instr_budget\": " + std::to_string(instrBudget) + ",\n";
@@ -184,6 +184,25 @@ Report::toJson() const
                     out += ", ";
                 out += "\"" + jsonEscape(r.histograms[j].first) + "\": ";
                 appendHistogram(out, r.histograms[j].second);
+            }
+            out += "}";
+        }
+        if (!r.percentiles.empty()) {
+            out += ", \"percentiles\": {";
+            for (std::size_t j = 0; j < r.percentiles.size(); j++) {
+                if (j)
+                    out += ", ";
+                out += "\"" + jsonEscape(r.percentiles[j].first) +
+                       "\": {";
+                const RunRecord::PercentileSet &ps =
+                    r.percentiles[j].second;
+                for (std::size_t m = 0; m < ps.size(); m++) {
+                    if (m)
+                        out += ", ";
+                    out += "\"" + jsonEscape(ps[m].first) +
+                           "\": " + formatDouble(ps[m].second);
+                }
+                out += "}";
             }
             out += "}";
         }

@@ -10,10 +10,10 @@
  * that compute identical values emit byte-identical reports regardless
  * of thread count or scheduling.
  *
- * Schema (morc.sweep.report/v3):
+ * Schema (morc.sweep.report/v4):
  *
  *   {
- *     "schema": "morc.sweep.report/v3",
+ *     "schema": "morc.sweep.report/v4",
  *     "figure": "<name>",
  *     "title": "<one-line description>",
  *     "instr_budget": <per-core measured instructions>,
@@ -25,6 +25,9 @@
  *         "metrics": {"ratio": 2.9, ...},
  *         "histograms": {
  *           "<name>": {"bounds": [...], "counts": [...], "total": N}
+ *         },
+ *         "percentiles": {
+ *           "<group>": {"p50": V, "p99": V, "p99.9": V, ...}
  *         },
  *         "series": {
  *           "epoch_cycles": N,
@@ -53,6 +56,13 @@
  * (epoch time-series from the probe registry; sample k covers cycle
  * (k+1) * epoch_cycles), and every run gains the "log_flushes" /
  * "lmt_conflict_evicts" metrics (nonzero for MORC/MORCMerged). Again
+ * purely additive for consumers that ignore unknown names.
+ *
+ * v4 (KV-serving PR): the optional per-run "percentiles" section
+ * above — named groups of tail-latency (or any distribution) summary
+ * points, each an ordered {"p50": V, "p99": V, "p99.9": V} object
+ * derived deterministically from the run's histograms. Emitted only
+ * for records that set percentiles (the kvserve/kvtier figures);
  * purely additive for consumers that ignore unknown names.
  */
 
@@ -92,6 +102,13 @@ struct RunRecord
     /** Optional named histograms. */
     std::vector<std::pair<std::string, Histogram>> histograms;
 
+    /** One named group of percentile summary points, in insertion
+     *  order ("p50" -> 42, "p99" -> 1536, ...). */
+    using PercentileSet = std::vector<std::pair<std::string, double>>;
+
+    /** Optional percentile groups (serialized when non-empty). */
+    std::vector<std::pair<std::string, PercentileSet>> percentiles;
+
     /** Optional epoch time-series (serialized when non-empty). */
     telemetry::SeriesSet series;
 
@@ -111,6 +128,20 @@ struct RunRecord
     metric(const std::string &k, double v)
     {
         metrics.emplace_back(k, v);
+    }
+
+    /** Append point @p p = @p v to percentile group @p group (created
+     *  at the back on first use). */
+    void
+    percentile(const std::string &group, const std::string &p, double v)
+    {
+        for (auto &g : percentiles) {
+            if (g.first == group) {
+                g.second.emplace_back(p, v);
+                return;
+            }
+        }
+        percentiles.emplace_back(group, PercentileSet{{p, v}});
     }
 
     /** Value of metric @p k; aborts if absent (reports are append-only,

@@ -1,5 +1,9 @@
 #include "trace/value_model.hh"
 
+#include <algorithm>
+
+#include "util/sorted_view.hh"
+
 namespace morc {
 namespace trace {
 
@@ -175,6 +179,218 @@ ValueModel::line(std::uint64_t line_number, std::uint32_t version) const
     for (unsigned i = 0; i < kWordsPerLine; i++)
         l.setWord32(i, words[i]);
     return l;
+}
+
+// ------------------------------------------------------------------
+// KvValueModel
+// ------------------------------------------------------------------
+
+namespace {
+
+/** Domain-separation salts for the KV hash cascade (disjoint from the
+ *  SPEC ValueModel salts above). */
+constexpr std::uint64_t kSaltKvClass = 0x6b76c1a5;
+constexpr std::uint64_t kSaltKvLine = 0x6b76117e;
+constexpr std::uint64_t kSaltKvToken = 0x6b76706b;
+constexpr std::uint64_t kSaltKvChurn = 0x6b76c402;
+
+} // namespace
+
+const char *
+valueClassName(ValueClass c)
+{
+    switch (c) {
+    case ValueClass::JsonLike:
+        return "json";
+    case ValueClass::CounterDense:
+        return "counter";
+    case ValueClass::Blob:
+        return "blob";
+    }
+    return "?";
+}
+
+KvValueModel::KvValueModel(const KvProfile &profile)
+    : profile_(profile),
+      tokenPool_(std::max<std::uint32_t>(profile.tokenPoolSize, 1),
+                 profile.tokenTheta)
+{}
+
+ValueClass
+KvValueModel::classOf(std::uint64_t key) const
+{
+    const double u = unit(mix64(profile_.seed ^ kSaltKvClass, key));
+    if (u < profile_.jsonFrac)
+        return ValueClass::JsonLike;
+    if (u < profile_.jsonFrac + profile_.counterFrac)
+        return ValueClass::CounterDense;
+    return ValueClass::Blob;
+}
+
+std::uint32_t
+KvValueModel::valueLines(std::uint64_t key) const
+{
+    switch (classOf(key)) {
+    case ValueClass::JsonLike:
+        return std::max<std::uint32_t>(profile_.jsonLines, 1);
+    case ValueClass::CounterDense:
+        return std::max<std::uint32_t>(profile_.counterLines, 1);
+    case ValueClass::Blob:
+        return std::max<std::uint32_t>(profile_.blobLines, 1);
+    }
+    return 1;
+}
+
+std::uint32_t
+KvValueModel::maxValueLines() const
+{
+    return std::max<std::uint32_t>(
+        {profile_.jsonLines, profile_.counterLines, profile_.blobLines,
+         1});
+}
+
+std::uint32_t
+KvValueModel::version(std::uint64_t key) const
+{
+    const auto it = versions_.find(key);
+    return it == versions_.end() ? 0 : it->second;
+}
+
+std::uint32_t
+KvValueModel::bump(std::uint64_t key)
+{
+    return ++versions_[key];
+}
+
+std::uint32_t
+KvValueModel::tokenWord(std::uint64_t index) const
+{
+    // Token values mimic interned field names / enum constants: a
+    // compact corpus-wide vocabulary of word-aligned identifiers.
+    const std::uint64_t h =
+        mix64(profile_.seed ^ kSaltKvToken, index);
+    return static_cast<std::uint32_t>(h) & ~0x3u;
+}
+
+std::uint32_t
+KvValueModel::jsonWord(std::uint64_t h) const
+{
+    const double u = unit(h);
+    if (u < 0.15)
+        return 0; // padding / null fields
+    if (u < 0.70)
+        return tokenWord(tokenPool_.sampleHashed(splitmix64(h)));
+    if (u < 0.90) {
+        // Small scalar fields (counts, timestamps deltas, enum tags).
+        const std::uint64_t h2 = splitmix64(h);
+        return (h2 & 7) < 3
+                   ? static_cast<std::uint32_t>(h2 >> 3) & 0xff
+                   : static_cast<std::uint32_t>(h2 >> 3) & 0xffff;
+    }
+    // Unique payload words (ids, hashes).
+    return static_cast<std::uint32_t>(splitmix64(h ^ 0x77) >> 13);
+}
+
+CacheLine
+KvValueModel::line(std::uint64_t key, std::uint32_t line_idx,
+                   std::uint32_t version) const
+{
+    CacheLine l;
+    const ValueClass cls = classOf(key);
+    const std::uint64_t hline = mix64(profile_.seed ^ kSaltKvLine,
+                                      mix64(key, line_idx));
+    switch (cls) {
+    case ValueClass::JsonLike: {
+        std::uint32_t words[kWordsPerLine];
+        for (unsigned w = 0; w < kWordsPerLine; w++)
+            words[w] = jsonWord(mix64(hline, w + 1));
+        // SETs rewrite a churn-fraction of the words; the rest keep
+        // their version-0 contents so dirty data stays related.
+        if (version != 0) {
+            const std::uint64_t hv =
+                mix64(hline ^ kSaltKvChurn, version);
+            for (unsigned w = 0; w < kWordsPerLine; w++) {
+                if (unit(mix64(hv, w)) < profile_.setChurn)
+                    words[w] = jsonWord(mix64(hv, 0x50 + w));
+            }
+        }
+        for (unsigned w = 0; w < kWordsPerLine; w++)
+            l.setWord32(w, words[w]);
+        return l;
+    }
+    case ValueClass::CounterDense: {
+        // Sparse counters: a few small integers over zeros; the values
+        // track the version so every SET perturbs the line.
+        for (unsigned w = 0; w < kWordsPerLine; w++) {
+            const std::uint64_t h = mix64(hline, 0x90 + w);
+            if (unit(h) < 0.25) {
+                l.setWord32(w, (static_cast<std::uint32_t>(h >> 40) +
+                                version) &
+                                   0xffffu);
+            }
+        }
+        return l;
+    }
+    case ValueClass::Blob: {
+        // High-entropy payload; version folds into every word.
+        for (unsigned w = 0; w < kWordsPerLine / 2; w++) {
+            l.setWord64(w, splitmix64(mix64(hline ^ (0xb10bull << 32),
+                                            mix64(version, w))));
+        }
+        return l;
+    }
+    }
+    return l;
+}
+
+void
+KvValueModel::save(snap::Serializer &s) const
+{
+    // Redundancy knobs first: the version map is meaningless against a
+    // differently shaped corpus, so the knobs travel with the state.
+    s.u64(profile_.seed);
+    s.f64(profile_.jsonFrac);
+    s.f64(profile_.counterFrac);
+    s.u32(profile_.jsonLines);
+    s.u32(profile_.counterLines);
+    s.u32(profile_.blobLines);
+    s.u32(profile_.tokenPoolSize);
+    s.f64(profile_.tokenTheta);
+    s.f64(profile_.setChurn);
+    s.u64(versions_.size());
+    for (const auto *kv : util::sortedView(versions_)) {
+        s.u64(kv->first);
+        s.u32(kv->second);
+    }
+}
+
+void
+KvValueModel::restore(snap::Deserializer &d)
+{
+    KvProfile p;
+    p.seed = d.u64();
+    p.jsonFrac = d.f64();
+    p.counterFrac = d.f64();
+    p.jsonLines = d.u32();
+    p.counterLines = d.u32();
+    p.blobLines = d.u32();
+    p.tokenPoolSize = d.u32();
+    p.tokenTheta = d.f64();
+    p.setChurn = d.f64();
+    const std::uint64_t n = d.arrayLen(12);
+    std::unordered_map<std::uint64_t, std::uint32_t> versions;
+    versions.reserve(n);
+    for (std::uint64_t i = 0; i < n; i++) {
+        const std::uint64_t key = d.u64();
+        versions[key] = d.u32();
+    }
+    if (!d.ok())
+        return;
+    profile_ = p;
+    tokenPool_ = ZipfSampler(
+        std::max<std::uint32_t>(profile_.tokenPoolSize, 1),
+        profile_.tokenTheta);
+    versions_ = std::move(versions);
 }
 
 } // namespace trace

@@ -20,7 +20,9 @@
 #define MORC_TRACE_VALUE_MODEL_HH
 
 #include <cstdint>
+#include <unordered_map>
 
+#include "snapshot/snapshot.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
 #include "util/zipf.hh"
@@ -134,6 +136,126 @@ class ValueModel
     ZipfSampler globalPool_;
     ZipfSampler chunk256Pool_;
     ZipfSampler chunk128Pool_;
+};
+
+// ------------------------------------------------------------------
+// Key-value payload synthesis (the src/kv/ serving subsystem)
+// ------------------------------------------------------------------
+
+/**
+ * Redundancy class of one key's value. Classes are assigned per key
+ * (hash of the key) so a tenant's corpus is a stable mix, and each
+ * class earns its compression ratio from a different structure:
+ *
+ *   JsonLike      small-document payloads: a compact token vocabulary
+ *                 shared across the whole corpus (field names, enum
+ *                 strings), small integers, and zero padding. High
+ *                 inter-line duplication — dictionary schemes shine.
+ *   CounterDense  counters/flags: almost all zeros plus a few small
+ *                 integers derived from the value's version. Extremely
+ *                 compressible; every SET perturbs it.
+ *   Blob          media/ciphertext: high-entropy words. Essentially
+ *                 incompressible; keeps ratios honest.
+ */
+enum class ValueClass : std::uint8_t
+{
+    JsonLike = 0,
+    CounterDense = 1,
+    Blob = 2,
+};
+
+const char *valueClassName(ValueClass c);
+
+/** Knobs of one tenant's value corpus. */
+struct KvProfile
+{
+    /** Seed of the value universe (per tenant). */
+    std::uint64_t seed = 1;
+
+    /** Class mix: P(JsonLike), P(CounterDense); Blob takes the rest. */
+    double jsonFrac = 0.5;
+    double counterFrac = 0.3;
+
+    /** Value sizes in cache lines, per class. */
+    std::uint32_t jsonLines = 4;
+    std::uint32_t counterLines = 1;
+    std::uint32_t blobLines = 8;
+
+    /** JSON token vocabulary (shared across keys) and its skew. */
+    std::uint32_t tokenPoolSize = 96;
+    double tokenTheta = 1.05;
+
+    /** Fraction of a JSON value's words rewritten by a SET. */
+    double setChurn = 0.3;
+};
+
+/**
+ * Synthesizes value payloads for one tenant's key space.
+ *
+ * Line contents are a pure function of (profile seed, key, line index,
+ * version) — the same construction as ValueModel — but unlike the SPEC
+ * model this one carries mutable state: the per-key version map bumped
+ * by SETs. That state (and the redundancy knobs that shape the data it
+ * addresses) is snapshot-covered so a mid-run KV simulation restores
+ * to byte-identical replay.
+ */
+class KvValueModel
+{
+  public:
+    explicit KvValueModel(const KvProfile &profile);
+
+    /** Redundancy class of @p key (stable per key). */
+    ValueClass classOf(std::uint64_t key) const;
+
+    /** Value size of @p key in whole cache lines (>= 1). */
+    std::uint32_t valueLines(std::uint64_t key) const;
+
+    /** Largest valueLines() over all classes (address stride). */
+    std::uint32_t maxValueLines() const;
+
+    /** Current version of @p key (0 until the first SET). */
+    std::uint32_t version(std::uint64_t key) const;
+
+    /** Record a SET: bump and return @p key's version. */
+    std::uint32_t bump(std::uint64_t key);
+
+    /** Contents of line @p line_idx of @p key at @p version. */
+    CacheLine line(std::uint64_t key, std::uint32_t line_idx,
+                   std::uint32_t version) const;
+
+    const KvProfile &profile() const { return profile_; }
+
+    /** Keys ever SET (size of the version map). */
+    std::uint64_t dirtyKeys() const { return versions_.size(); }
+
+    /** Append redundancy knobs + per-key version state. */
+    void save(snap::Serializer &s) const;
+
+    /** Restore knobs and version state written by save(). */
+    void restore(snap::Deserializer &d);
+
+  private:
+    /** Map a hash to [0,1). */
+    static double
+    unit(std::uint64_t h)
+    {
+        return (h >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Token @p index of the corpus-wide JSON vocabulary. */
+    std::uint32_t tokenWord(std::uint64_t index) const;
+
+    std::uint32_t jsonWord(std::uint64_t h) const;
+
+    KvProfile profile_;
+
+    /** Derived from profile_ (rebuilt by restore()).
+     *  morc-analyze: allow(snapshot-completeness) derived from the
+     *  saved profile knobs, reconstructed on restore */
+    ZipfSampler tokenPool_;
+
+    /** Per-key SET count; only mutated keys appear. */
+    std::unordered_map<std::uint64_t, std::uint32_t> versions_;
 };
 
 } // namespace trace

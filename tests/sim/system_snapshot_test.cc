@@ -16,6 +16,7 @@
 
 #include "sim/system.hh"
 #include "snapshot/snapshot.hh"
+#include "trace/value_model.hh"
 
 namespace morc {
 namespace sim {
@@ -182,6 +183,59 @@ TEST(SystemSnapshot, WithAttachedHistograms)
     const RunResult got = restored.measure(kMeasure);
     EXPECT_EQ(got.completionCycles, want.completionCycles);
     EXPECT_EQ(decomp.total(), refDecomp.total());
+}
+
+TEST(SystemSnapshot, KvValueModelKnobsRoundTrip)
+{
+    // The KV value synthesizer carries mutable state (per-key SET
+    // versions) *and* the redundancy knobs that shape the data those
+    // versions address; both must ride a snapshot so a restored KV run
+    // synthesizes byte-identical payloads.
+    trace::KvProfile p;
+    p.seed = 77;
+    p.jsonFrac = 0.6;
+    p.counterFrac = 0.2;
+    p.jsonLines = 3;
+    p.blobLines = 5;
+    p.tokenPoolSize = 48;
+    p.tokenTheta = 1.3;
+    p.setChurn = 0.45;
+    trace::KvValueModel vm(p);
+    for (std::uint64_t k = 0; k < 64; k += 3)
+        vm.bump(k);
+
+    snap::Serializer s;
+    vm.save(s);
+    const auto frame = s.frame();
+
+    trace::KvValueModel twin{trace::KvProfile{}}; // default knobs
+    snap::Deserializer d(frame);
+    twin.restore(d);
+    ASSERT_TRUE(d.ok()) << d.error();
+    EXPECT_EQ(twin.profile().seed, p.seed);
+    EXPECT_EQ(twin.profile().jsonLines, p.jsonLines);
+    EXPECT_EQ(twin.profile().tokenPoolSize, p.tokenPoolSize);
+    EXPECT_EQ(twin.profile().tokenTheta, p.tokenTheta);
+    EXPECT_EQ(twin.profile().setChurn, p.setChurn);
+    EXPECT_EQ(twin.dirtyKeys(), vm.dirtyKeys());
+    for (std::uint64_t k = 0; k < 64; k++) {
+        ASSERT_EQ(twin.version(k), vm.version(k));
+        for (std::uint32_t i = 0; i < vm.valueLines(k); i++)
+            ASSERT_TRUE(vm.line(k, i, vm.version(k)) ==
+                        twin.line(k, i, twin.version(k)));
+    }
+
+    // Re-serializing the twin reproduces the same bytes, and a
+    // tampered frame is rejected.
+    snap::Serializer s2;
+    twin.save(s2);
+    EXPECT_EQ(s2.frame(), frame);
+    auto bad = frame;
+    bad[bad.size() / 2] ^= 0x20;
+    trace::KvValueModel victim{trace::KvProfile{}};
+    snap::Deserializer db(std::move(bad));
+    victim.restore(db);
+    EXPECT_FALSE(db.ok());
 }
 
 TEST(SystemSnapshot, RejectsConfigMismatch)

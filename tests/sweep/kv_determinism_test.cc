@@ -1,0 +1,178 @@
+/**
+ * @file
+ * KV-serving sweep determinism regression tests (schema v4).
+ *
+ * The KV figures are advertised as pure functions of their
+ * configuration: the multi-tenant generator is seeded per tenant, the
+ * service clock is logical, and report assembly is task-ordered. These
+ * tests pin that:
+ *
+ * (a) a mini KV sweep (two schemes through the full generator ->
+ *     front cache -> tiered store stack, with percentile sections) is
+ *     byte-identical on 1 thread and on 8 threads,
+ * (b) a checked-in golden report (tests/sweep/golden/kv_report.json)
+ *     catches silent drift in the generator, value synthesis, tier
+ *     arithmetic, or the v4 percentiles serialization — regenerate
+ *     deliberately with MORC_UPDATE_GOLDEN=1,
+ * (c) the report carries the schema v4 marker and a well-formed
+ *     "percentiles" section, and
+ * (d) per-tenant QoS shares hold exactly in the recorded metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "kv/service.hh"
+#include "stats/report.hh"
+#include "sweep/sweep.hh"
+
+#ifndef MORC_GOLDEN_DIR
+#error "MORC_GOLDEN_DIR must point at tests/sweep/golden"
+#endif
+
+namespace morc {
+namespace {
+
+constexpr std::uint64_t kRequests = 3'000;
+
+kv::ServiceConfig
+miniKvConfig(sim::Scheme scheme)
+{
+    kv::ServiceConfig cfg;
+    cfg.scheme = scheme;
+    cfg.frontBytes = 64 * 1024;
+    cfg.tier.dramBytes = 256 * 1024;
+    cfg.tier.ssdBytes = 1024 * 1024;
+    cfg.seed = 0x6b76;
+    cfg.values.seed = 0x76616c;
+    cfg.telemetryEpoch = 100'000;
+    kv::TenantConfig social;
+    social.name = "social";
+    social.keys = 4096;
+    social.theta = 1.1;
+    social.weight = 3;
+    social.setFrac = 0.05;
+    social.driftPeriod = 512;
+    social.driftStride = 97;
+    kv::TenantConfig analytics;
+    analytics.name = "analytics";
+    analytics.keys = 8192;
+    analytics.theta = 0.7;
+    analytics.weight = 1;
+    analytics.setFrac = 0.4;
+    cfg.tenants = {social, analytics};
+    return cfg;
+}
+
+stats::RunRecord
+kvRun(sim::Scheme scheme)
+{
+    const kv::ServiceConfig cfg = miniKvConfig(scheme);
+    kv::Service svc(cfg);
+    svc.run(kRequests);
+
+    stats::RunRecord rec;
+    rec.label("scheme", sim::schemeName(scheme));
+    rec.label("tenants", std::to_string(cfg.tenants.size()));
+    rec.metric("requests", double(svc.requests()));
+    rec.metric("cycles", double(svc.cycles()));
+    std::uint64_t reads = 0, hits = 0;
+    for (unsigned t = 0; t < cfg.tenants.size(); t++) {
+        const kv::TenantStats &ts = svc.tenantStats(t);
+        reads += ts.lineReads;
+        hits += ts.frontHits;
+        rec.metric("requests_" + cfg.tenants[t].name,
+                   double(ts.requests));
+    }
+    rec.metric("front_hit_rate", reads ? double(hits) / reads : 0.0);
+    rec.metric("dram_hits", double(svc.tiers().stats().dramHits));
+    rec.metric("ssd_hits", double(svc.tiers().stats().ssdHits));
+    rec.metric("origin_fetches",
+               double(svc.tiers().stats().originFetches));
+    const std::pair<const char *, double> points[] = {
+        {"p50", 0.50}, {"p99", 0.99}, {"p99.9", 0.999}};
+    for (const auto &p : points)
+        rec.percentile("latency.all", p.first,
+                       kv::histPercentile(svc.latency(), p.second));
+    rec.histograms.emplace_back("latency", svc.latency());
+    rec.series = svc.series();
+    return rec;
+}
+
+stats::Report
+kvReport(unsigned jobs)
+{
+    std::vector<sweep::Task> tasks;
+    for (sim::Scheme scheme :
+         {sim::Scheme::Uncompressed, sim::Scheme::Morc}) {
+        tasks.push_back(sweep::Task{
+            std::string("kv-mini/") + sim::schemeName(scheme),
+            [scheme](std::uint64_t) { return kvRun(scheme); }});
+    }
+    stats::Report rep;
+    rep.figure = "kv-mini";
+    rep.title = "KV serving determinism configuration";
+    rep.instrBudget = kRequests;
+    rep.runs = sweep::Engine(jobs).run(tasks);
+    return rep;
+}
+
+TEST(KvDeterminism, SerialAndParallelReportsAreByteIdentical)
+{
+    const std::string serial = kvReport(1).toJson();
+    const std::string parallel = kvReport(8).toJson();
+    ASSERT_EQ(serial, parallel);
+    // Re-running is stable: no hidden state leaks across sweeps.
+    EXPECT_EQ(serial, kvReport(8).toJson());
+}
+
+TEST(KvDeterminism, ReportCarriesSchemaV4Percentiles)
+{
+    const stats::Report rep = kvReport(8);
+    const std::string json = rep.toJson();
+    EXPECT_NE(json.find("\"morc.sweep.report/v4\""), std::string::npos);
+    EXPECT_NE(json.find("\"percentiles\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99.9\""), std::string::npos);
+
+    const stats::RunRecord *morc = rep.find("kv-mini/MORC");
+    ASSERT_NE(morc, nullptr);
+    ASSERT_EQ(morc->percentiles.size(), 1u);
+    const auto &set = morc->percentiles[0];
+    EXPECT_EQ(set.first, "latency.all");
+    ASSERT_EQ(set.second.size(), 3u);
+    EXPECT_LE(set.second[0].second, set.second[1].second); // p50<=p99
+    EXPECT_LE(set.second[1].second, set.second[2].second);
+
+    // Exact QoS shares surface in the metrics: weights 3:1 over 3000.
+    EXPECT_EQ(morc->get("requests_social"), 2250.0);
+    EXPECT_EQ(morc->get("requests_analytics"), 750.0);
+}
+
+TEST(KvDeterminism, MatchesGoldenReport)
+{
+    const std::string path =
+        std::string(MORC_GOLDEN_DIR) + "/kv_report.json";
+    const std::string fresh = kvReport(8).toJson();
+    if (std::getenv("MORC_UPDATE_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary);
+        out << fresh;
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        GTEST_SKIP() << "golden updated, re-run without "
+                        "MORC_UPDATE_GOLDEN";
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << path << " missing; run once with MORC_UPDATE_GOLDEN=1";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), fresh)
+        << "KV report drifted from the checked-in golden; if the "
+           "change is intentional, regenerate with "
+           "MORC_UPDATE_GOLDEN=1";
+}
+
+} // namespace
+} // namespace morc
