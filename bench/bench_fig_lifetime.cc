@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Lifetime figure: NVM wear and years-to-failure ranking of every
+ * scheme in the arena under the L2C2-style endurance model.
+ */
+
+#include "common/figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return morc::bench::sweepMain(argc, argv, "lifetime");
+}

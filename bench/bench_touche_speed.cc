@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Touché cache throughput microbenchmark (google-benchmark).
+ *
+ * BM_Touche* measure lookups and fills through the signature-tag path
+ * (superblock match -> signature match -> decompress-and-verify), the
+ * new per-access hot loop the lifetime figure leans on; BM_FpcLine is
+ * the machine-speed reference tools/perf_gate.py uses to normalize
+ * away host differences before gating BM_Touche* against
+ * bench/baselines/BENCH_touche.json.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/touche.hh"
+#include "compress/fpc.hh"
+#include "trace/value_model.hh"
+
+namespace {
+
+using namespace morc;
+
+std::vector<CacheLine>
+sampleLines(std::size_t n)
+{
+    trace::DataProfile p;
+    p.zeroWordFrac = 0.25;
+    p.zeroHalfFrac = 0.15;
+    p.poolWordFrac = 0.4;
+    p.chunk256Frac = 0.2;
+    p.chunk128Frac = 0.2;
+    trace::ValueModel vm(p);
+    std::vector<CacheLine> lines;
+    for (std::size_t i = 0; i < n; i++)
+        lines.push_back(vm.line(i, 0));
+    return lines;
+}
+
+void
+BM_FpcLine(benchmark::State &state)
+{
+    const auto lines = sampleLines(4096);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(comp::Fpc::lineBits(lines[i]));
+        i = (i + 1) % lines.size();
+    }
+    state.SetBytesProcessed(state.iterations() * kLineSize);
+}
+BENCHMARK(BM_FpcLine)->MinTime(2.0);
+
+/** A warmed 128 KB Touché cache over a 4x-capacity address footprint:
+ *  every superblock holds neighbors, so lookups exercise the signature
+ *  compare and fills exercise eviction + re-compaction. */
+cache::ToucheCache
+warmedCache(const std::vector<CacheLine> &lines)
+{
+    cache::ToucheCache::Config cfg;
+    cache::ToucheCache c(cfg);
+    const std::size_t footprint = 4 * c.capacityBytes() / kLineSize;
+    for (std::size_t i = 0; i < footprint; i++)
+        c.insert(static_cast<Addr>(i) * kLineSize,
+                 lines[i % lines.size()], false);
+    return c;
+}
+
+void
+BM_ToucheRead(benchmark::State &state)
+{
+    const auto lines = sampleLines(4096);
+    cache::ToucheCache c = warmedCache(lines);
+    const std::size_t footprint = 4 * c.capacityBytes() / kLineSize;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.read(static_cast<Addr>(i) * kLineSize).hit);
+        i = (i + 7) % footprint; // stride past the superblock span
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ToucheRead)->MinTime(2.0);
+
+void
+BM_ToucheInsert(benchmark::State &state)
+{
+    const auto lines = sampleLines(4096);
+    cache::ToucheCache c = warmedCache(lines);
+    const std::size_t footprint = 4 * c.capacityBytes() / kLineSize;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.insert(static_cast<Addr>(i) * kLineSize,
+                     lines[(i * 31) % lines.size()], false)
+                .linesCompressed);
+        i = (i + 7) % footprint;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ToucheInsert)->MinTime(2.0);
+
+} // namespace
+
+BENCHMARK_MAIN();

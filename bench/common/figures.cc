@@ -1,5 +1,6 @@
 #include "common/figures.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -255,6 +256,21 @@ simRecord(const sim::SystemConfig &cfg,
     rec.metric("log_flushes", static_cast<double>(r.llcStats.logFlushes));
     rec.metric("lmt_conflict_evicts",
                static_cast<double>(r.llcStats.lmtConflictEvicts));
+    rec.metric("llc_hit_rate",
+               r.llcStats.reads == 0
+                   ? 0.0
+                   : static_cast<double>(r.llcStats.readHits) /
+                         static_cast<double>(r.llcStats.reads));
+    rec.lifetimePoint("cell_bits_written",
+                      static_cast<double>(r.llcStats.cellBitsWritten));
+    rec.lifetimePoint("cell_bit_flips",
+                      static_cast<double>(r.llcStats.cellBitFlips));
+    rec.lifetimePoint("write_bits_per_sec", r.lifetime.writeBitsPerSec);
+    rec.lifetimePoint("flips_per_cell_per_sec",
+                      r.lifetime.flipsPerCellPerSec);
+    rec.lifetimePoint("imbalance", r.lifetime.imbalance);
+    rec.lifetimePoint("set_variance", r.lifetime.setVariance);
+    rec.lifetimePoint("years", r.lifetime.years);
     if (r.meshed) {
         rec.metric("noc_messages", static_cast<double>(r.nocMessages));
         rec.metric("noc_mean_hops", r.nocMeanHops);
@@ -1345,12 +1361,13 @@ kvBaseConfig(sim::Scheme scheme)
     return cfg;
 }
 
-/** Run one service config and flatten it into a RunRecord. */
+/** Run one service config for @p requests and flatten it into a
+ *  RunRecord. */
 RunRecord
-kvRecord(const kv::ServiceConfig &cfg)
+kvRecord(const kv::ServiceConfig &cfg, std::uint64_t requests)
 {
     kv::Service svc(cfg);
-    svc.run(kvRequests());
+    svc.run(requests);
 
     RunRecord rec;
     const cache::LlcStats &fs = svc.front().stats();
@@ -1411,7 +1428,7 @@ kvServeTasks()
             k({"kvserve", schemeName(s)}),
             [s](std::uint64_t) -> RunRecord {
                 const kv::ServiceConfig cfg = kvBaseConfig(s);
-                RunRecord rec = kvRecord(cfg);
+                RunRecord rec = kvRecord(cfg, kvRequests());
                 rec.label("scheme", schemeName(s));
                 rec.label("tenants",
                           std::to_string(cfg.tenants.size()));
@@ -1470,6 +1487,17 @@ const KvTierPoint kKvTierPoints[] = {
 const sim::Scheme kKvTierSchemes[] = {sim::Scheme::Uncompressed,
                                       sim::Scheme::Morc};
 
+/** Requests per tiering task. The tiering figure only says anything
+ *  once the 4 MB DRAM tier is full and eviction/promotion traffic is
+ *  steady-state; under the --smoke budget the shared kvRequests() knob
+ *  leaves it cold-miss-dominated, so tiering gets a higher floor
+ *  (ROADMAP item 3 residual). */
+std::uint64_t
+kvTierRequests()
+{
+    return std::max<std::uint64_t>(kvRequests(), 60'000);
+}
+
 std::vector<Task>
 kvTierTasks()
 {
@@ -1487,7 +1515,7 @@ kvTierTasks()
                     cfg.tier.ssdBytes = 4ull << 20;
                     cfg.tier.dramCompressed = pt.dramCompressed;
                     cfg.tier.ssdCompressed = pt.ssdCompressed;
-                    RunRecord rec = kvRecord(cfg);
+                    RunRecord rec = kvRecord(cfg, kvTierRequests());
                     rec.label("scheme", schemeName(s));
                     rec.label("tier_compression", pt.name);
                     return rec;
@@ -1522,6 +1550,84 @@ kvTierPresent(const Report &rep)
                         lat ? (*lat)[1].second : 0.0,
                         lat ? (*lat)[2].second : 0.0);
         }
+    }
+}
+
+// ------------------------------------------------------------------
+// Lifetime: NVM wear/endurance ranking of every scheme in the arena
+// ------------------------------------------------------------------
+
+/** Three compressibility regimes: gcc (zero-heavy), leslie3d
+ *  (FP/m256-heavy), h264ref (narrow-integer-heavy). */
+const char *const kLifetimeWorkloads[] = {"gcc", "leslie3d", "h264ref"};
+
+/** Value of lifetime point @p key of @p r (0 when absent). */
+double
+lifetimeOf(const RunRecord &r, const char *key)
+{
+    for (const auto &p : r.lifetime) {
+        if (p.first == key)
+            return p.second;
+    }
+    return 0.0;
+}
+
+std::vector<Task>
+lifetimeTasks()
+{
+    std::vector<Task> tasks;
+    for (const sim::SchemeInfo &info : sim::allSchemes()) {
+        for (const char *w : kLifetimeWorkloads) {
+            tasks.push_back(
+                singleTask(k({"lifetime", w, info.name}), info.scheme,
+                           trace::findBenchmark(w)));
+        }
+    }
+    return tasks;
+}
+
+void
+lifetimePresent(const Report &rep)
+{
+    struct Row
+    {
+        const char *name;
+        double years, imbalance, flips, ratio, hitPerMb;
+    };
+    std::vector<Row> rows;
+    for (const sim::SchemeInfo &info : sim::allSchemes()) {
+        std::vector<double> years, imb, flips, ratio, hit;
+        for (const char *w : kLifetimeWorkloads) {
+            const RunRecord *r = rep.find(k({"lifetime", w, info.name}));
+            // An idle run forecasts infinity (rendered 1e308); cap so
+            // the geometric mean stays finite and the row sorts last
+            // among the writers.
+            years.push_back(
+                std::min(lifetimeOf(*r, "years"), 1.0e12));
+            imb.push_back(lifetimeOf(*r, "imbalance"));
+            flips.push_back(lifetimeOf(*r, "flips_per_cell_per_sec"));
+            ratio.push_back(r->get("ratio"));
+            hit.push_back(r->get("llc_hit_rate"));
+        }
+        const double mb =
+            (info.scheme == sim::Scheme::Uncompressed8x ? 8.0 : 1.0) *
+            128.0 / 1024.0;
+        rows.push_back({info.name, stats::gmean(years),
+                        stats::amean(imb), stats::amean(flips),
+                        stats::gmean(ratio), stats::amean(hit) / mb});
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row &a, const Row &b) {
+                         return a.years > b.years;
+                     });
+    std::printf("%-4s %-14s | %12s %9s %14s | %6s %8s\n", "rank",
+                "scheme", "years(GMean)", "imbalance", "flips/cell/s",
+                "ratio", "hit%/MB");
+    for (std::size_t i = 0; i < rows.size(); i++) {
+        const Row &r = rows[i];
+        std::printf("%-4zu %-14s | %12.2f %9.2f %14.4f | %6.2f %8.1f\n",
+                    i + 1, r.name, r.years, r.imbalance, r.flips,
+                    r.ratio, 100.0 * r.hitPerMb);
     }
 }
 
@@ -1611,6 +1717,12 @@ figures()
          "beyond the paper: compressed tiers trade origin fetches for "
          "residency (ZipCache's DRAM/SSD argument)",
          kvTierTasks, kvTierPresent},
+        {"lifetime", "Lifetime: NVM wear and years-to-failure ranking "
+                     "of every scheme (L2C2-style endurance model)",
+         "beyond the paper: compression reduces programmed bits, but "
+         "log-structured writes also level wear across sets (L2C2's "
+         "endurance argument)",
+         lifetimeTasks, lifetimePresent},
     };
     return kFigures;
 }
@@ -1740,12 +1852,16 @@ sweepMain(int argc, char **argv, const char *only)
             for (const auto &f : figures())
                 std::printf("%-10s %s\n", f.name, f.title);
             return 0;
+        } else if (arg == "--list-schemes") {
+            for (const sim::SchemeInfo &info : sim::allSchemes())
+                std::printf("%-15s %s\n", info.cliName, info.name);
+            return 0;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--jobs N] [--out DIR] "
                 "[--checkpoint-dir DIR] "
                 "[--telemetry-epoch CYCLES] [--trace-out FILE] "
-                "[--list] [figure...|all]\n"
+                "[--list] [--list-schemes] [figure...|all]\n"
                 "  --checkpoint-dir DIR  journal finished tasks and "
                 "cache warm-up snapshots\n"
                 "                        under DIR; a killed run "

@@ -1,8 +1,11 @@
 /**
  * @file
- * MORC design-space exploration on one workload: log size, active-log
- * count, LMT provisioning/associativity, tag bases, and merged tags —
- * the knobs Sections 3.2 and 5.4 discuss.
+ * Design-space exploration on one workload: first the scheme arena
+ * (every LLC in the shared sim::allSchemes() registry, so a newly
+ * registered scheme shows up here without touching this file), then
+ * the MORC-specific knobs — log size, active-log count, LMT
+ * provisioning/associativity, tag bases, and merged tags — that
+ * Sections 3.2 and 5.4 discuss.
  *
  * Exploration is expressed as a sweep: every design point is an
  * independent sweep::Task, fanned out over a work-stealing pool, and
@@ -23,6 +26,26 @@ namespace {
 
 using morc::stats::RunRecord;
 using morc::sweep::Task;
+
+/** One arena point: a registry scheme at the default 128 KB LLC. */
+Task
+arenaTask(std::string key, const morc::trace::BenchmarkSpec &spec,
+          morc::sim::Scheme scheme)
+{
+    return Task{std::move(key), [spec, scheme](std::uint64_t) {
+                    using namespace morc;
+                    sim::SystemConfig cfg;
+                    cfg.scheme = scheme;
+                    cfg.ratioSampleInterval = 200'000;
+                    sim::System sys(cfg, {spec});
+                    const auto r = sys.run(600'000, 1'200'000);
+                    RunRecord rec;
+                    rec.metric("ratio", r.compressionRatio);
+                    rec.metric("gb_per_binstr", r.gbPerBillionInstr());
+                    rec.metric("lifetime_years", r.lifetime.years);
+                    return rec;
+                }};
+}
 
 Task
 designTask(std::string key, const morc::trace::BenchmarkSpec &spec,
@@ -64,6 +87,9 @@ main(int argc, char **argv)
     const unsigned tag_bases[] = {1, 2};
 
     std::vector<Task> tasks;
+    for (const sim::SchemeInfo &info : sim::allSchemes())
+        tasks.push_back(arenaTask(std::string("arena/") + info.cliName,
+                                  spec, info.scheme));
     for (unsigned bytes : log_sizes) {
         core::MorcConfig m;
         m.logBytes = bytes;
@@ -105,6 +131,14 @@ main(int argc, char **argv)
         std::abort();
     };
 
+    std::printf("scheme arena (128 KB LLC):\n");
+    for (const sim::SchemeInfo &info : sim::allSchemes()) {
+        const auto &r = find(std::string("arena/") + info.cliName);
+        std::printf("  %-14s ratio %.2f  GB/Binstr %.2f  "
+                    "lifetime %.3f y\n",
+                    info.name, r.get("ratio"), r.get("gb_per_binstr"),
+                    r.get("lifetime_years"));
+    }
     std::printf("log size (8 active logs):\n");
     for (unsigned bytes : log_sizes) {
         const auto &r = find("log" + std::to_string(bytes));

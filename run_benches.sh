@@ -23,7 +23,7 @@ for arg in "$@"; do
     if [ "$arg" = "--smoke" ]; then
         export MORC_BENCH_INSTR=${MORC_BENCH_INSTR:-20000}
         export MORC_BENCH_WARMUP=${MORC_BENCH_WARMUP:-40000}
-        SMOKE_ARGS=(fig6 mesh kvserve)
+        SMOKE_ARGS=(fig6 mesh kvserve lifetime)
         SMOKE=1
     fi
 done
@@ -54,6 +54,18 @@ fi
 # Smoke also exercises the telemetry path end to end: a traced mesh
 # sweep must produce a parseable Chrome trace JSON with events in it.
 if [ "$SMOKE" = 1 ]; then
+    # The scheme list is owned by one registry (sim/scheme.{hh,cc});
+    # every enumerating surface (morc_check, the lifetime figure, the
+    # design-space arena, this script) reads it through the binaries.
+    # A scheme missing from --list-schemes means a driver grew its own
+    # private list again.
+    for s in uncompressed morc touche; do
+        "$SWEEP" --list-schemes | grep -q "^$s " || {
+            echo "error: scheme '$s' missing from the shared registry" >&2
+            exit 1
+        }
+    done
+    echo "smoke registry OK: $("$SWEEP" --list-schemes | wc -l) schemes"
     TRACE=$(mktemp /tmp/morc_smoke_trace.XXXXXX.json)
     "$SWEEP" --jobs "$JOBS" --telemetry-epoch 100000 \
         --trace-out "$TRACE" mesh > /dev/null
@@ -80,7 +92,7 @@ EOF
     rm -rf "$CKPT"
 
     # ...and the KV-serving subsystem: the same kvserve sweep on one
-    # thread and on all threads must emit byte-identical schema-v4
+    # thread and on all threads must emit byte-identical schema-v5
     # reports (per-tenant seeding + task-order assembly), and the
     # report must carry the v4 percentiles section.
     KVDIR=$(mktemp -d /tmp/morc_smoke_kv.XXXXXX)
@@ -90,7 +102,7 @@ EOF
     python3 - "$KVDIR/j1/kvserve.json" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema"] == "morc.sweep.report/v4", r["schema"]
+assert r["schema"] == "morc.sweep.report/v5", r["schema"]
 runs = r["runs"]
 assert any("percentiles" in run for run in runs), "no percentiles"
 p = next(run["percentiles"] for run in runs if "percentiles" in run)
@@ -98,6 +110,48 @@ assert "p99.9" in p["latency.all"], p
 print(f"smoke kv OK: {len(runs)} runs, jobs-independent bytes")
 EOF
     rm -rf "$KVDIR"
+
+    # ...and the wear/lifetime subsystem: the lifetime figure ranks
+    # every registry scheme, must be byte-identical at jobs=1 vs jobs=8
+    # (wear charging happens inside the per-task simulation, so thread
+    # count must not leak into the report), and must carry the v5
+    # lifetime section for every run.
+    LTDIR=$(mktemp -d /tmp/morc_smoke_lt.XXXXXX)
+    "$SWEEP" --jobs 1 --out "$LTDIR/j1" lifetime > /dev/null
+    "$SWEEP" --jobs 8 --out "$LTDIR/j8" lifetime > /dev/null
+    cmp "$LTDIR/j1/lifetime.json" "$LTDIR/j8/lifetime.json"
+    python3 - "$LTDIR/j1/lifetime.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "morc.sweep.report/v5", r["schema"]
+runs = r["runs"]
+assert all("lifetime" in run for run in runs), "run missing lifetime"
+keys = {"cell_bits_written", "cell_bit_flips", "write_bits_per_sec",
+        "flips_per_cell_per_sec", "imbalance", "set_variance", "years"}
+assert keys <= set(runs[0]["lifetime"]), runs[0]["lifetime"]
+schemes = {run["labels"]["scheme"] for run in runs}
+assert "Touche" in schemes and "MORC" in schemes, schemes
+print(f"smoke lifetime OK: {len(schemes)} schemes ranked, "
+      "jobs-independent bytes")
+EOF
+    rm -rf "$LTDIR"
+
+    # ...and the Touché perf gate: signature lookup + fill must stay
+    # within threshold of the checked-in baseline (BM_FpcLine-
+    # normalized, like the other gates).
+    BENCH_TOUCHE=build/bench/bench_touche_speed
+    if [ -x "$BENCH_TOUCHE" ]; then
+        TOUCHE_JSON=$(mktemp /tmp/morc_bench_touche.XXXXXX.json)
+        "$BENCH_TOUCHE" --benchmark_out="$TOUCHE_JSON" \
+            --benchmark_out_format=json > /dev/null
+        python3 tools/perf_gate.py "$TOUCHE_JSON" \
+            bench/baselines/BENCH_touche.json --gate BM_Touche \
+            --threshold 0.30 \
+            --reference 'BM_FpcLine/min_time:2.000'
+        rm -f "$TOUCHE_JSON"
+    else
+        echo "touche perf gate skipped: $BENCH_TOUCHE not built" >&2
+    fi
 
     # ...and the KV perf gate against its checked-in baseline.
     BENCH_KV=build/bench/bench_kv_speed

@@ -19,6 +19,21 @@ AdaptiveCache::AdaptiveCache(const Config &cfg) : cfg_(cfg)
                static_cast<unsigned long long>(cfg.capacityBytes),
                cfg.ways, static_cast<unsigned long long>(numSets_));
     sets_.resize(numSets_);
+    // Segment allocation shifts entries around the set's data space, so
+    // wear is tracked per set only.
+    wear_.configure(numSets_, 1);
+}
+
+void
+AdaptiveCache::lineImage(const CacheLine &data, bool compressed,
+                         BitWriter &out)
+{
+    if (compressed) {
+        comp::CpackEncoder enc;
+        enc.append(data, &out);
+    } else {
+        energy::rawImage(data, out);
+    }
 }
 
 std::uint64_t
@@ -180,11 +195,15 @@ AdaptiveCache::insert(Addr addr, const CacheLine &data, bool dirty)
     // Replace any existing entry (resident or shadow). A size change
     // within contiguous segments forces re-allocation, which models the
     // compaction the scheme needs.
+    bool hadData = false;
+    BitWriter oldImage;
     for (auto it = set.lines.begin(); it != set.lines.end(); ++it) {
         if (it->tag == tag) {
             if (it->hasData) {
                 dirty |= it->dirty;
                 valid_--;
+                hadData = true;
+                lineImage(it->data, it->compressed, oldImage);
             }
             set.lines.erase(it);
             break;
@@ -201,6 +220,18 @@ AdaptiveCache::insert(Addr addr, const CacheLine &data, bool dirty)
     entry.segments = segments;
     entry.lastUse = ++useClock_;
     entry.data = data;
+    // Charge the emitted image against the frame: flips relative to the
+    // replaced entry's image when the same line is re-programmed in
+    // place, otherwise a program of previously erased segments.
+    BitWriter newImage;
+    lineImage(data, stored_compressed, newImage);
+    chargeWear(setOf(addr), 0, newImage.sizeBits(),
+               hadData ? energy::flipBits(oldImage.words(),
+                                          oldImage.sizeBits(),
+                                          newImage.words(),
+                                          newImage.sizeBits())
+                       : energy::popcountBits(newImage.words(),
+                                              newImage.sizeBits()));
     set.lines.push_back(entry);
     valid_++;
     return result;
@@ -287,6 +318,7 @@ AdaptiveCache::saveState(snap::Serializer &s) const
     s.u64(valid_);
     s.i64(predictor_);
     stats_.save(s);
+    wear_.save(s);
     s.vec(sets_, [&](const Set &set) {
         s.vec(set.lines, [&](const LineEntry &l) {
             s.u64(l.tag);
@@ -315,6 +347,8 @@ AdaptiveCache::restoreState(snap::Deserializer &d)
     const std::int64_t predictor = d.i64();
     LlcStats stats;
     stats.restore(d);
+    energy::WearTracker wear = wear_;
+    wear.restore(d);
     std::vector<Set> sets;
     d.readVec(sets, 8, [&] {
         Set set;
@@ -344,6 +378,7 @@ AdaptiveCache::restoreState(snap::Deserializer &d)
     valid_ = valid;
     predictor_ = predictor;
     stats_ = stats;
+    wear_ = std::move(wear);
     sets_ = std::move(sets);
 }
 

@@ -86,6 +86,10 @@ class AdaptiveCache : public Llc
     };
 
     std::uint64_t setOf(Addr addr) const;
+    /** Emit the image the data array stores for @p data (C-Pack stream
+     *  when compressed, the raw line otherwise), for wear accounting. */
+    static void lineImage(const CacheLine &data, bool compressed,
+                          BitWriter &out);
     unsigned segmentsFor(std::uint32_t bits) const;
     unsigned segBudget() const;
     /** LRU stack depth of a line within its set (0 = MRU). */

@@ -6,6 +6,23 @@
 namespace morc {
 namespace cache {
 
+namespace {
+
+/** Image the segment array stores for a sub-line (C-Pack stream when
+ *  compressed, the raw line otherwise), for wear accounting. */
+void
+subLineImage(const CacheLine &data, bool compressed, BitWriter &out)
+{
+    if (compressed) {
+        comp::CpackEncoder enc;
+        enc.append(data, &out);
+    } else {
+        energy::rawImage(data, out);
+    }
+}
+
+} // namespace
+
 DecoupledCache::DecoupledCache() : DecoupledCache(Config{}) {}
 
 DecoupledCache::DecoupledCache(const Config &cfg) : cfg_(cfg)
@@ -22,6 +39,7 @@ DecoupledCache::DecoupledCache(const Config &cfg) : cfg_(cfg)
     for (auto &set : sets_)
         for (auto &b : set.blocks)
             b.lines.resize(cfg_.linesPerSuperBlock);
+    wear_.configure(numSets_, cfg_.ways);
 }
 
 std::uint64_t
@@ -160,8 +178,12 @@ DecoupledCache::insert(Addr addr, const CacheLine &data, bool dirty)
 
     // Replace any existing copy of this sub-line.
     SubLine &line = block->lines[sub];
+    bool hadData = false;
+    BitWriter oldImage;
     if (line.valid) {
         dirty |= line.dirty;
+        hadData = true;
+        subLineImage(line.data, line.compressed, oldImage);
         line.valid = false;
         valid_--;
     }
@@ -207,6 +229,19 @@ DecoupledCache::insert(Addr addr, const CacheLine &data, bool dirty)
     line.compressed = compressed;
     line.segments = segments;
     line.data = data;
+    // Charge the emitted image: flips against the replaced copy when
+    // the same sub-line is re-programmed, else a fresh program.
+    BitWriter newImage;
+    subLineImage(data, compressed, newImage);
+    chargeWear(setOf(super_tag),
+               static_cast<std::uint64_t>(block - set.blocks.data()),
+               newImage.sizeBits(),
+               hadData ? energy::flipBits(oldImage.words(),
+                                          oldImage.sizeBits(),
+                                          newImage.words(),
+                                          newImage.sizeBits())
+                       : energy::popcountBits(newImage.words(),
+                                              newImage.sizeBits()));
     block->lastUse = ++useClock_;
     valid_++;
     return result;
@@ -289,6 +324,7 @@ DecoupledCache::saveState(snap::Serializer &s) const
     s.u64(useClock_);
     s.u64(valid_);
     stats_.save(s);
+    wear_.save(s);
     s.vec(sets_, [&](const Set &set) {
         s.vec(set.blocks, [&](const SuperBlock &b) {
             s.u64(b.tag);
@@ -319,6 +355,8 @@ DecoupledCache::restoreState(snap::Deserializer &d)
     const std::uint64_t valid = d.u64();
     LlcStats stats;
     stats.restore(d);
+    energy::WearTracker wear = wear_;
+    wear.restore(d);
     std::vector<Set> sets;
     d.readVec(sets, 8, [&] {
         Set set;
@@ -354,6 +392,7 @@ DecoupledCache::restoreState(snap::Deserializer &d)
     useClock_ = useClock;
     valid_ = valid;
     stats_ = stats;
+    wear_ = std::move(wear);
     sets_ = std::move(sets);
 }
 

@@ -19,6 +19,9 @@ IdealCache::IdealCache(OracleScope scope, std::uint64_t capacity_bytes,
                static_cast<unsigned long long>(capacity_bytes), set_bytes,
                static_cast<unsigned long long>(numSets_));
     sets_.resize(numSets_);
+    // Entry order inside a set is unstable (vector erase/push), so wear
+    // is tracked per set only.
+    wear_.configure(numSets_, 1);
 }
 
 std::uint64_t
@@ -92,6 +95,10 @@ IdealCache::insert(Addr addr, const CacheLine &data, bool dirty)
         valid_--;
     }
 
+    // Limit-study approximation: the oracle emits no real bitstream, so
+    // charge its idealized cost and cap flips at the programmed width.
+    chargeWear(setOf(addr), 0, bits,
+               std::min<std::uint64_t>(energy::linePopcount(data), bits));
     set.lines.push_back({tag, dirty, bits, ++useClock_, data});
     set.usedBits += bits;
     if (scope_ == OracleScope::InterLine)
@@ -172,6 +179,7 @@ IdealCache::saveState(snap::Serializer &s) const
     s.u64(useClock_);
     s.u64(valid_);
     stats_.save(s);
+    wear_.save(s);
     // dict_ is derived state (word refcounts of resident lines); the
     // restore path rebuilds it from the sets below.
     s.vec(sets_, [&](const Set &set) {
@@ -199,6 +207,8 @@ IdealCache::restoreState(snap::Deserializer &d)
     const std::uint64_t valid = d.u64();
     LlcStats stats;
     stats.restore(d);
+    energy::WearTracker wear = wear_;
+    wear.restore(d);
     std::vector<Set> sets;
     d.readVec(sets, 8 + 8, [&] {
         Set set;
@@ -226,6 +236,7 @@ IdealCache::restoreState(snap::Deserializer &d)
     useClock_ = useClock;
     valid_ = valid;
     stats_ = stats;
+    wear_ = std::move(wear);
     sets_ = std::move(sets);
     dict_.clear();
     if (scope_ == OracleScope::InterLine) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "check/auditor.hh"
+#include "energy/lifetime.hh"
 #include "snapshot/snapshot.hh"
 #include "telemetry/telemetry.hh"
 #include "telemetry/tracer.hh"
@@ -82,6 +83,13 @@ struct LlcStats
     /** LMT conflict evictions (MORC/MORCMerged only; zero elsewhere). */
     std::uint64_t lmtConflictEvicts = 0;
 
+    /** NVM wear: bits physically programmed into the data array, from
+     *  the actual emitted bitstreams (see energy/lifetime.hh). */
+    std::uint64_t cellBitsWritten = 0;
+
+    /** NVM wear: cells flipped relative to the frame's prior image. */
+    std::uint64_t cellBitFlips = 0;
+
     void
     clear()
     {
@@ -100,6 +108,8 @@ struct LlcStats
         s.u64(bytesDecompressed);
         s.u64(logFlushes);
         s.u64(lmtConflictEvicts);
+        s.u64(cellBitsWritten);
+        s.u64(cellBitFlips);
     }
 
     void
@@ -115,6 +125,8 @@ struct LlcStats
         v.bytesDecompressed = d.u64();
         v.logFlushes = d.u64();
         v.lmtConflictEvicts = d.u64();
+        v.cellBitsWritten = d.u64();
+        v.cellBitFlips = d.u64();
         if (d.ok())
             *this = v;
     }
@@ -131,6 +143,8 @@ struct LlcStats
         bytesDecompressed += o.bytesDecompressed;
         logFlushes += o.logFlushes;
         lmtConflictEvicts += o.lmtConflictEvicts;
+        cellBitsWritten += o.cellBitsWritten;
+        cellBitFlips += o.cellBitFlips;
         return *this;
     }
 };
@@ -149,6 +163,8 @@ operator-(const LlcStats &a, const LlcStats &b)
     d.bytesDecompressed = a.bytesDecompressed - b.bytesDecompressed;
     d.logFlushes = a.logFlushes - b.logFlushes;
     d.lmtConflictEvicts = a.lmtConflictEvicts - b.lmtConflictEvicts;
+    d.cellBitsWritten = a.cellBitsWritten - b.cellBitsWritten;
+    d.cellBitFlips = a.cellBitFlips - b.cellBitFlips;
     return d;
 }
 
@@ -220,6 +236,32 @@ class Llc : public check::Auditable, public snap::Snapshottable
         reg.counter(prefix + ".bytes_decompressed", [this](Cycles) {
             return double(stats_.bytesDecompressed);
         });
+        reg.counter(prefix + ".cell_bits_written", [this](Cycles) {
+            return double(stats_.cellBitsWritten);
+        });
+        reg.counter(prefix + ".cell_bit_flips", [this](Cycles) {
+            return double(stats_.cellBitFlips);
+        });
+    }
+
+    /**
+     * The run's wear histogram, merged across banks for composite
+     * models (the default returns this cache's own tracker by value).
+     * Its totals must equal the LlcStats cell counters — morc_check
+     * cross-checks the two independently carried views.
+     */
+    virtual energy::WearTracker
+    wearSnapshot() const
+    {
+        return wear_;
+    }
+
+    /** Zero wear counters alongside an external stats().clear() (e.g.
+     *  after warm-up), keeping the frame geometry. */
+    virtual void
+    clearWear()
+    {
+        wear_.clearCounts();
     }
 
     /**
@@ -236,7 +278,23 @@ class Llc : public check::Auditable, public snap::Snapshottable
     }
 
   protected:
+    /** Charge one physical data-array write to frame (@p set, @p way):
+     *  both the aggregate counters and the per-frame histogram. */
+    void
+    chargeWear(std::uint64_t set, std::uint64_t way,
+               std::uint64_t bits_written, std::uint64_t bit_flips)
+    {
+        stats_.cellBitsWritten += bits_written;
+        stats_.cellBitFlips += bit_flips;
+        wear_.recordWrite(set, way, bits_written, bit_flips);
+    }
+
     LlcStats stats_;
+
+    /** Per-frame write/flip histogram (see energy/lifetime.hh).
+     *  Schemes configure the geometry in their constructor and must
+     *  save/restore it with the rest of their state. */
+    energy::WearTracker wear_;
 
     /** Event sink (null = tracing off; emission must be zero-cost). */
     telemetry::Tracer *tracer_ = nullptr;

@@ -18,6 +18,21 @@ Sc2Cache::Sc2Cache(const Config &cfg)
                static_cast<unsigned long long>(cfg.capacityBytes),
                cfg.ways, static_cast<unsigned long long>(numSets_));
     sets_.resize(numSets_);
+    // Segment allocation shifts entries around the set's data space, so
+    // wear is tracked per set only.
+    wear_.configure(numSets_, 1);
+}
+
+void
+Sc2Cache::lineImage(const CacheLine &data, bool compressed,
+                    BitWriter &out) const
+{
+    if (compressed) {
+        for (unsigned i = 0; i < kWordsPerLine; i++)
+            table_.encode(data.word32(i), out);
+    } else {
+        energy::rawImage(data, out);
+    }
 }
 
 std::uint64_t
@@ -109,10 +124,17 @@ Sc2Cache::insert(Addr addr, const CacheLine &data, bool dirty)
         }
     }
 
-    // Drop any stale copy, then make room.
+    // Drop any stale copy, then make room. The replaced copy's image is
+    // re-encoded under the *current* table — after a retraining this is
+    // an approximation of the bits that were on the cells, but a
+    // deterministic one.
+    bool hadData = false;
+    BitWriter oldImage;
     for (auto it = set.lines.begin(); it != set.lines.end(); ++it) {
         if (it->tag == tag) {
             dirty |= it->dirty;
+            hadData = true;
+            lineImage(it->data, it->compressed, oldImage);
             set.lines.erase(it);
             valid_--;
             break;
@@ -155,6 +177,15 @@ Sc2Cache::insert(Addr addr, const CacheLine &data, bool dirty)
     entry.segments = segments;
     entry.lastUse = ++useClock_;
     entry.data = data;
+    BitWriter newImage;
+    lineImage(data, compressed, newImage);
+    chargeWear(setOf(addr), 0, newImage.sizeBits(),
+               hadData ? energy::flipBits(oldImage.words(),
+                                          oldImage.sizeBits(),
+                                          newImage.words(),
+                                          newImage.sizeBits())
+                       : energy::popcountBits(newImage.words(),
+                                              newImage.sizeBits()));
     set.lines.push_back(entry);
     valid_++;
     return result;
@@ -236,6 +267,7 @@ Sc2Cache::saveState(snap::Serializer &s) const
     s.u64(fillsSinceTrain_);
     s.u64(retrainings_);
     stats_.save(s);
+    wear_.save(s);
     sampler_.save(s);
     // The table itself is derived state: build() is deterministic, so
     // storing the train-time counts is enough to reproduce it.
@@ -270,6 +302,8 @@ Sc2Cache::restoreState(snap::Deserializer &d)
     const std::uint64_t retrainings = d.u64();
     LlcStats stats;
     stats.restore(d);
+    energy::WearTracker wear = wear_;
+    wear.restore(d);
     comp::ValueSampler sampler(cfg_.dictionarySymbols);
     sampler.restore(d);
     std::unordered_map<std::uint32_t, std::uint64_t> trainFreqs;
@@ -305,6 +339,7 @@ Sc2Cache::restoreState(snap::Deserializer &d)
     fillsSinceTrain_ = fillsSinceTrain;
     retrainings_ = retrainings;
     stats_ = stats;
+    wear_ = std::move(wear);
     sampler_ = std::move(sampler);
     trainFreqs_ = std::move(trainFreqs);
     table_ = trained_

@@ -89,6 +89,10 @@ class Sc2Cache : public Llc
 
     std::uint64_t setOf(Addr addr) const;
     std::uint32_t lineBits(const CacheLine &data) const;
+    /** Emit the image the data array stores for @p data (Huffman stream
+     *  under the current table, or the raw line), for wear accounting. */
+    void lineImage(const CacheLine &data, bool compressed,
+                   BitWriter &out) const;
     void maybeRetrain();
 
     Config cfg_;

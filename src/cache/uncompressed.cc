@@ -16,6 +16,7 @@ UncompressedCache::UncompressedCache(std::uint64_t capacity_bytes,
                static_cast<unsigned long long>(capacity_bytes), ways,
                static_cast<unsigned long long>(numSets_));
     store_.resize(numSets_ * ways_);
+    wear_.configure(numSets_, ways_);
 }
 
 std::uint64_t
@@ -61,6 +62,12 @@ UncompressedCache::insert(Addr addr, const CacheLine &data, bool dirty)
     FillResult result;
 
     if (Way *way = find(addr)) {
+        // Re-programming the frame writes the whole raw line; only the
+        // cells that differ from the previous contents flip.
+        chargeWear(setOf(addr),
+                   static_cast<std::uint64_t>(way - store_.data()) %
+                       ways_,
+                   kLineSize * 8, energy::lineFlips(way->data, data));
         way->data = data;
         way->dirty |= dirty;
         way->lastUse = ++useClock_;
@@ -86,6 +93,11 @@ UncompressedCache::insert(Addr addr, const CacheLine &data, bool dirty)
             stats_.victimWritebacks++;
         }
     }
+    chargeWear(set,
+               static_cast<std::uint64_t>(victim - store_.data()) % ways_,
+               kLineSize * 8,
+               victim->valid ? energy::lineFlips(victim->data, data)
+                             : energy::linePopcount(data));
     victim->tag = lineNumber(addr);
     victim->valid = true;
     victim->dirty = dirty;
@@ -148,6 +160,7 @@ UncompressedCache::saveState(snap::Serializer &s) const
     s.u64(useClock_);
     s.u64(valid_);
     stats_.save(s);
+    wear_.save(s);
     s.vec(store_, [&](const Way &w) {
         s.u64(w.tag);
         s.boolean(w.valid);
@@ -169,6 +182,8 @@ UncompressedCache::restoreState(snap::Deserializer &d)
     const std::uint64_t valid = d.u64();
     LlcStats stats;
     stats.restore(d);
+    energy::WearTracker wear = wear_;
+    wear.restore(d);
     std::vector<Way> store;
     d.readVec(store, 8 + 1 + 1 + 8 + kLineSize, [&] {
         Way w;
@@ -189,6 +204,7 @@ UncompressedCache::restoreState(snap::Deserializer &d)
     useClock_ = useClock;
     valid_ = valid;
     stats_ = stats;
+    wear_ = std::move(wear);
     store_ = std::move(store);
 }
 

@@ -87,6 +87,7 @@
 #include "cache/ideal.hh"
 #include "cache/llc.hh"
 #include "cache/sc2.hh"
+#include "cache/touche.hh"
 #include "cache/uncompressed.hh"
 #include "core/morc.hh"
 #include "kv/service.hh"
@@ -112,6 +113,7 @@ struct Options
     unsigned meshWidth = 0;
     unsigned meshHeight = 0;
     bool injectLmtCorruption = false;
+    bool injectSigCorruption = false;
     bool events = false;
     bool snapshot = false;
     bool kv = false;
@@ -120,49 +122,15 @@ struct Options
     bool mesh() const { return meshWidth != 0 && meshHeight != 0; }
 };
 
-const char *const kSchemes[] = {
-    "uncompressed", "adaptive",     "decoupled",   "sc2",
-    "morc",         "morc-merged",  "oracle-intra", "oracle-inter",
-};
-
+/** Build by CLI name from the shared scheme registry (sim/scheme.hh),
+ *  so a scheme registered once is fuzzed here without a second list. */
 std::unique_ptr<cache::Llc>
 makeScheme(const std::string &name, std::uint64_t capacity = 128 * 1024)
 {
-    if (name == "uncompressed")
-        return std::make_unique<cache::UncompressedCache>(capacity);
-    if (name == "adaptive") {
-        cache::AdaptiveCache::Config cfg;
-        cfg.capacityBytes = capacity;
-        return std::make_unique<cache::AdaptiveCache>(cfg);
-    }
-    if (name == "decoupled") {
-        cache::DecoupledCache::Config cfg;
-        cfg.capacityBytes = capacity;
-        return std::make_unique<cache::DecoupledCache>(cfg);
-    }
-    if (name == "sc2") {
-        cache::Sc2Cache::Config cfg;
-        cfg.capacityBytes = capacity;
-        return std::make_unique<cache::Sc2Cache>(cfg);
-    }
-    if (name == "morc") {
-        core::MorcConfig cfg;
-        cfg.capacityBytes = capacity;
-        return std::make_unique<core::LogCache>(cfg);
-    }
-    if (name == "morc-merged") {
-        core::MorcConfig cfg;
-        cfg.mergedTags = true;
-        cfg.capacityBytes = capacity;
-        return std::make_unique<core::LogCache>(cfg);
-    }
-    if (name == "ideal" || name == "oracle-intra")
-        return std::make_unique<cache::IdealCache>(
-            cache::OracleScope::IntraLine, capacity);
-    if (name == "oracle-inter")
-        return std::make_unique<cache::IdealCache>(
-            cache::OracleScope::InterLine, capacity);
-    return nullptr;
+    sim::Scheme s;
+    if (!sim::schemeFromCliName(name, &s))
+        return nullptr;
+    return sim::makeLlc(s, capacity);
 }
 
 /** Per-bank data capacity under --mesh. Small enough that each bank
@@ -730,6 +698,53 @@ runScheme(const std::string &scheme, const Options &opt)
             ok = checkExclusivity(label, opt.ops, *banked, entry.first, st) &&
                  ok;
 
+    // Wear/counter cross-check: the stats counters and the wear
+    // tracker are charged by the same chargeWear() call but stored
+    // separately, so a missed charge or a bad snapshot restore shows
+    // up as a disagreement between the two totals.
+    if (ok) {
+        const energy::WearTracker wear = cache->wearSnapshot();
+        const cache::LlcStats &cs = cache->stats();
+        if (wear.totalBitsWritten() != cs.cellBitsWritten ||
+            wear.totalBitFlips() != cs.cellBitFlips) {
+            ok = diverged(label, opt.ops,
+                          "wear tracker totals disagree with the "
+                          "cell_bits_written/cell_bit_flips counters");
+        }
+    }
+
+    if (ok && opt.injectSigCorruption) {
+        auto *touche = dynamic_cast<cache::ToucheCache *>(cache.get());
+        if (!touche) {
+            std::fprintf(stderr,
+                         "morc_check: --inject-signature-corruption "
+                         "requires the touche scheme, not %s\n",
+                         label.c_str());
+            return false;
+        }
+        if (!touche->debugCorruptSignature(opt.seed)) {
+            std::fprintf(stderr,
+                         "morc_check: no valid slot to corrupt (stream "
+                         "left the cache empty?)\n");
+            return false;
+        }
+        const auto r = cache->audit();
+        if (r.ok()) {
+            std::fprintf(stderr,
+                         "morc_check: MUTATION ESCAPED scheme=%s: auditor "
+                         "reported a clean structure after signature "
+                         "corruption was injected\n",
+                         label.c_str());
+            return false;
+        }
+        std::printf("%-13s injected signature corruption detected: "
+                    "%" PRIu64 " violation(s)\n",
+                    label.c_str(), r.violations());
+        if (opt.verbose)
+            std::fputs(r.str().c_str(), stdout);
+        return true;
+    }
+
     if (ok && opt.injectLmtCorruption) {
         bool injected = false;
         if (banked) {
@@ -785,25 +800,7 @@ runScheme(const std::string &scheme, const Options &opt)
 bool
 kvSchemeOf(const std::string &name, sim::Scheme *out)
 {
-    if (name == "uncompressed")
-        *out = sim::Scheme::Uncompressed;
-    else if (name == "adaptive")
-        *out = sim::Scheme::Adaptive;
-    else if (name == "decoupled")
-        *out = sim::Scheme::Decoupled;
-    else if (name == "sc2")
-        *out = sim::Scheme::Sc2;
-    else if (name == "morc")
-        *out = sim::Scheme::Morc;
-    else if (name == "morc-merged")
-        *out = sim::Scheme::MorcMerged;
-    else if (name == "ideal" || name == "oracle-intra")
-        *out = sim::Scheme::OracleIntra;
-    else if (name == "oracle-inter")
-        *out = sim::Scheme::OracleInter;
-    else
-        return false;
-    return true;
+    return sim::schemeFromCliName(name, out);
 }
 
 /** A deliberately tight service: small front and tiers over small,
@@ -1023,7 +1020,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--scheme NAME|all] [--ops N] [--seed S]\n"
         "          [--audit-every N] [--mesh WxH] [--events] [--kv]\n"
-        "          [--snapshot] [--inject-lmt-corruption] [--verbose]\n"
+        "          [--snapshot] [--inject-lmt-corruption]\n"
+        "          [--inject-signature-corruption] [--verbose]\n"
         "\n"
         "Differential fuzz: replay a seeded adversarial access stream\n"
         "through a cache scheme in lockstep with a reference memory\n"
@@ -1051,8 +1049,8 @@ usage(const char *argv0)
         "\n"
         "schemes: all",
         argv0);
-    for (const char *s : kSchemes)
-        std::fprintf(stderr, " %s", s);
+    for (const sim::SchemeInfo &info : sim::allSchemes())
+        std::fprintf(stderr, " %s", info.cliName);
     std::fputc('\n', stderr);
     return 2;
 }
@@ -1107,6 +1105,8 @@ run(int argc, char **argv)
             opt.kv = true;
         } else if (arg == "--inject-lmt-corruption") {
             opt.injectLmtCorruption = true;
+        } else if (arg == "--inject-signature-corruption") {
+            opt.injectSigCorruption = true;
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -1120,9 +1120,15 @@ run(int argc, char **argv)
     }
 
     if (opt.kv &&
-        (opt.mesh() || opt.events || opt.injectLmtCorruption)) {
+        (opt.mesh() || opt.events || opt.injectLmtCorruption ||
+         opt.injectSigCorruption)) {
         std::fprintf(stderr, "morc_check: --kv composes only with "
                              "--snapshot\n");
+        return usage(argv[0]);
+    }
+    if (opt.injectLmtCorruption && opt.injectSigCorruption) {
+        std::fprintf(stderr, "morc_check: pick one corruption "
+                             "injection per run\n");
         return usage(argv[0]);
     }
 
@@ -1130,9 +1136,11 @@ run(int argc, char **argv)
     if (opt.scheme == "all") {
         if (opt.injectLmtCorruption) {
             schemes = {"morc", "morc-merged"};
+        } else if (opt.injectSigCorruption) {
+            schemes = {"touche"};
         } else {
-            for (const char *s : kSchemes)
-                schemes.emplace_back(s);
+            for (const sim::SchemeInfo &info : sim::allSchemes())
+                schemes.emplace_back(info.cliName);
         }
     } else {
         schemes.push_back(opt.scheme);

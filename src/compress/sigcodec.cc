@@ -1,0 +1,58 @@
+#include "compress/sigcodec.hh"
+
+#include "check/check.hh"
+
+namespace morc {
+namespace comp {
+
+std::uint32_t
+SigCodec::append(std::uint16_t sig, BitWriter *out)
+{
+    MORC_DCHECK(sig < (1u << kSignatureBits),
+                "signature %u exceeds %u bits", sig, kSignatureBits);
+    if (hasPrev_ && sig == prev_) {
+        repeats_++;
+        if (out)
+            out->put(0, 1);
+        return 1;
+    }
+    literals_++;
+    if (out) {
+        out->put(1, 1);
+        out->put(sig, kSignatureBits);
+    }
+    hasPrev_ = true;
+    prev_ = sig;
+    return 1 + kSignatureBits;
+}
+
+void
+SigCodec::reset()
+{
+    hasPrev_ = false;
+    prev_ = 0;
+}
+
+std::uint16_t
+SigDecoder::next(BitReader &in)
+{
+    const bool literal = in.get(1) != 0;
+    if (!literal) {
+        MORC_DCHECK(hasPrev_, "repeat entry with no preceding literal");
+        return prev_;
+    }
+    prev_ = static_cast<std::uint16_t>(
+        in.get(SigCodec::kSignatureBits));
+    hasPrev_ = true;
+    return prev_;
+}
+
+void
+SigDecoder::reset()
+{
+    hasPrev_ = false;
+    prev_ = 0;
+}
+
+} // namespace comp
+} // namespace morc

@@ -50,6 +50,10 @@ LogCache::LogCache(const MorcConfig &cfg) : cfg_(cfg)
         lmt_.resize(entries);
         lmtMask_ = entries - 1;
     }
+    // The physical write granule is a log: appends program fresh cells
+    // at the tail. Log erasure on reuse is folded into the per-cell
+    // endurance budget rather than charged as flips.
+    wear_.configure(cfg_.numLogs(), 1);
 }
 
 void
@@ -298,13 +302,25 @@ LogCache::appendLine(std::uint32_t log_idx, Addr line_num,
 {
     Log &g = logs_[log_idx];
     std::uint32_t d_bits, t_bits;
+    std::uint64_t flips;
     if (cfg_.compressionEnabled) {
-        d_bits = g.lbe.append(plan);
+        // Capture the emitted streams so wear reflects the bits the
+        // append actually programs into previously erased cells.
+        BitWriter emitted;
+        const std::uint64_t tag_start = g.tagStream.sizeBits();
+        d_bits = g.lbe.append(plan, &emitted);
         t_bits = g.tags.append(line_num, &g.tagStream);
+        flips = energy::popcountBits(emitted.words(),
+                                     emitted.sizeBits()) +
+                energy::popcountRange(g.tagStream.words(), tag_start,
+                                      g.tagStream.sizeBits());
     } else {
         d_bits = kRawLineBits;
         t_bits = kRawTagBits;
+        flips = energy::linePopcount(data) +
+                energy::popcountBits({line_num}, comp::TagCodec::kFullTagBits);
     }
+    chargeWear(log_idx, 0, d_bits + t_bits, flips);
     g.lines.push_back({line_num, true, d_bits, t_bits, data});
     g.dataBits += d_bits;
     g.tagBits += t_bits;
@@ -1000,6 +1016,7 @@ LogCache::saveState(snap::Serializer &s) const
     s.u64(logReuses_);
     s.u64(lmtAliasedMisses_);
     stats_.save(s);
+    wear_.save(s);
 
     s.vec(logs_, [&](const Log &g) {
         s.u64(g.dataBits);
@@ -1080,6 +1097,8 @@ LogCache::restoreState(snap::Deserializer &d)
     const std::uint64_t lmtAliasedMisses = d.u64();
     cache::LlcStats stats;
     stats.restore(d);
+    energy::WearTracker wear = wear_;
+    wear.restore(d);
 
     const std::uint64_t numLogs = d.arrayLen(8);
     if (d.ok() && numLogs != logs_.size()) {
@@ -1194,6 +1213,7 @@ LogCache::restoreState(snap::Deserializer &d)
     logReuses_ = logReuses;
     lmtAliasedMisses_ = lmtAliasedMisses;
     stats_ = stats;
+    wear_ = std::move(wear);
     logs_ = std::move(logs);
     active_ = std::move(active);
     closedFifo_.assign(fifo.begin(), fifo.end());

@@ -170,8 +170,28 @@ void
 BankedLlc::clearAllStats()
 {
     stats_.clear();
-    for (auto &b : banks_)
+    for (auto &b : banks_) {
         b->stats().clear();
+        b->clearWear();
+    }
+    wear_.clearCounts();
+}
+
+energy::WearTracker
+BankedLlc::wearSnapshot() const
+{
+    energy::WearTracker merged;
+    for (const auto &b : banks_)
+        merged.merge(b->wearSnapshot());
+    return merged;
+}
+
+void
+BankedLlc::clearWear()
+{
+    for (auto &b : banks_)
+        b->clearWear();
+    wear_.clearCounts();
 }
 
 double

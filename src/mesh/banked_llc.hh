@@ -89,6 +89,14 @@ class BankedLlc : public cache::Llc
     /** Clear the aggregate and every bank's counters (end of warm-up). */
     void clearAllStats();
 
+    /** Merge of every bank's wear histogram: bank frames stack as
+     *  additional sets, in bank order. */
+    energy::WearTracker wearSnapshot() const override;
+
+    /** Zero the wear counters of every bank (and the unused director
+     *  tracker), keeping frame geometry. */
+    void clearWear() override;
+
     /** Director stats + every bank's state, in bank order. */
     void saveState(snap::Serializer &s) const override;
 

@@ -4,6 +4,7 @@
 #include "cache/decoupled.hh"
 #include "cache/ideal.hh"
 #include "cache/sc2.hh"
+#include "cache/touche.hh"
 #include "cache/uncompressed.hh"
 
 namespace morc {
@@ -22,8 +23,43 @@ schemeName(Scheme s)
       case Scheme::MorcMerged: return "MORCMerged";
       case Scheme::OracleIntra: return "Oracle-Intra";
       case Scheme::OracleInter: return "Oracle-Inter";
+      case Scheme::Touche: return "Touche";
     }
     return "?";
+}
+
+const std::vector<SchemeInfo> &
+allSchemes()
+{
+    static const std::vector<SchemeInfo> kRegistry = {
+        {Scheme::Uncompressed, "Uncompressed", "uncompressed"},
+        {Scheme::Uncompressed8x, "Uncompressed8x", "uncompressed8x"},
+        {Scheme::Adaptive, "Adaptive", "adaptive"},
+        {Scheme::Decoupled, "Decoupled", "decoupled"},
+        {Scheme::Sc2, "SC2", "sc2"},
+        {Scheme::Morc, "MORC", "morc"},
+        {Scheme::MorcMerged, "MORCMerged", "morc-merged"},
+        {Scheme::OracleIntra, "Oracle-Intra", "oracle-intra"},
+        {Scheme::OracleInter, "Oracle-Inter", "oracle-inter"},
+        {Scheme::Touche, "Touche", "touche"},
+    };
+    return kRegistry;
+}
+
+bool
+schemeFromCliName(const std::string &name, Scheme *out)
+{
+    if (name == "ideal") { // legacy alias kept for old scripts
+        *out = Scheme::OracleIntra;
+        return true;
+    }
+    for (const SchemeInfo &info : allSchemes()) {
+        if (name == info.cliName) {
+            *out = info.scheme;
+            return true;
+        }
+    }
+    return false;
 }
 
 energy::Engine
@@ -32,6 +68,7 @@ schemeEngine(Scheme s)
     switch (s) {
       case Scheme::Adaptive:
       case Scheme::Decoupled:
+      case Scheme::Touche:
         return energy::Engine::CPack;
       case Scheme::Sc2:
         return energy::Engine::Sc2;
@@ -91,6 +128,11 @@ makeLlc(Scheme scheme, std::uint64_t capacity_bytes,
       case Scheme::OracleInter:
         return std::make_unique<cache::IdealCache>(
             cache::OracleScope::InterLine, capacity_bytes);
+      case Scheme::Touche: {
+        cache::ToucheCache::Config cfg;
+        cfg.capacityBytes = capacity_bytes;
+        return std::make_unique<cache::ToucheCache>(cfg);
+      }
     }
     return nullptr;
 }

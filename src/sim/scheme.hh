@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cache/llc.hh"
 #include "core/morc.hh"
@@ -16,7 +17,7 @@
 namespace morc {
 namespace sim {
 
-/** Every LLC evaluated in the paper. */
+/** Every LLC evaluated in the paper (plus arena extensions). */
 enum class Scheme
 {
     Uncompressed,
@@ -28,10 +29,32 @@ enum class Scheme
     MorcMerged,
     OracleIntra,
     OracleInter,
+    Touche, // appended last: earlier values are config fingerprints
 };
 
 /** Display name matching the paper's legends. */
 const char *schemeName(Scheme s);
+
+/** One registry row: the enum value, its display name, and the
+ *  lower-case name CLI tools accept. */
+struct SchemeInfo
+{
+    Scheme scheme;
+    const char *name;    // schemeName() spelling
+    const char *cliName; // morc_check / run_benches spelling
+};
+
+/**
+ * The single authoritative scheme list. Every enumerating surface
+ * (morc_check --scheme=all, run_benches --smoke, design-space arenas,
+ * the lifetime figure) iterates this registry, so a scheme added here
+ * appears everywhere at once.
+ */
+const std::vector<SchemeInfo> &allSchemes();
+
+/** Parse a CLI scheme name (also accepts the legacy "ideal" alias for
+ *  oracle-intra). @return false when @p name is unknown. */
+bool schemeFromCliName(const std::string &name, Scheme *out);
 
 /** Compression engine used by @p s (for the energy model). */
 energy::Engine schemeEngine(Scheme s);

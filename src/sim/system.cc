@@ -403,6 +403,7 @@ System::warmup(std::uint64_t warmup_per_core)
         core.lastMissCycle = 0;
     }
     llc_->stats().clear();
+    llc_->clearWear();
     channel_.clearCounters();
     if (banked_)
         banked_->clearAllStats();
@@ -488,6 +489,12 @@ System::measure(std::uint64_t instructions_per_core)
         out.invalidLineFraction = log_cache->invalidLineFraction();
     else if (banked_)
         out.invalidLineFraction = banked_->invalidLineFraction();
+
+    // NVM wear forecast over the measured phase, from the per-frame
+    // write histogram the scheme charged insert by insert.
+    out.lifetime = energy::forecastLifetime(llc_->wearSnapshot(),
+                                            out.completionCycles,
+                                            llc_->capacityBytes() * 8);
 
     if (telemetry_)
         out.series = telemetry_->snapshot();

@@ -176,6 +176,9 @@ struct RunResult
     cache::LlcStats llcStats;
     energy::EnergyBreakdown energyBreakdown;
 
+    /** NVM wear/lifetime forecast from the run's write histogram. */
+    energy::LifetimeForecast lifetime;
+
     /** MORC-only extras (zero otherwise). */
     double invalidLineFraction = 0.0;
 

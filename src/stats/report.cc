@@ -153,7 +153,7 @@ Report::toJson() const
 {
     std::string out;
     out.reserve(4096 + runs.size() * 256);
-    out += "{\n  \"schema\": \"morc.sweep.report/v4\",\n";
+    out += "{\n  \"schema\": \"morc.sweep.report/v5\",\n";
     out += "  \"figure\": \"" + jsonEscape(figure) + "\",\n";
     out += "  \"title\": \"" + jsonEscape(title) + "\",\n";
     out += "  \"instr_budget\": " + std::to_string(instrBudget) + ",\n";
@@ -203,6 +203,16 @@ Report::toJson() const
                            "\": " + formatDouble(ps[m].second);
                 }
                 out += "}";
+            }
+            out += "}";
+        }
+        if (!r.lifetime.empty()) {
+            out += ", \"lifetime\": {";
+            for (std::size_t j = 0; j < r.lifetime.size(); j++) {
+                if (j)
+                    out += ", ";
+                out += "\"" + jsonEscape(r.lifetime[j].first) +
+                       "\": " + formatDouble(r.lifetime[j].second);
             }
             out += "}";
         }

@@ -10,10 +10,10 @@
  * that compute identical values emit byte-identical reports regardless
  * of thread count or scheduling.
  *
- * Schema (morc.sweep.report/v4):
+ * Schema (morc.sweep.report/v5):
  *
  *   {
- *     "schema": "morc.sweep.report/v4",
+ *     "schema": "morc.sweep.report/v5",
  *     "figure": "<name>",
  *     "title": "<one-line description>",
  *     "instr_budget": <per-core measured instructions>,
@@ -28,6 +28,9 @@
  *         },
  *         "percentiles": {
  *           "<group>": {"p50": V, "p99": V, "p99.9": V, ...}
+ *         },
+ *         "lifetime": {
+ *           "years": Y, "imbalance": I, ...
  *         },
  *         "series": {
  *           "epoch_cycles": N,
@@ -64,6 +67,15 @@
  * derived deterministically from the run's histograms. Emitted only
  * for records that set percentiles (the kvserve/kvtier figures);
  * purely additive for consumers that ignore unknown names.
+ *
+ * v5 (wear/lifetime PR): the optional per-run "lifetime" section
+ * above — a flat object of NVM wear-forecast points (cell_bits_written,
+ * cell_bit_flips, write_bits_per_sec, flips_per_cell_per_sec,
+ * imbalance, set_variance, years) charged from the actual emitted
+ * bitstreams (src/energy/lifetime.hh). Emitted only for records that
+ * set lifetime entries (simulation figures); infinite years renders as
+ * 1e308 per formatDouble. Purely additive for consumers that ignore
+ * unknown names.
  */
 
 #ifndef MORC_STATS_REPORT_HH
@@ -109,6 +121,9 @@ struct RunRecord
     /** Optional percentile groups (serialized when non-empty). */
     std::vector<std::pair<std::string, PercentileSet>> percentiles;
 
+    /** Optional NVM wear/lifetime points (serialized when non-empty). */
+    std::vector<std::pair<std::string, double>> lifetime;
+
     /** Optional epoch time-series (serialized when non-empty). */
     telemetry::SeriesSet series;
 
@@ -142,6 +157,13 @@ struct RunRecord
             }
         }
         percentiles.emplace_back(group, PercentileSet{{p, v}});
+    }
+
+    /** Append lifetime point @p k = @p v. */
+    void
+    lifetimePoint(const std::string &k, double v)
+    {
+        lifetime.emplace_back(k, v);
     }
 
     /** Value of metric @p k; aborts if absent (reports are append-only,

@@ -49,6 +49,17 @@ saveRunRecord(snap::Serializer &s, const stats::RunRecord &rec)
         s.str(kv.first);
         kv.second.save(s);
     });
+    s.vec(rec.percentiles, [&s](const auto &group) {
+        s.str(group.first);
+        s.vec(group.second, [&s](const auto &kv) {
+            s.str(kv.first);
+            s.f64(kv.second);
+        });
+    });
+    s.vec(rec.lifetime, [&s](const auto &kv) {
+        s.str(kv.first);
+        s.f64(kv.second);
+    });
     s.u64(rec.series.epochCycles);
     s.u64(rec.series.samples);
     s.u64(rec.series.droppedEpochs);
@@ -93,6 +104,23 @@ loadRunRecord(snap::Deserializer &d)
         stats::Histogram h = stats::Histogram::load(d);
         return std::pair<std::string, stats::Histogram>(std::move(k),
                                                         std::move(h));
+    });
+    d.readVec(rec.percentiles, 8 + 8, [&d]() {
+        std::string group = d.str();
+        std::vector<std::pair<std::string, double>> points;
+        d.readVec(points, 8 + 8, [&d]() {
+            std::string k = d.str();
+            const double v = d.f64();
+            return std::pair<std::string, double>(std::move(k), v);
+        });
+        return std::pair<std::string,
+                         std::vector<std::pair<std::string, double>>>(
+            std::move(group), std::move(points));
+    });
+    d.readVec(rec.lifetime, 8 + 8, [&d]() {
+        std::string k = d.str();
+        const double v = d.f64();
+        return std::pair<std::string, double>(std::move(k), v);
     });
     rec.series.epochCycles = d.u64();
     rec.series.samples = d.u64();

@@ -17,3 +17,29 @@ struct Model
     unsigned long pos_ = 0;
     unsigned long missed_ = 0;
 };
+
+// A Touché-shaped superblock: the signature stream is rebuilt from the
+// slots on every repack, so it is tempting to skip it in saveState —
+// but a restored cache would then serve stale signatures until the
+// first repack. saveState/restoreState spellings must be recognized
+// and the dropped member must fire.
+struct SuperBlock
+{
+    void
+    saveState(Serializer &s) const
+    {
+        s.u64(tag_);
+        s.boolean(valid_);
+    }
+
+    void
+    restoreState(Deserializer &d)
+    {
+        tag_ = d.u64();
+        valid_ = d.boolean();
+    }
+
+    unsigned long tag_ = 0;
+    bool valid_ = false;
+    BitWriter sigStream_;
+};

@@ -14,6 +14,7 @@
 #include "cache/ideal.hh"
 #include "cache/overheads.hh"
 #include "cache/sc2.hh"
+#include "cache/touche.hh"
 #include "cache/uncompressed.hh"
 #include "util/rng.hh"
 
@@ -351,6 +352,8 @@ class SchemeParam
             return std::make_unique<AdaptiveCache>();
         if (which == "decoupled")
             return std::make_unique<DecoupledCache>();
+        if (which == "touche")
+            return std::make_unique<ToucheCache>();
         return std::make_unique<Sc2Cache>();
     }
 };
@@ -391,7 +394,8 @@ TEST_P(SchemeParam, ValidLinesNeverExceedTagCapacity)
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeParam,
                          ::testing::Values("uncompressed", "adaptive",
-                                           "decoupled", "sc2"));
+                                           "decoupled", "sc2",
+                                           "touche"));
 
 } // namespace
 } // namespace cache

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Property/fuzz tests for the Touché signature codec: randomized
+ * round-trip (append -> decode == appended sequence) over seeded
+ * adversarial streams, measure/append agreement, mid-stream snapshot
+ * continuation, and statistical bounds on the signature hash itself —
+ * the false-positive rate is a design parameter (~1/2^8 per compare),
+ * so both "rare enough to be a cache" and "common enough that the
+ * verify path actually runs" are asserted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "compress/sigcodec.hh"
+#include "snapshot/snapshot.hh"
+#include "util/bitstream.hh"
+#include "util/rng.hh"
+
+namespace morc {
+namespace comp {
+namespace {
+
+/** Signature streams as a real cache emits them: runs of repeats
+ *  (sibling lines compressed alike), bursts of fresh literals, and
+ *  occasional revisits of an earlier value that must NOT be treated as
+ *  a repeat unless adjacent. */
+std::vector<std::uint16_t>
+adversarialStream(std::uint64_t seed, int entries)
+{
+    Rng rng(seed);
+    std::vector<std::uint16_t> sigs;
+    std::uint64_t line = rng.next() >> 20;
+    while (static_cast<int>(sigs.size()) < entries) {
+        switch (rng.below(4)) {
+          case 0: // run of identical signatures (repeat-flag path)
+          {
+            const std::uint16_t s = SigCodec::signatureOf(line++);
+            for (std::uint64_t i = rng.below(6) + 1; i > 0; i--)
+                sigs.push_back(s);
+            break;
+          }
+          case 1: // neighboring lines of one superblock
+            for (unsigned i = 0; i < 4; i++)
+                sigs.push_back(SigCodec::signatureOf(line + i));
+            line += 4;
+            break;
+          case 2: // revisit an old signature non-adjacently
+            if (sigs.size() > 2) {
+                sigs.push_back(sigs[rng.below(sigs.size() - 1)]);
+                break;
+            }
+            [[fallthrough]];
+          default: // fresh pseudo-random line
+            line = rng.next() >> 20;
+            sigs.push_back(SigCodec::signatureOf(line));
+        }
+    }
+    sigs.resize(entries);
+    return sigs;
+}
+
+TEST(SigCodecProperty, RoundTripAdversarialStreams)
+{
+    for (std::uint64_t seed = 1; seed <= 40; seed++) {
+        const auto sigs = adversarialStream(seed, 600);
+        SigCodec enc;
+        BitWriter out;
+        std::uint64_t bits = 0;
+        for (const std::uint16_t s : sigs) {
+            const std::uint32_t measured = enc.measure(s);
+            const std::uint32_t appended = enc.append(s, &out);
+            ASSERT_EQ(measured, appended)
+                << "measure/append disagree at seed " << seed;
+            bits += appended;
+        }
+        ASSERT_EQ(bits, out.sizeBits());
+        SigDecoder dec;
+        BitReader in(out);
+        for (std::size_t i = 0; i < sigs.size(); i++)
+            ASSERT_EQ(dec.next(in), sigs[i])
+                << "seed " << seed << " entry " << i;
+        EXPECT_EQ(in.remaining(), 0u);
+    }
+}
+
+TEST(SigCodecProperty, ResetForgetsRepeatContext)
+{
+    SigCodec enc;
+    BitWriter out;
+    enc.append(0x5a, &out);
+    EXPECT_EQ(enc.measure(0x5a), 1u); // repeat
+    enc.reset();
+    EXPECT_EQ(enc.measure(0x5a), 1u + SigCodec::kSignatureBits);
+}
+
+TEST(SigCodecProperty, SnapshotContinuesStreamExactly)
+{
+    const auto sigs = adversarialStream(99, 400);
+    SigCodec ref;
+    BitWriter refOut;
+    for (std::size_t i = 0; i < sigs.size(); i++)
+        ref.append(sigs[i], &refOut);
+
+    // Encode half, snapshot, continue in a restored twin: the twin's
+    // continuation bits must equal the uninterrupted encoder's.
+    SigCodec first;
+    BitWriter head;
+    for (std::size_t i = 0; i < sigs.size() / 2; i++)
+        first.append(sigs[i], &head);
+    snap::Serializer s;
+    first.save(s);
+    SigCodec resumed;
+    snap::Deserializer d(s.frame());
+    resumed.restore(d);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(resumed.repeatCount(), first.repeatCount());
+    EXPECT_EQ(resumed.literalCount(), first.literalCount());
+    BitWriter tail = head;
+    for (std::size_t i = sigs.size() / 2; i < sigs.size(); i++)
+        resumed.append(sigs[i], &tail);
+    ASSERT_EQ(tail.sizeBits(), refOut.sizeBits());
+    EXPECT_EQ(tail.words(), refOut.words());
+}
+
+TEST(SigCodecProperty, RestoreRejectsOutOfRangeLiteral)
+{
+    snap::Serializer s;
+    s.beginSection("SIGC");
+    s.boolean(true);
+    s.u32(1u << SigCodec::kSignatureBits); // one past the top
+    s.u64(0);
+    s.u64(0);
+    s.endSection();
+    SigCodec c;
+    snap::Deserializer d(s.frame());
+    c.restore(d);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(SigCodecProperty, FalsePositiveRateNearDesignPoint)
+{
+    // Pairwise collision probability of two *distinct* line numbers.
+    // Expected 1/256 (~0.39%); a broken fold (e.g. only low bits used)
+    // shows up as a rate far above, a widened signature as ~0.
+    Rng rng(0xface);
+    const int trials = 200'000;
+    int collisions = 0;
+    for (int i = 0; i < trials; i++) {
+        const std::uint64_t a = rng.next() >> 10;
+        const std::uint64_t b = a + 1 + rng.below(1 << 20);
+        if (SigCodec::signatureOf(a) == SigCodec::signatureOf(b))
+            collisions++;
+    }
+    const double rate = double(collisions) / trials;
+    EXPECT_GT(rate, 0.5 / 256.0) << "verify path would be dead code";
+    EXPECT_LT(rate, 2.0 / 256.0) << "collisions far beyond design";
+}
+
+TEST(SigCodecProperty, AdjacentLinesDecorrelate)
+{
+    // Within one 4-line superblock every pair must be able to collide
+    // (internal collisions drive the impostor-eviction path) but only
+    // at the hash's design rate — neighboring line numbers must not be
+    // systematically correlated. Expected per-superblock rate:
+    // 1 - prod_{k=0..3}(1 - k/256) ~ 2.33%.
+    const int groups = 100'000;
+    int colliding = 0;
+    for (int g = 0; g < groups; g++) {
+        std::set<std::uint16_t> seen;
+        for (unsigned i = 0; i < 4; i++)
+            seen.insert(
+                SigCodec::signatureOf(std::uint64_t(g) * 4 + i));
+        if (seen.size() < 4)
+            colliding++;
+    }
+    const double rate = double(colliding) / groups;
+    EXPECT_GT(rate, 0.01);
+    EXPECT_LT(rate, 0.05);
+}
+
+TEST(SigCodecProperty, SignatureCoversFullRange)
+{
+    std::set<std::uint16_t> seen;
+    for (std::uint64_t n = 0; n < 4096; n++)
+        seen.insert(SigCodec::signatureOf(n));
+    // 4096 draws over 256 buckets: missing values mean a truncated
+    // or constant hash.
+    EXPECT_EQ(seen.size(), 1u << SigCodec::kSignatureBits);
+}
+
+} // namespace
+} // namespace comp
+} // namespace morc

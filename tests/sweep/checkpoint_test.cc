@@ -37,6 +37,10 @@ makeRecord(const std::string &key, double salt)
     h.record(15);
     h.record(999);
     rec.histograms.emplace_back("lat", h);
+    rec.percentile("latency.all", "p50", 32.0 + salt);
+    rec.percentile("latency.all", "p99", 512.0);
+    rec.lifetimePoint("years", 0.0123 * salt);
+    rec.lifetimePoint("imbalance", 1.0 / 3.0); // bit-exact survival
     rec.series.epochCycles = 1000;
     rec.series.samples = 3;
     rec.series.droppedEpochs = 1;

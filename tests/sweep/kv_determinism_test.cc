@@ -1,6 +1,6 @@
 /**
  * @file
- * KV-serving sweep determinism regression tests (schema v4).
+ * KV-serving sweep determinism regression tests (schema v5).
  *
  * The KV figures are advertised as pure functions of their
  * configuration: the multi-tenant generator is seeded per tenant, the
@@ -12,9 +12,9 @@
  *     byte-identical on 1 thread and on 8 threads,
  * (b) a checked-in golden report (tests/sweep/golden/kv_report.json)
  *     catches silent drift in the generator, value synthesis, tier
- *     arithmetic, or the v4 percentiles serialization — regenerate
+ *     arithmetic, or the v5 serialization — regenerate
  *     deliberately with MORC_UPDATE_GOLDEN=1,
- * (c) the report carries the schema v4 marker and a well-formed
+ * (c) the report carries the schema v5 marker and a well-formed
  *     "percentiles" section, and
  * (d) per-tenant QoS shares hold exactly in the recorded metrics.
  */
@@ -129,11 +129,11 @@ TEST(KvDeterminism, SerialAndParallelReportsAreByteIdentical)
     EXPECT_EQ(serial, kvReport(8).toJson());
 }
 
-TEST(KvDeterminism, ReportCarriesSchemaV4Percentiles)
+TEST(KvDeterminism, ReportCarriesSchemaV5Percentiles)
 {
     const stats::Report rep = kvReport(8);
     const std::string json = rep.toJson();
-    EXPECT_NE(json.find("\"morc.sweep.report/v4\""), std::string::npos);
+    EXPECT_NE(json.find("\"morc.sweep.report/v5\""), std::string::npos);
     EXPECT_NE(json.find("\"percentiles\""), std::string::npos);
     EXPECT_NE(json.find("\"p99.9\""), std::string::npos);
 
